@@ -1,0 +1,236 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6) and runs Bechamel micro-benchmarks of
+   the core primitives.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- figure4      -- one artifact
+     dune exec bench/main.exe -- table3
+     dune exec bench/main.exe -- table1
+     dune exec bench/main.exe -- figure2
+     dune exec bench/main.exe -- applicability
+     dune exec bench/main.exe -- ablation
+     dune exec bench/main.exe -- micro
+*)
+
+module E = Cgcm_core.Experiments
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+module Memspace = Cgcm_memory.Memspace
+module Device = Cgcm_gpusim.Device
+module Cost_model = Cgcm_gpusim.Cost_model
+module Runtime = Cgcm_runtime.Runtime
+module Avl = Cgcm_support.Avl_map.Int
+
+let section title =
+  Fmt.pr "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* The paper's artifacts                                               *)
+
+let suite_results = ref None
+
+let get_suite () =
+  match !suite_results with
+  | Some r -> r
+  | None ->
+    let r =
+      E.run_suite ~progress:(fun name -> Fmt.epr "  running %s...@." name) ()
+    in
+    suite_results := Some r;
+    r
+
+let figure4 () =
+  section "Figure 4: whole-program speedups (24 programs)";
+  print_string (E.figure4 (get_suite ()))
+
+let table3 () =
+  section "Table 3: program characteristics";
+  print_string (E.table3 (get_suite ()))
+
+let table1 () =
+  section "Table 1: communication-system applicability";
+  print_string (E.table1 ())
+
+let figure1 () =
+  section "Figure 1: taxonomy of related work";
+  print_string (E.figure1 ())
+
+let figure3 () =
+  section "Figure 3: system overview";
+  print_string (E.figure3 ())
+
+let figure2 () =
+  section "Figure 2: execution schedules";
+  print_string (E.figure2 ())
+
+let applicability () =
+  section "Section 6 applicability claim";
+  print_string (E.applicability (get_suite ()))
+
+let volume () =
+  section "Communication volume (extension)";
+  print_string (E.volume_table (get_suite ()))
+
+let breakdown () =
+  section "Time breakdown (extension)";
+  print_string (E.breakdown_table (get_suite ()))
+
+let ablation () =
+  section "Ablation: optimization passes in isolation";
+  print_string (E.ablation ())
+
+let sweep () =
+  section "Cost-model sensitivity sweep (extension)";
+  print_string (E.latency_sweep ())
+
+let validate () =
+  section "Claim validation";
+  let text, ok = Cgcm_core.Validate.report (get_suite ()) in
+  print_string text;
+  if not ok then exit 1
+
+let check_outputs () =
+  let bad = List.filter (fun r -> not r.E.outputs_match) (get_suite ()) in
+  if bad = [] then
+    Fmt.pr "@.All 24 programs produce identical output in every mode.@."
+  else
+    List.iter
+      (fun r ->
+        Fmt.pr "!! OUTPUT MISMATCH: %s@." r.E.prog.Cgcm_progs.Registry.name)
+      bad
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core primitives                    *)
+
+let bench_avl =
+  let t = ref Avl.empty in
+  for i = 0 to 255 do
+    t := Avl.add (i * 64) i !t
+  done;
+  let t = !t in
+  Bechamel.Test.make ~name:"avl-greatest-leq-256-units"
+    (Bechamel.Staged.stage (fun () -> Avl.greatest_leq 8191 t))
+
+let mk_runtime () =
+  let host =
+    Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000_00
+  in
+  let dev = Device.create Cost_model.default in
+  let rt = Runtime.create ~host ~dev in
+  let base = Memspace.alloc host 4096 in
+  Runtime.register_heap rt ~base ~size:4096;
+  (rt, base)
+
+let bench_map_release =
+  let rt, base = mk_runtime () in
+  Bechamel.Test.make ~name:"runtime-map-release-4KiB"
+    (Bechamel.Staged.stage (fun () ->
+         let d = Runtime.map rt base in
+         Runtime.release rt base;
+         d))
+
+let bench_map_resident =
+  let rt, base = mk_runtime () in
+  ignore (Runtime.map rt base);
+  Bechamel.Test.make ~name:"runtime-map-release-resident"
+    (Bechamel.Staged.stage (fun () ->
+         let d = Runtime.map rt base in
+         Runtime.release rt base;
+         d))
+
+let bench_memspace =
+  let m = Memspace.create ~name:"bench" ~range_lo:0x1000 ~range_hi:0x100_0000 in
+  let a = Memspace.alloc m 8192 in
+  Bechamel.Test.make ~name:"memspace-load-f64"
+    (Bechamel.Staged.stage (fun () -> Memspace.load_f64 m (a + 4096)))
+
+let bench_compile =
+  let src = Cgcm_progs.Polybench.gemm ~n:8 () in
+  Bechamel.Test.make ~name:"pipeline-compile-gemm"
+    (Bechamel.Staged.stage (fun () ->
+         Pipeline.compile ~level:Pipeline.Optimized src))
+
+let bench_interp =
+  let src = Cgcm_progs.Polybench.gemm ~n:6 () in
+  lazy
+    (let c = Pipeline.compile ~level:Pipeline.Optimized src in
+     Bechamel.Test.make ~name:"interp-run-gemm-n6"
+       (Bechamel.Staged.stage (fun () -> Interp.run c.Pipeline.modul)))
+
+let micro () =
+  section "Bechamel micro-benchmarks (ns per operation)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    Test.make_grouped ~name:"cgcm"
+      [
+        bench_avl;
+        bench_memspace;
+        bench_map_release;
+        bench_map_resident;
+        bench_compile;
+        Lazy.force bench_interp;
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some [ e ] -> Printf.sprintf "%.1f" e
+          | _ -> "n/a"
+        in
+        [ name; est ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_string
+    (Cgcm_report.Table.render
+       ~aligns:[ Cgcm_report.Table.Left; Cgcm_report.Table.Right ]
+       ~header:[ "benchmark"; "ns/op" ] rows)
+
+let all () =
+  figure1 ();
+  figure3 ();
+  figure2 ();
+  table1 ();
+  figure4 ();
+  table3 ();
+  applicability ();
+  volume ();
+  breakdown ();
+  check_outputs ();
+  validate ();
+  ablation ();
+  sweep ();
+  micro ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] | [] -> all ()
+  | _ :: args ->
+    List.iter
+      (function
+        | "figure4" -> figure4 ()
+        | "table3" -> table3 ()
+        | "table1" -> table1 ()
+        | "figure2" -> figure2 ()
+        | "figure1" -> figure1 ()
+        | "figure3" -> figure3 ()
+        | "applicability" -> applicability ()
+        | "volume" -> volume ()
+        | "breakdown" -> breakdown ()
+        | "ablation" -> ablation ()
+        | "sweep" -> sweep ()
+        | "micro" -> micro ()
+        | "check" -> check_outputs ()
+        | "validate" -> validate ()
+        | other -> Fmt.epr "unknown artifact %s@." other)
+      args

@@ -1,0 +1,265 @@
+(* cgcm — command-line driver for the CGCM reproduction.
+
+     cgcm run prog.cgc [--mode seq|unopt|opt|ie|unified] [--trace]
+     cgcm ir prog.cgc [--level unmanaged|managed|optimized]
+     cgcm ast prog.cgc [--no-doall]
+     cgcm report prog.cgc        compare all execution modes
+*)
+
+open Cmdliner
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+module Trace = Cgcm_gpusim.Trace
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"CGC source file")
+
+let mode_conv =
+  Arg.enum
+    [
+      ("seq", Pipeline.Sequential);
+      ("unopt", Pipeline.Cgcm_unoptimized);
+      ("opt", Pipeline.Cgcm_optimized);
+      ("ie", Pipeline.Inspector_executor_exec);
+      ("unified", Pipeline.Unified_oracle Pipeline.Optimized);
+    ]
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Pipeline.Cgcm_optimized
+    & info [ "mode"; "m" ] ~doc:"Execution mode: seq, unopt, opt, ie, unified")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Render the execution schedule")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ] ~doc:"Print per-function dynamic instruction counts")
+
+let print_result (r : Interp.result) ~trace =
+  print_string r.Interp.output;
+  Fmt.pr "--- exit code   : %Ld@." r.Interp.exit_code;
+  Fmt.pr "--- wall cycles : %.0f@." r.Interp.wall;
+  Fmt.pr "--- cpu compute : %.0f@." r.Interp.cpu_compute;
+  Fmt.pr "--- gpu kernels : %.0f (%d launches, %d insts)@." r.Interp.gpu
+    r.Interp.dev_stats.Cgcm_gpusim.Device.launches r.Interp.kernel_insts;
+  Fmt.pr "--- comm        : %.0f (HtoD %d B in %d, DtoH %d B in %d)@."
+    r.Interp.comm r.Interp.dev_stats.Cgcm_gpusim.Device.htod_bytes
+    r.Interp.dev_stats.Cgcm_gpusim.Device.htod_count
+    r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_bytes
+    r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_count;
+  if trace then print_string (Trace.render r.Interp.trace)
+
+let run_cmd =
+  let doc = "Compile and run a CGC program under a given execution mode" in
+  let f file mode trace profile =
+    let src = read_file file in
+    let r =
+      if profile then begin
+        (* re-run through the pipeline with profiling enabled *)
+        let level, imode =
+          match mode with
+          | Pipeline.Sequential -> (Pipeline.Unmanaged, Interp.Unified)
+          | Pipeline.Cgcm_unoptimized -> (Pipeline.Managed, Interp.Split)
+          | Pipeline.Cgcm_optimized -> (Pipeline.Optimized, Interp.Split)
+          | Pipeline.Inspector_executor_exec ->
+            (Pipeline.Unmanaged, Interp.Inspector_executor)
+          | Pipeline.Unified_oracle l -> (l, Interp.Unified)
+        in
+        let parallel =
+          match mode with
+          | Pipeline.Sequential -> Cgcm_frontend.Doall.Off
+          | _ -> Cgcm_frontend.Doall.Auto
+        in
+        let c = Pipeline.compile ~parallel ~level src in
+        Interp.run
+          ~config:
+            { Interp.default_config with Interp.mode = imode; trace;
+              profile = true }
+          c.Pipeline.modul
+      end
+      else snd (Pipeline.run ~trace mode src)
+    in
+    print_result r ~trace;
+    if profile then begin
+      Fmt.pr "--- per-function dynamic instructions:@.";
+      List.iter
+        (fun (name, n) -> Fmt.pr "    %-30s %12d@." name n)
+        r.Interp.profile
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const f $ file_arg $ mode_arg $ trace_arg $ profile_arg)
+
+let level_conv =
+  Arg.enum
+    [
+      ("unmanaged", Pipeline.Unmanaged);
+      ("managed", Pipeline.Managed);
+      ("optimized", Pipeline.Optimized);
+    ]
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv Pipeline.Optimized
+    & info [ "level"; "l" ] ~doc:"Pipeline level: unmanaged, managed, optimized")
+
+let ir_cmd =
+  let doc = "Dump the IR after the selected pipeline level" in
+  let f file level =
+    let c = Pipeline.compile ~level (read_file file) in
+    print_string (Cgcm_ir.Printer.modul_to_string c.Pipeline.modul)
+  in
+  Cmd.v (Cmd.info "ir" ~doc) Term.(const f $ file_arg $ level_arg)
+
+let ast_cmd =
+  let doc = "Dump the AST (after DOALL outlining unless --no-doall)" in
+  let no_doall =
+    Arg.(value & flag & info [ "no-doall" ] ~doc:"Skip the DOALL outliner")
+  in
+  let f file no_doall =
+    let ast = Cgcm_frontend.Parser.parse_string (read_file file) in
+    let ast =
+      if no_doall then ast
+      else fst (Cgcm_frontend.Doall.transform ~mode:Cgcm_frontend.Doall.Auto ast)
+    in
+    print_string (Cgcm_frontend.Ast.program_to_string ast)
+  in
+  Cmd.v (Cmd.info "ast" ~doc) Term.(const f $ file_arg $ no_doall)
+
+let fmt_cmd =
+  let doc = "Pretty-print a CGC program (parse + print; output re-parses)" in
+  let f file =
+    print_string
+      (Cgcm_frontend.Ast.program_to_string
+         (Cgcm_frontend.Parser.parse_string (read_file file)))
+  in
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(const f $ file_arg)
+
+let report_cmd =
+  let doc = "Run all execution modes and report speedups over sequential" in
+  let f file =
+    let src = read_file file in
+    let _, seq = Pipeline.run Pipeline.Sequential src in
+    Fmt.pr "%-22s %14s %9s@." "mode" "wall cycles" "speedup";
+    let show name (r : Interp.result) =
+      Fmt.pr "%-22s %14.0f %8.2fx@." name r.Interp.wall
+        (seq.Interp.wall /. r.Interp.wall)
+    in
+    show "sequential" seq;
+    let mismatched = ref false in
+    List.iter
+      (fun (name, mode) ->
+        let _, r = Pipeline.run mode src in
+        if r.Interp.output <> seq.Interp.output then begin
+          mismatched := true;
+          Fmt.pr "!! %s: OUTPUT MISMATCH vs sequential@." name
+        end;
+        show name r)
+      [
+        ("inspector-executor", Pipeline.Inspector_executor_exec);
+        ("cgcm-unoptimized", Pipeline.Cgcm_unoptimized);
+        ("cgcm-optimized", Pipeline.Cgcm_optimized);
+      ];
+    if !mismatched then exit 1
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const f $ file_arg)
+
+let suite_cmd =
+  let doc = "Run the 24-program suite and print the paper's artifacts" in
+  let what_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~doc:"Run a single named program")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("source", `Source); ("ir", `Ir) ])) None
+      & info [ "dump" ] ~doc:"With --only: dump the program source or optimized IR")
+  in
+  let f only dump =
+    let module E = Cgcm_core.Experiments in
+    match only with
+    | Some name -> begin
+      match Cgcm_progs.Registry.find name with
+      | None -> Fmt.epr "unknown program %s@." name
+      | Some p when dump = Some `Source ->
+        print_string p.Cgcm_progs.Registry.source
+      | Some p when dump = Some `Ir ->
+        let c =
+          Pipeline.compile ~level:Pipeline.Optimized
+            p.Cgcm_progs.Registry.source
+        in
+        print_string (Cgcm_ir.Printer.modul_to_string c.Pipeline.modul)
+      | Some p ->
+        let r = E.run_program p in
+        Fmt.pr "%s: seq=%.0f ie=%.2fx unopt=%.2fx opt=%.2fx kernels=%d %s@."
+          name r.E.seq.Interp.wall
+          (E.speedup ~seq:r.E.seq r.E.ie)
+          (E.speedup ~seq:r.E.seq r.E.unopt)
+          (E.speedup ~seq:r.E.seq r.E.opt)
+          r.E.kernels
+          (if r.E.outputs_match then "outputs-ok" else "OUTPUT MISMATCH")
+    end
+    | None ->
+      let results =
+        E.run_suite ~progress:(fun name -> Fmt.epr "running %s...@." name) ()
+      in
+      Fmt.pr "%s@." (E.figure4 results);
+      Fmt.pr "%s@." (E.table3 results);
+      Fmt.pr "%s@." (E.applicability results);
+      List.iter
+        (fun (r : E.prog_result) ->
+          if not r.E.outputs_match then
+            Fmt.pr "!! %s: OUTPUT MISMATCH@." r.E.prog.Cgcm_progs.Registry.name)
+        results
+  in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const f $ what_arg $ dump_arg)
+
+let run_ir_cmd =
+  let doc = "Execute a textual IR module (as produced by 'cgcm ir')" in
+  let unified =
+    Arg.(value & flag & info [ "unified" ] ~doc:"Run in unified memory")
+  in
+  let f file unified trace =
+    let m = Cgcm_ir.Reader.parse_verified (read_file file) in
+    let config =
+      {
+        Interp.default_config with
+        Interp.mode = (if unified then Interp.Unified else Interp.Split);
+        trace;
+      }
+    in
+    print_result (Interp.run ~config m) ~trace
+  in
+  Cmd.v (Cmd.info "run-ir" ~doc) Term.(const f $ file_arg $ unified $ trace_arg)
+
+let figure2_cmd =
+  let doc = "Render the Figure 2 execution schedules" in
+  let f () = print_string (Cgcm_core.Experiments.figure2 ()) in
+  Cmd.v (Cmd.info "figure2" ~doc) Term.(const f $ const ())
+
+let main_cmd =
+  let doc = "CGCM: automatic CPU-GPU communication management (PLDI 2011)" in
+  Cmd.group (Cmd.info "cgcm" ~version:"0.1.0" ~doc)
+    [
+      run_cmd; run_ir_cmd; ir_cmd; ast_cmd; fmt_cmd; report_cmd; suite_cmd;
+      figure2_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/manual_vs_auto.ml: Cgcm_core Cgcm_frontend Cgcm_interp Fmt List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cgcm_core Cgcm_frontend Cgcm_gpusim Cgcm_interp Fmt List

@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Cgcm_core Cgcm_gpusim Cgcm_interp Cgcm_runtime Fmt String

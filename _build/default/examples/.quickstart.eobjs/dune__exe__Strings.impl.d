@@ -1,0 +1,1 @@
+examples/strings.ml: Cgcm_core Cgcm_frontend Cgcm_gpusim Cgcm_interp Cgcm_ir Cgcm_runtime Fmt List String

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Cgcm_ir Hashtbl List

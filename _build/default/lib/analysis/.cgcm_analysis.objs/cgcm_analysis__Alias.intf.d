@@ -1,0 +1,1 @@
+lib/analysis/alias.mli: Cgcm_ir Hashtbl

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Cgcm_ir Hashtbl List Option

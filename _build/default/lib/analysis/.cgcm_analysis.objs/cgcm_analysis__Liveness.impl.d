@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cgcm_ir Int List Set

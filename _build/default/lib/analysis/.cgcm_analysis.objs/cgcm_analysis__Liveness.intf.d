@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Cgcm_ir Set

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Cgcm_ir Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/analysis/modref.ml: Alias Cgcm_ir Hashtbl List

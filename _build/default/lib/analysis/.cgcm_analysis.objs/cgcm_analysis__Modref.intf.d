@@ -1,0 +1,1 @@
+lib/analysis/modref.mli: Alias Cgcm_ir Hashtbl

@@ -1,0 +1,1 @@
+lib/analysis/typeinfer.ml: Alias Array Cgcm_ir Fmt Hashtbl List

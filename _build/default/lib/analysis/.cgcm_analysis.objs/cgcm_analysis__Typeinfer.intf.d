@@ -1,0 +1,1 @@
+lib/analysis/typeinfer.mli: Alias Cgcm_ir

@@ -1,0 +1,48 @@
+(** Lightweight intraprocedural alias analysis based on underlying
+    objects.
+
+    CGCM deliberately avoids depending on strong alias analysis — the
+    run-time handles aliasing correctly by construction — but the
+    compiler still needs a conservative may-alias test for map promotion's
+    modOrRef check, and an escape analysis for stack slots to drive
+    declareAlloca insertion. *)
+
+(** The object an address is derived from, when derivable. *)
+type obj =
+  | Obj_alloca of int  (** register holding the alloca result *)
+  | Obj_global of string
+  | Obj_heap of int  (** register holding a malloc/calloc/realloc result *)
+  | Obj_unknown
+
+val def_map : Cgcm_ir.Ir.func -> Cgcm_ir.Ir.instr option array
+(** Defining instruction per register (registers are single-assignment). *)
+
+val unescaped_slots : Cgcm_ir.Ir.func -> (int, bool) Hashtbl.t
+(** Per alloca register: is the slot's address (and every pointer derived
+    from it by arithmetic) only ever used in the address position of
+    loads and stores? Escaping uses: stored as a value, passed to a call
+    or launch, used by a terminator. *)
+
+type t = {
+  func : Cgcm_ir.Ir.func;
+  defs : Cgcm_ir.Ir.instr option array;
+  slots : (int, bool) Hashtbl.t;
+}
+
+val analyze : Cgcm_ir.Ir.func -> t
+
+val underlying : t -> Cgcm_ir.Ir.value -> obj
+(** Trace an address back through arithmetic, casts and private-slot
+    reloads to its allocation site. *)
+
+val may_alias : obj -> obj -> bool
+(** Unknown aliases everything; distinct concrete objects never alias. *)
+
+val access_may_alias : t -> access:obj -> target:obj -> bool
+(** Refinement for modOrRef: an access to a {e non-escaping} stack slot
+    of the current function cannot alias a pointer of unknown provenance
+    (no pointer to that slot exists outside the addressing the escape
+    analysis already saw). *)
+
+val escaping_allocas : Cgcm_ir.Ir.func -> int list
+(** Alloca registers needing declareAlloca registration. *)

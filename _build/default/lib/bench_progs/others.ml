@@ -1,0 +1,150 @@
+(* The StreamIt (fm) and PARSEC (blackscholes) programs of Section 6.2. *)
+
+let subst = Template.subst
+
+(* FM radio software pipeline: small FIR / equalizer kernels plus a
+   dominant sequential demodulation loop (a phase recurrence). The DOALL
+   parallelizer finds the small kernels but the program stays CPU-bound,
+   matching the paper's ~0% GPU time for fm. *)
+let fm ?(samples = 16384) ?(taps = 8) () =
+  subst [ ("S", samples); ("T", taps) ]
+    {|// StreamIt fm
+global float input[@S];
+global float fir_out[@S];
+global float demod[@S];
+global float eq_out[@S];
+global float taps_lp[@T];
+global float taps_eq[@T];
+
+void init_taps() {
+  for (int i = 0; i < @T; i++) {
+    taps_lp[i] = 1.0 / (i + 1.0);
+    taps_eq[i] = 0.5 / (i + 2.0);
+  }
+}
+
+void init_input() {
+  for (int i = 0; i < @S; i++) {
+    input[i] = sin(i * 0.01) + 0.3 * sin(i * 0.07);
+  }
+}
+
+void fir_filter() {
+  // decimating low-pass FIR: one output per four input samples
+  for (int i = 0; i < (@S - @T) / 4; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < @T; j++) {
+      acc = acc + input[i * 4 + j] * taps_lp[j];
+    }
+    fir_out[i] = acc;
+  }
+}
+
+void equalize() {
+  for (int i = 0; i < @S / 4 - @T; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < @T; j++) {
+      acc = acc + demod[i + j] * taps_eq[j];
+    }
+    eq_out[i] = acc;
+  }
+}
+
+int main() {
+  init_taps();
+  init_input();
+  fir_filter();
+  // FM demodulation with carrier tracking: a sequential recurrence over
+  // the sample stream — the dominant (CPU-only) stage of the pipeline.
+  float phase = 0.0;
+  float carrier = 0.0;
+  float freq = 0.05;
+  for (int i = 1; i < @S / 4; i++) {
+    float d = fir_out[i] * fir_out[i - 1];
+    // phase-locked loop: track the carrier, then discriminate
+    carrier = carrier + freq + 0.002 * phase;
+    float ref = sin(carrier);
+    float err = d * ref - phase * 0.01;
+    phase = 0.9 * phase + 0.1 * err;
+    float gain = 1.0 / (1.0 + fabs(phase));
+    demod[i] = phase * 2.5 * gain + 0.05 * cos(carrier * 0.5);
+  }
+  equalize();
+  float sum = 0.0;
+  for (int i = 0; i < @S / 4 - @T; i++) {
+    sum = sum + eq_out[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Black-Scholes option pricing: a single GPU kernel over the options
+   plus sequential generation and aggregation on the CPU. *)
+let blackscholes ?(options = 3000) () =
+  subst [ ("O", options) ]
+    {|// PARSEC blackscholes
+global float sptprice[@O];
+global float strike[@O];
+global float rate[@O];
+global float volatility[@O];
+global float otime[@O];
+global float otype[@O];
+global float prices[@O];
+
+void price_options() {
+  for (int i = 0; i < @O; i++) {
+    float s = sptprice[i];
+    float k = strike[i];
+    float r = rate[i];
+    float v = volatility[i];
+    float t = otime[i];
+    float sqrt_t = sqrt(t);
+    float d1 = (log(s / k) + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+    float d2 = d1 - v * sqrt_t;
+    // cumulative normal distribution (Abramowitz-Stegun polynomial)
+    float x1 = d1;
+    if (x1 < 0.0) { x1 = -x1; }
+    float k1 = 1.0 / (1.0 + 0.2316419 * x1);
+    float w1 = 1.0 - 0.39894228 * exp(-0.5 * x1 * x1)
+      * k1 * (0.31938153 + k1 * (-0.356563782 + k1 * (1.781477937 + k1 * (-1.821255978 + k1 * 1.330274429))));
+    if (d1 < 0.0) { w1 = 1.0 - w1; }
+    float x2 = d2;
+    if (x2 < 0.0) { x2 = -x2; }
+    float k2 = 1.0 / (1.0 + 0.2316419 * x2);
+    float w2 = 1.0 - 0.39894228 * exp(-0.5 * x2 * x2)
+      * k2 * (0.31938153 + k2 * (-0.356563782 + k2 * (1.781477937 + k2 * (-1.821255978 + k2 * 1.330274429))));
+    if (d2 < 0.0) { w2 = 1.0 - w2; }
+    float call = s * w1 - k * exp(-r * t) * w2;
+    if (otype[i] > 0.5) {
+      prices[i] = call;
+    } else {
+      prices[i] = call + k * exp(-r * t) - s;  // put-call parity
+    }
+  }
+}
+
+int main() {
+  // sequential option generation with a linear congruential generator
+  int seed = 123456789;
+  for (int i = 0; i < @O; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (seed < 0) { seed = -seed; }
+    sptprice[i] = 20.0 + (seed % 1000) * 0.08;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (seed < 0) { seed = -seed; }
+    strike[i] = 20.0 + (seed % 1000) * 0.09;
+    rate[i] = 0.02 + (i % 5) * 0.002;
+    volatility[i] = 0.2 + (i % 7) * 0.01;
+    otime[i] = 0.5 + (i % 9) * 0.1;
+    otype[i] = (i % 2) * 1.0;
+  }
+  price_options();
+  float sum = 0.0;
+  for (int i = 0; i < @O; i++) {
+    sum = sum + prices[i];
+  }
+  print(sum);
+  return 0;
+}
+|}

@@ -1,0 +1,1014 @@
+(* CGC ports of the 16 PolyBench programs evaluated in the paper
+   (Section 6.2). The algorithms and loop structures follow the PolyBench
+   C sources; array sizes are scaled so that the whole suite simulates in
+   seconds. As in PolyBench, data lives in global arrays and
+   initialisation is by closed-form formulas, so runs are deterministic.
+
+   Each program ends with a sequential checksum over its outputs; the
+   differential tests compare this output across all execution modes. *)
+
+let subst = Template.subst
+
+(* C = alpha*A*B + beta*C *)
+let gemm ?(n = 56) () =
+  subst [ ("N", n) ]
+    {|// PolyBench gemm
+global float A[@N][@N];
+global float B[@N][@N];
+global float C[@N][@N];
+
+void init_a() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = (i * j % 7 + 1) * 0.125;
+    }
+  }
+}
+
+void init_b() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      B[i][j] = (i * (j + 1) % 9 + 1) * 0.0625;
+    }
+  }
+}
+
+void init_c() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      C[i][j] = (i * (j + 2) % 5 + 1) * 0.25;
+    }
+  }
+}
+
+void kernel_gemm(float alpha, float beta) {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + A[i][k] * B[k][j];
+      }
+      C[i][j] = beta * C[i][j] + alpha * acc;
+    }
+  }
+}
+
+int main() {
+  init_a();
+  init_b();
+  init_c();
+  kernel_gemm(1.5, 1.2);
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + C[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* D := A*B, E := C*D  (paper's 2mm, simplified alpha/beta) *)
+let twomm ?(n = 44) () =
+  subst [ ("N", n) ]
+    {|// PolyBench 2mm
+global float A[@N][@N];
+global float B[@N][@N];
+global float C[@N][@N];
+global float D[@N][@N];
+global float E[@N][@N];
+
+void init_a() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = (i * j % 7 + 1) * 0.125;
+    }
+  }
+}
+
+void init_b() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      B[i][j] = (i + j) % 5 * 0.0625;
+    }
+  }
+}
+
+void init_c() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      C[i][j] = ((i - j) % 3 + 3) * 0.25;
+    }
+  }
+}
+
+void init_de() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      D[i][j] = 0.0;
+      E[i][j] = 0.0;
+    }
+  }
+}
+
+void mm1(float alpha) {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + A[i][k] * B[k][j];
+      }
+      D[i][j] = alpha * acc;
+    }
+  }
+}
+
+void mm2() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + C[i][k] * D[k][j];
+      }
+      E[i][j] = acc;
+    }
+  }
+}
+
+int main() {
+  init_a();
+  init_b();
+  init_c();
+  init_de();
+  mm1(1.5);
+  mm2();
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + E[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* E := A*B, F := C*D, G := E*F *)
+let threemm ?(n = 40) () =
+  subst [ ("N", n) ]
+    {|// PolyBench 3mm
+global float A[@N][@N];
+global float B[@N][@N];
+global float C[@N][@N];
+global float D[@N][@N];
+global float E[@N][@N];
+global float F[@N][@N];
+global float G[@N][@N];
+
+void init_ab() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = (i * j % 7 + 1) * 0.125;
+      B[i][j] = (i + j) % 5 * 0.0625;
+    }
+  }
+}
+
+void init_cd() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      C[i][j] = ((i - j) % 3 + 3) * 0.25;
+      D[i][j] = (i % 4 + j % 3 + 1) * 0.1;
+    }
+  }
+}
+
+void zero_out() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      E[i][j] = 0.0;
+      F[i][j] = 0.0;
+      G[i][j] = 0.0;
+    }
+  }
+}
+
+void mm_e(float acc0) {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      float acc = acc0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + A[i][k] * B[k][j];
+      }
+      E[i][j] = acc;
+    }
+  }
+}
+
+void mm_f(float acc0) {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      float acc = acc0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + C[i][k] * D[k][j];
+      }
+      F[i][j] = acc;
+    }
+  }
+}
+
+void mm_g(float acc0) {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      float acc = acc0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + E[i][k] * F[k][j];
+      }
+      G[i][j] = acc;
+    }
+  }
+}
+
+int main() {
+  init_ab();
+  init_cd();
+  zero_out();
+  mm_e(0.0);
+  mm_f(0.0);
+  mm_g(0.0);
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + G[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* y = A^T (A x) *)
+let atax ?(n = 96) () =
+  subst [ ("N", n) ]
+    {|// PolyBench atax
+global float A[@N][@N];
+global float x[@N];
+global float y[@N];
+global float tmp[@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    x[i] = 1.0 + i * 0.003;
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = ((i + j) % 11 + 1) * 0.01;
+    }
+  }
+}
+
+void kernel_atax() {
+  for (int i = 0; i < @N; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < @N; j++) {
+      acc = acc + A[i][j] * x[j];
+    }
+    tmp[i] = acc;
+  }
+  for (int j = 0; j < @N; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < @N; i++) {
+      acc = acc + A[i][j] * tmp[i];
+    }
+    y[j] = acc;
+  }
+}
+
+int main() {
+  init();
+  kernel_atax();
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    sum = sum + y[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* s = A^T r ; q = A p *)
+let bicg ?(n = 96) () =
+  subst [ ("N", n) ]
+    {|// PolyBench bicg
+global float A[@N][@N];
+global float r[@N];
+global float s[@N];
+global float pvec[@N];
+global float q[@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    r[i] = i * 0.007;
+    pvec[i] = i * 0.0055;
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = ((i * j) % 13 + 1) * 0.004;
+    }
+  }
+}
+
+void kernel_bicg() {
+  for (int j = 0; j < @N; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < @N; i++) {
+      acc = acc + A[i][j] * r[i];
+    }
+    s[j] = acc;
+  }
+  for (int i = 0; i < @N; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < @N; j++) {
+      acc = acc + A[i][j] * pvec[j];
+    }
+    q[i] = acc;
+  }
+}
+
+int main() {
+  init();
+  kernel_bicg();
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    sum = sum + s[i] + q[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* A += u1 v1^T + u2 v2^T ; x = beta A^T y + z ; w = alpha A x *)
+let gemver ?(n = 88) () =
+  subst [ ("N", n) ]
+    {|// PolyBench gemver
+global float A[@N][@N];
+global float u1[@N];
+global float v1[@N];
+global float u2[@N];
+global float v2[@N];
+global float w[@N];
+global float x[@N];
+global float y[@N];
+global float z[@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    u1[i] = i * 0.01;
+    u2[i] = (i + 1) * 0.005;
+    v1[i] = (i + 2) * 0.004;
+    v2[i] = (i + 3) * 0.002;
+    y[i] = (i % 9) * 0.11;
+    z[i] = (i % 7) * 0.13;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = (i * j % 17 + 1) * 0.003;
+    }
+  }
+}
+
+void rank_updates() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+}
+
+void compute_x(float beta) {
+  for (int i = 0; i < @N; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < @N; j++) {
+      acc = acc + A[j][i] * y[j];
+    }
+    x[i] = beta * acc + z[i];
+  }
+}
+
+void compute_w(float alpha) {
+  for (int i = 0; i < @N; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < @N; j++) {
+      acc = acc + A[i][j] * x[j];
+    }
+    w[i] = alpha * acc;
+  }
+}
+
+int main() {
+  init();
+  rank_updates();
+  compute_x(1.2);
+  compute_w(1.5);
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    sum = sum + w[i] + x[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* y = alpha A x + beta B x *)
+let gesummv ?(n = 88) () =
+  subst [ ("N", n) ]
+    {|// PolyBench gesummv
+global float A[@N][@N];
+global float B[@N][@N];
+global float x[@N];
+global float y[@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    x[i] = (i % 31) * 0.02;
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = ((i + j) % 21 + 1) * 0.002;
+      B[i][j] = ((i * 2 + j) % 19 + 1) * 0.003;
+    }
+  }
+}
+
+void kernel_gesummv(float alpha, float beta) {
+  for (int i = 0; i < @N; i++) {
+    float a = 0.0;
+    float b = 0.0;
+    for (int j = 0; j < @N; j++) {
+      a = a + A[i][j] * x[j];
+      b = b + B[i][j] * x[j];
+    }
+    y[i] = alpha * a + beta * b;
+  }
+}
+
+int main() {
+  init();
+  kernel_gesummv(1.3, 1.1);
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    sum = sum + y[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* correlation matrix *)
+let correlation ?(n = 44) () =
+  subst [ ("N", n) ]
+    {|// PolyBench correlation
+global float data[@N][@N];
+global float mean[@N];
+global float stddev[@N];
+global float corr[@N][@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      data[i][j] = ((i * j) % 23 + i % 5 + 1) * 0.04;
+    }
+  }
+}
+
+void compute_mean() {
+  for (int j = 0; j < @N; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < @N; i++) {
+      acc = acc + data[i][j];
+    }
+    mean[j] = acc / @N.0;
+  }
+}
+
+void compute_stddev() {
+  for (int j = 0; j < @N; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < @N; i++) {
+      float d = data[i][j] - mean[j];
+      acc = acc + d * d;
+    }
+    float v = acc / @N.0;
+    float sd = sqrt(v);
+    if (sd < 0.005) { sd = 1.0; }
+    stddev[j] = sd;
+  }
+}
+
+void normalize() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      data[i][j] = (data[i][j] - mean[j]) / (sqrt(@N.0) * stddev[j]);
+    }
+  }
+}
+
+void compute_corr() {
+  parallel for (int i = 0; i < @N; i++) {
+    corr[i][i] = 1.0;
+    for (int j = i + 1; j < @N; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + data[k][i] * data[k][j];
+      }
+      corr[i][j] = acc;
+      corr[j][i] = acc;
+    }
+  }
+}
+
+int main() {
+  init();
+  compute_mean();
+  compute_stddev();
+  normalize();
+  compute_corr();
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + corr[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* covariance matrix *)
+let covariance ?(n = 44) () =
+  subst [ ("N", n) ]
+    {|// PolyBench covariance
+global float data[@N][@N];
+global float mean[@N];
+global float cov[@N][@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      data[i][j] = ((i + j * 3) % 19 + 1) * 0.05;
+    }
+  }
+}
+
+void compute_mean() {
+  for (int j = 0; j < @N; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < @N; i++) {
+      acc = acc + data[i][j];
+    }
+    mean[j] = acc / @N.0;
+  }
+}
+
+void center() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      data[i][j] = data[i][j] - mean[j];
+    }
+  }
+}
+
+void compute_cov() {
+  parallel for (int i = 0; i < @N; i++) {
+    for (int j = i; j < @N; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < @N; k++) {
+        acc = acc + data[k][i] * data[k][j];
+      }
+      acc = acc / (@N.0 - 1.0);
+      cov[i][j] = acc;
+      cov[j][i] = acc;
+    }
+  }
+}
+
+int main() {
+  init();
+  compute_mean();
+  center();
+  compute_cov();
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + cov[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* 3D tensor contraction: sum[r][q][p] = sum_s A[r][q][s] * C4[s][p] *)
+let doitgen ?(n = 20) () =
+  subst [ ("N", n) ]
+    {|// PolyBench doitgen
+global float A[@N][@N][@N];
+global float C4[@N][@N];
+global float S[@N][@N][@N];
+
+void init() {
+  for (int r = 0; r < @N; r++) {
+    for (int q = 0; q < @N; q++) {
+      for (int s = 0; s < @N; s++) {
+        A[r][q][s] = ((r * q + s) % 11 + 1) * 0.03;
+      }
+    }
+  }
+  for (int s = 0; s < @N; s++) {
+    for (int pp = 0; pp < @N; pp++) {
+      C4[s][pp] = ((s * pp) % 7 + 1) * 0.02;
+    }
+  }
+}
+
+void kernel_doitgen() {
+  for (int r = 0; r < @N; r++) {
+    for (int q = 0; q < @N; q++) {
+      for (int pp = 0; pp < @N; pp++) {
+        float acc = 0.0;
+        for (int s = 0; s < @N; s++) {
+          acc = acc + A[r][q][s] * C4[s][pp];
+        }
+        S[r][q][pp] = acc;
+      }
+    }
+  }
+  for (int r = 0; r < @N; r++) {
+    for (int q = 0; q < @N; q++) {
+      for (int pp = 0; pp < @N; pp++) {
+        A[r][q][pp] = S[r][q][pp];
+      }
+    }
+  }
+}
+
+int main() {
+  init();
+  kernel_doitgen();
+  float sum = 0.0;
+  for (int r = 0; r < @N; r++) {
+    for (int q = 0; q < @N; q++) {
+      for (int pp = 0; pp < @N; pp++) {
+        sum = sum + A[r][q][pp];
+      }
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Gram-Schmidt orthogonalisation. The per-column norm is a sequential
+   CPU reduction between kernels: this is the program where cyclic
+   communication is unavoidable for CGCM and the idealized inspector-
+   executor wins (Section 6.3). *)
+let gramschmidt ?(n = 36) () =
+  subst [ ("N", n) ]
+    {|// PolyBench gramschmidt
+global float A[@N][@N];
+global float R[@N][@N];
+global float Q[@N][@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = ((i * j) % 13 + 2) * 0.06;
+      Q[i][j] = 0.0;
+      R[i][j] = 0.0;
+    }
+  }
+}
+
+void normalize_col(int k, float nrm) {
+  parallel for (int i = 0; i < @N; i++) {
+    Q[i][k] = A[i][k] / nrm;
+  }
+}
+
+void update_cols(int k) {
+  parallel for (int j = k + 1; j < @N; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < @N; i++) {
+      acc = acc + Q[i][k] * A[i][j];
+    }
+    R[k][j] = acc;
+    for (int i = 0; i < @N; i++) {
+      A[i][j] = A[i][j] - Q[i][k] * acc;
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int k = 0; k < @N; k++) {
+    float nrm = 0.0;
+    for (int i = 0; i < @N; i++) {
+      nrm = nrm + A[i][k] * A[i][k];
+    }
+    R[k][k] = sqrt(nrm);
+    normalize_col(k, R[k][k]);
+    update_cols(k);
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + Q[i][j] + R[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* 2D Jacobi stencil with a time loop *)
+let jacobi_2d ?(n = 56) ?(steps = 20) () =
+  subst [ ("N", n); ("STEPS", steps) ]
+    {|// PolyBench jacobi-2d-imper
+global float A[@N][@N];
+global float B[@N][@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = (i * (j + 2) % 17 + 2) * 0.03;
+      B[i][j] = 0.0;
+    }
+  }
+}
+
+void step_ab() {
+  for (int i = 1; i < @N - 1; i++) {
+    for (int j = 1; j < @N - 1; j++) {
+      B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+    }
+  }
+}
+
+void step_ba() {
+  for (int i = 1; i < @N - 1; i++) {
+    for (int j = 1; j < @N - 1; j++) {
+      A[i][j] = B[i][j];
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < @STEPS; t++) {
+    step_ab();
+    step_ba();
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + A[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Gauss-Seidel: both sweep directions carry dependences, so only the
+   initialisation parallelizes (the paper reports a single kernel). *)
+let seidel ?(n = 56) ?(steps = 10) () =
+  subst [ ("N", n); ("STEPS", steps) ]
+    {|// PolyBench seidel
+global float A[@N][@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = ((i + j) % 15 + 2) * 0.04;
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < @STEPS; t++) {
+    for (int i = 1; i < @N - 1; i++) {
+      for (int j = 1; j < @N - 1; j++) {
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                   + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                   + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+      }
+    }
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + A[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* LU decomposition (no pivoting). The update loops are DOALL over rows /
+   columns below the pivot, but the footprints interleave, which defeats
+   the simple dependence test — the paper's parallelizer handles these, so
+   we annotate them (manual parallelization + automatic communication). *)
+let lu ?(n = 44) () =
+  subst [ ("N", n) ]
+    {|// PolyBench lu
+global float A[@N][@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = ((i * j) % 9 + 2) * 0.08;
+      if (i == j) { A[i][j] = A[i][j] + @N.0; }
+    }
+  }
+}
+
+void scale_col(int k) {
+  parallel for (int i = k + 1; i < @N; i++) {
+    A[i][k] = A[i][k] / A[k][k];
+  }
+}
+
+void update_block(int k) {
+  parallel for (int i = k + 1; i < @N; i++) {
+    parallel for (int j = k + 1; j < @N; j++) {
+      A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int k = 0; k < @N - 1; k++) {
+    scale_col(k);
+    update_block(k);
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + A[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* LU decomposition + forward/backward substitution *)
+let ludcmp ?(n = 44) () =
+  subst [ ("N", n) ]
+    {|// PolyBench ludcmp
+global float A[@N][@N];
+global float bvec[@N];
+global float yvec[@N];
+global float xvec[@N];
+
+void init_vectors() {
+  for (int i = 0; i < @N; i++) {
+    bvec[i] = (i % 13 + 1) * 0.3;
+    yvec[i] = 0.0;
+    xvec[i] = 0.0;
+  }
+}
+
+void init_matrix() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      A[i][j] = ((i + j * 2) % 11 + 2) * 0.07;
+      if (i == j) { A[i][j] = A[i][j] + @N.0; }
+    }
+  }
+}
+
+void scale_col(int k) {
+  parallel for (int i = k + 1; i < @N; i++) {
+    A[i][k] = A[i][k] / A[k][k];
+  }
+}
+
+void update_block(int k) {
+  parallel for (int i = k + 1; i < @N; i++) {
+    parallel for (int j = k + 1; j < @N; j++) {
+      A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    }
+  }
+}
+
+int main() {
+  init_vectors();
+  init_matrix();
+  for (int k = 0; k < @N - 1; k++) {
+    scale_col(k);
+    update_block(k);
+  }
+  // forward substitution (sequential recurrence, stays on the CPU)
+  for (int i = 0; i < @N; i++) {
+    float acc = bvec[i];
+    for (int j = 0; j < i; j++) {
+      acc = acc - A[i][j] * yvec[j];
+    }
+    yvec[i] = acc;
+  }
+  // backward substitution
+  for (int i = @N - 1; i >= 0; i--) {
+    float acc = yvec[i];
+    for (int j = i + 1; j < @N; j++) {
+      acc = acc - A[i][j] * xvec[j];
+    }
+    xvec[i] = acc / A[i][i];
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    sum = sum + xvec[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Alternating-direction implicit: row sweeps are auto-DOALL (recurrences
+   stay within a row), column sweeps interleave and need annotations. *)
+let adi ?(n = 40) ?(steps = 10) () =
+  subst [ ("N", n); ("STEPS", steps) ]
+    {|// PolyBench adi
+global float X[@N][@N];
+global float A[@N][@N];
+global float B[@N][@N];
+
+void init() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      X[i][j] = ((i + j % 5) % 9 + 1) * 0.07;
+      A[i][j] = ((i * 2 + j) % 7 + 2) * 0.03;
+      B[i][j] = 1.0 + ((i + j) % 3) * 0.05;
+    }
+  }
+}
+
+void row_forward() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 1; j < @N; j++) {
+      X[i][j] = X[i][j] - X[i][j - 1] * A[i][j] / B[i][j - 1];
+      B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j - 1];
+    }
+  }
+}
+
+void row_backward() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N - 2; j++) {
+      int jj = @N - 2 - j;
+      X[i][jj] = (X[i][jj] - X[i][jj - 1] * A[i][jj - 1]) / B[i][jj - 1];
+    }
+  }
+}
+
+void col_forward() {
+  parallel for (int j = 0; j < @N; j++) {
+    for (int i = 1; i < @N; i++) {
+      X[i][j] = X[i][j] - X[i - 1][j] * A[i][j] / B[i - 1][j];
+      B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i - 1][j];
+    }
+  }
+}
+
+void col_backward() {
+  parallel for (int j = 0; j < @N; j++) {
+    for (int i = 0; i < @N - 2; i++) {
+      int ii = @N - 2 - i;
+      X[ii][j] = (X[ii][j] - X[ii - 1][j] * A[ii - 1][j]) / B[ii - 1][j];
+    }
+  }
+}
+
+void scale_last() {
+  for (int i = 0; i < @N; i++) {
+    X[i][@N - 1] = X[i][@N - 1] / B[i][@N - 1];
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < @STEPS; t++) {
+    row_forward();
+    scale_last();
+    row_backward();
+    col_forward();
+    col_backward();
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + X[i][j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}

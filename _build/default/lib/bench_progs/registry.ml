@@ -1,0 +1,54 @@
+(* The 24-program suite of Section 6, with the paper's per-program
+   metadata (suite, Table 3 limiting factor) for the report generators. *)
+
+type limiting = Gpu | Comm | Other
+
+type program = {
+  name : string;
+  suite : string;
+  source : string;
+  (* Table 3 values from the paper, for side-by-side reporting *)
+  paper_limiting : limiting;
+  paper_kernels : int;
+}
+
+let limiting_to_string = function
+  | Gpu -> "GPU"
+  | Comm -> "Comm."
+  | Other -> "Other"
+
+let mk name suite source paper_limiting paper_kernels =
+  { name; suite; source; paper_limiting; paper_kernels }
+
+let all : program list =
+  [
+    (* PolyBench *)
+    mk "adi" "PolyBench" (Polybench.adi ~n:48 ~steps:40 ()) Gpu 7;
+    mk "atax" "PolyBench" (Polybench.atax ~n:128 ()) Comm 3;
+    mk "bicg" "PolyBench" (Polybench.bicg ~n:128 ()) Comm 2;
+    mk "correlation" "PolyBench" (Polybench.correlation ~n:72 ()) Gpu 5;
+    mk "covariance" "PolyBench" (Polybench.covariance ~n:72 ()) Gpu 4;
+    mk "doitgen" "PolyBench" (Polybench.doitgen ~n:24 ()) Gpu 3;
+    mk "gemm" "PolyBench" (Polybench.gemm ~n:112 ()) Gpu 4;
+    mk "gemver" "PolyBench" (Polybench.gemver ~n:128 ()) Comm 5;
+    mk "gesummv" "PolyBench" (Polybench.gesummv ~n:128 ()) Comm 2;
+    mk "gramschmidt" "PolyBench" (Polybench.gramschmidt ~n:48 ()) Comm 3;
+    mk "jacobi-2d-imper" "PolyBench" (Polybench.jacobi_2d ~n:72 ~steps:48 ()) Gpu 3;
+    mk "seidel" "PolyBench" (Polybench.seidel ~n:64 ~steps:10 ()) Other 1;
+    mk "lu" "PolyBench" (Polybench.lu ~n:64 ()) Gpu 3;
+    mk "ludcmp" "PolyBench" (Polybench.ludcmp ~n:64 ()) Gpu 5;
+    mk "2mm" "PolyBench" (Polybench.twomm ~n:96 ()) Gpu 7;
+    mk "3mm" "PolyBench" (Polybench.threemm ~n:80 ()) Gpu 10;
+    (* Rodinia *)
+    mk "cfd" "Rodinia" (Rodinia.cfd ~cells:2400 ~steps:28 ()) Gpu 9;
+    mk "hotspot" "Rodinia" (Rodinia.hotspot ~n:64 ~steps:60 ()) Gpu 2;
+    mk "kmeans" "Rodinia" (Rodinia.kmeans ()) Other 2;
+    mk "lud" "Rodinia" (Rodinia.lud ~n:64 ()) Gpu 6;
+    mk "nw" "Rodinia" (Rodinia.nw ~n:128 ()) Other 4;
+    mk "srad" "Rodinia" (Rodinia.srad ~n:48 ~steps:64 ()) Other 6;
+    (* StreamIt / PARSEC *)
+    mk "fm" "StreamIt" (Others.fm ()) Other 4;
+    mk "blackscholes" "PARSEC" (Others.blackscholes ~options:30000 ()) Other 1;
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) all

@@ -1,0 +1,19 @@
+(** The 24-program suite of Section 6, with the paper's per-program
+    metadata for side-by-side reporting. *)
+
+type limiting = Gpu | Comm | Other
+
+type program = {
+  name : string;
+  suite : string;  (** PolyBench | Rodinia | StreamIt | PARSEC *)
+  source : string;  (** CGC source text at the default (scaled) size *)
+  paper_limiting : limiting;  (** Table 3's limiting factor *)
+  paper_kernels : int;  (** Table 3's kernel count *)
+}
+
+val limiting_to_string : limiting -> string
+
+val all : program list
+(** All 24 programs, in the paper's Table 3 order. *)
+
+val find : string -> program option

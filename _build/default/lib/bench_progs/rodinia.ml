@@ -1,0 +1,485 @@
+(* CGC ports of the six Rodinia programs the paper's DOALL parallelizer
+   handles (Section 6.2). Unlike the PolyBench ports these use heap
+   arrays reached through global pointers — kernels then see *double*
+   pointers, exercising the run-time's mapArray/unmapArray path — and
+   several loops carry 'parallel' annotations where the simple dependence
+   test is defeated by pointer aliasing (the paper's manual-
+   parallelization-plus-automatic-communication scenario). The named-
+   regions and inspector-executor baselines are inapplicable to most of
+   these kernels, as in Table 3. *)
+
+let subst = Template.subst
+
+(* 2D transient thermal simulation (hotspot). Two kernels in a time
+   loop; dramatic slowdown without map promotion. *)
+let hotspot ?(n = 48) ?(steps = 20) () =
+  subst [ ("N", n); ("STEPS", steps) ]
+    {|// Rodinia hotspot
+global float* temp;
+global float* power;
+global float* temp_out;
+
+void init() {
+  parallel for (int i = 0; i < @N * @N; i++) {
+    temp[i] = 324.0 + (i % 17) * 0.25;
+    power[i] = 0.001 + (i % 13) * 0.0005;
+    temp_out[i] = 0.0;
+  }
+}
+
+void step() {
+  parallel for (int i = 1; i < @N - 1; i++) {
+    parallel for (int j = 1; j < @N - 1; j++) {
+      int c = i * @N + j;
+      float tc = temp[c];
+      float tn = temp[c - @N];
+      float ts = temp[c + @N];
+      float tw = temp[c - 1];
+      float te = temp[c + 1];
+      float delta = 0.15 * (power[c] + 0.1 * (tn + ts - 2.0 * tc)
+                    + 0.1 * (te + tw - 2.0 * tc) + 0.05 * (80.0 - tc));
+      temp_out[c] = tc + delta;
+    }
+  }
+}
+
+void commit() {
+  parallel for (int i = 1; i < @N - 1; i++) {
+    parallel for (int j = 1; j < @N - 1; j++) {
+      int c = i * @N + j;
+      temp[c] = temp_out[c];
+    }
+  }
+}
+
+int main() {
+  temp = (float*) malloc(@N * @N * sizeof(float));
+  power = (float*) malloc(@N * @N * sizeof(float));
+  temp_out = (float*) malloc(@N * @N * sizeof(float));
+  init();
+  for (int t = 0; t < @STEPS; t++) {
+    step();
+    commit();
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N * @N; i++) {
+    sum = sum + temp[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Speckle-reducing anisotropic diffusion (srad). The per-iteration
+   q0sqr update is a tiny straight-line CPU region between launches — the
+   glue-kernel optimization lowers it to the GPU so map promotion can
+   hoist everything out of the time loop. Without optimization this is
+   one of the paper's worst slowdowns (4,437x). *)
+let srad ?(n = 40) ?(steps = 24) () =
+  subst [ ("N", n); ("STEPS", steps) ]
+    {|// Rodinia srad
+global float* img;
+global float* dN;
+global float* dS;
+global float* dW;
+global float* dE;
+global float* cc;
+global float q0sqr[1];
+
+void extract_img() {
+  parallel for (int i = 0; i < @N * @N; i++) {
+    float v = (i % 29 + 1) * 0.11;
+    img[i] = exp(v * 0.05);
+  }
+}
+
+void reduce_directions() {
+  parallel for (int i = 0; i < @N * @N; i++) {
+    dN[i] = 0.0;
+    dS[i] = 0.0;
+    dW[i] = 0.0;
+    dE[i] = 0.0;
+    cc[i] = 0.0;
+  }
+}
+
+void compress_img() {
+  parallel for (int i = 0; i < @N * @N; i++) {
+    img[i] = log(img[i]) * 20.0;
+  }
+}
+
+int main() {
+  img = (float*) malloc(@N * @N * sizeof(float));
+  dN = (float*) malloc(@N * @N * sizeof(float));
+  dS = (float*) malloc(@N * @N * sizeof(float));
+  dW = (float*) malloc(@N * @N * sizeof(float));
+  dE = (float*) malloc(@N * @N * sizeof(float));
+  cc = (float*) malloc(@N * @N * sizeof(float));
+  extract_img();
+  reduce_directions();
+  q0sqr[0] = 0.05;
+  float lambda = 0.5;
+  for (int t = 0; t < @STEPS; t++) {
+    // diffusion coefficients
+    parallel for (int i = 1; i < @N - 1; i++) {
+      parallel for (int j = 1; j < @N - 1; j++) {
+        int k = i * @N + j;
+        float jc = img[k];
+        dN[k] = img[k - @N] - jc;
+        dS[k] = img[k + @N] - jc;
+        dW[k] = img[k - 1] - jc;
+        dE[k] = img[k + 1] - jc;
+        float g2 = (dN[k] * dN[k] + dS[k] * dS[k] + dW[k] * dW[k] + dE[k] * dE[k]) / (jc * jc);
+        float l = (dN[k] + dS[k] + dW[k] + dE[k]) / jc;
+        float num = 0.5 * g2 - 0.0625 * l * l;
+        float den = 1.0 + 0.25 * l;
+        float qsqr = num / (den * den);
+        den = (qsqr - q0sqr[0]) / (q0sqr[0] * (1.0 + q0sqr[0]));
+        float c = 1.0 / (1.0 + den);
+        if (c < 0.0) { c = 0.0; }
+        if (c > 1.0) { c = 1.0; }
+        cc[k] = c;
+      }
+    }
+    // tiny straight-line CPU update between the two launches: the glue
+    // kernel optimization lowers it onto the GPU
+    q0sqr[0] = q0sqr[0] * 0.96;
+    // image update
+    parallel for (int i = 1; i < @N - 1; i++) {
+      parallel for (int j = 1; j < @N - 1; j++) {
+        int k = i * @N + j;
+        float cN = cc[k];
+        float cS = cc[k + @N];
+        float cW = cc[k];
+        float cE = cc[k + 1];
+        float d = cN * dN[k] + cS * dS[k] + cW * dW[k] + cE * dE[k];
+        img[k] = img[k] + 0.25 * lambda * d;
+      }
+    }
+  }
+  compress_img();
+  float sum = 0.0;
+  for (int i = 0; i < @N * @N; i++) {
+    sum = sum + img[i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Needleman-Wunsch sequence alignment: anti-diagonal wavefronts, one
+   small launch per diagonal — over a thousand launches, which is why the
+   unoptimized slowdown is so large (1,126x in the paper). *)
+let nw ?(n = 64) () =
+  subst [ ("N", n) ]
+    {|// Rodinia nw
+global int F[@N][@N];
+global int ref[@N][@N];
+
+void init_ref() {
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      ref[i][j] = (i * 7 + j * 3) % 10 - 4;
+    }
+  }
+}
+
+void init_left_border() {
+  for (int i = 0; i < @N; i++) {
+    F[i][0] = -i;
+  }
+}
+
+void init_top_border() {
+  parallel for (int i = 0; i < @N; i++) {
+    F[0][i] = -i;
+  }
+}
+
+void diag_pass(int d) {
+  parallel for (int i = 1; i < @N; i++) {
+    int j = d - i;
+    if (j >= 1 && j < @N) {
+      int up = F[i - 1][j] - 1;
+      int left = F[i][j - 1] - 1;
+      int diag = F[i - 1][j - 1] + ref[i][j];
+      int best = diag;
+      if (up > best) { best = up; }
+      if (left > best) { best = left; }
+      F[i][j] = best;
+    }
+  }
+}
+
+int main() {
+  init_ref();
+  init_left_border();
+  init_top_border();
+  for (int d = 2; d < 2 * @N - 1; d++) {
+    diag_pass(d);
+  }
+  int sum = 0;
+  for (int i = 0; i < @N; i++) {
+    sum = sum + F[i][@N - 1] + F[@N - 1][i];
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* k-means clustering: the assignment step runs on the GPU, the centroid
+   recomputation is a sequential CPU reduction that reads the features
+   back every iteration — Amdahl's law caps the speedup ("Other"). *)
+let kmeans ?(points = 512) ?(dims = 8) ?(clusters = 8) ?(iters = 8) () =
+  subst [ ("P", points); ("D", dims); ("K", clusters); ("ITERS", iters) ]
+    {|// Rodinia kmeans
+global float features[@P][@D];
+global float centroids[@K][@D];
+global int membership[@P];
+
+void init_features() {
+  for (int i = 0; i < @P; i++) {
+    for (int d = 0; d < @D; d++) {
+      features[i][d] = ((i * 13 + d * 7) % 97) * 0.07;
+    }
+  }
+}
+
+void assign_points() {
+  for (int i = 0; i < @P; i++) {
+    float best = 1000000.0;
+    int bestk = 0;
+    for (int k = 0; k < @K; k++) {
+      float dist = 0.0;
+      for (int d = 0; d < @D; d++) {
+        float diff = features[i][d] - centroids[k][d];
+        dist = dist + diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        bestk = k;
+      }
+    }
+    membership[i] = bestk;
+  }
+}
+
+int main() {
+  init_features();
+  for (int k = 0; k < @K; k++) {
+    for (int d = 0; d < @D; d++) {
+      centroids[k][d] = features[k * (@P / @K)][d];
+    }
+  }
+  float total_shift = 0.0;
+  for (int it = 0; it < @ITERS; it++) {
+    assign_points();
+    // sequential centroid update on the CPU; the convergence measure is a
+    // loop-carried reduction, so none of this parallelizes
+    for (int k = 0; k < @K; k++) {
+      for (int d = 0; d < @D; d++) {
+        float acc = 0.0;
+        int count = 0;
+        for (int i = 0; i < @P; i++) {
+          if (membership[i] == k) {
+            acc = acc + features[i][d];
+            count = count + 1;
+          }
+        }
+        if (count > 0) {
+          float next = acc / count;
+          float shift = next - centroids[k][d];
+          total_shift = total_shift + shift * shift;
+          centroids[k][d] = next;
+        }
+      }
+    }
+  }
+  print(total_shift);
+  float sum = 0.0;
+  for (int k = 0; k < @K; k++) {
+    for (int d = 0; d < @D; d++) {
+      sum = sum + centroids[k][d];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Rodinia lud: dense LU with annotated pivot-column / trailing-block
+   kernels over a heap matrix. *)
+let lud ?(n = 44) () =
+  subst [ ("N", n) ]
+    {|// Rodinia lud
+global float* M;
+
+void init_matrix() {
+  parallel for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      float v = ((i * j) % 23 + 2) * 0.04;
+      if (i == j) { v = v + @N.0; }
+      M[i * @N + j] = v;
+    }
+  }
+}
+
+void perimeter_row(int k) {
+  parallel for (int j = k + 1; j < @N; j++) {
+    M[k * @N + j] = M[k * @N + j] * 1.0;
+  }
+}
+
+void scale_col(int k) {
+  parallel for (int i = k + 1; i < @N; i++) {
+    M[i * @N + k] = M[i * @N + k] / M[k * @N + k];
+  }
+}
+
+void internal_block(int k) {
+  parallel for (int i = k + 1; i < @N; i++) {
+    parallel for (int j = k + 1; j < @N; j++) {
+      M[i * @N + j] = M[i * @N + j] - M[i * @N + k] * M[k * @N + j];
+    }
+  }
+}
+
+int main() {
+  M = (float*) malloc(@N * @N * sizeof(float));
+  init_matrix();
+  for (int k = 0; k < @N - 1; k++) {
+    perimeter_row(k);
+    scale_col(k);
+    internal_block(k);
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N; i++) {
+    for (int j = 0; j < @N; j++) {
+      sum = sum + M[i * @N + j];
+    }
+  }
+  print(sum);
+  return 0;
+}
+|}
+
+(* Simplified structured-grid Euler solver (cfd): several kernels per
+   time step over heap state arrays, Runge-Kutta staging as in Rodinia's
+   euler3d. *)
+let cfd ?(cells = 400) ?(steps = 12) () =
+  subst [ ("C", cells); ("STEPS", steps) ]
+    {|// Rodinia cfd
+global float* density;
+global float* momx;
+global float* momy;
+global float* energy;
+global float* step_factor;
+global float* flux_d;
+global float* flux_mx;
+global float* flux_my;
+global float* flux_e;
+global float* old_d;
+global float* old_mx;
+global float* old_my;
+global float* old_e;
+
+void init_density() {
+  parallel for (int i = 0; i < @C; i++) {
+    density[i] = 1.0 + (i % 11) * 0.01;
+  }
+}
+
+void init_momentum() {
+  parallel for (int i = 0; i < @C; i++) {
+    momx[i] = 0.1 + (i % 7) * 0.005;
+    momy[i] = 0.05 + (i % 5) * 0.004;
+  }
+}
+
+void init_energy() {
+  parallel for (int i = 0; i < @C; i++) {
+    energy[i] = 2.0 + (i % 13) * 0.01;
+  }
+}
+
+void save_state() {
+  parallel for (int i = 0; i < @C; i++) {
+    old_d[i] = density[i];
+    old_mx[i] = momx[i];
+    old_my[i] = momy[i];
+    old_e[i] = energy[i];
+  }
+}
+
+void compute_step_factor() {
+  parallel for (int i = 0; i < @C; i++) {
+    float sp = sqrt(momx[i] * momx[i] + momy[i] * momy[i]) / density[i];
+    step_factor[i] = 0.4 / (sp + sqrt(1.4 * 0.4 * (energy[i] / density[i] - 0.5 * sp * sp)) + 0.01);
+  }
+}
+
+void compute_flux_d() {
+  parallel for (int i = 1; i < @C - 1; i++) {
+    flux_d[i] = 0.5 * (density[i + 1] - 2.0 * density[i] + density[i - 1]);
+  }
+}
+
+void compute_flux_mom() {
+  parallel for (int i = 1; i < @C - 1; i++) {
+    flux_mx[i] = 0.5 * (momx[i + 1] - 2.0 * momx[i] + momx[i - 1]);
+    flux_my[i] = 0.5 * (momy[i + 1] - 2.0 * momy[i] + momy[i - 1]);
+  }
+}
+
+void compute_flux_e() {
+  parallel for (int i = 1; i < @C - 1; i++) {
+    flux_e[i] = 0.5 * (energy[i + 1] - 2.0 * energy[i] + energy[i - 1]);
+  }
+}
+
+void time_step(int rk) {
+  parallel for (int i = 1; i < @C - 1; i++) {
+    float f = step_factor[i] / rk;
+    density[i] = old_d[i] + f * flux_d[i];
+    momx[i] = old_mx[i] + f * flux_mx[i];
+    momy[i] = old_my[i] + f * flux_my[i];
+    energy[i] = old_e[i] + f * flux_e[i];
+  }
+}
+
+int main() {
+  density = (float*) malloc(@C * sizeof(float));
+  momx = (float*) malloc(@C * sizeof(float));
+  momy = (float*) malloc(@C * sizeof(float));
+  energy = (float*) malloc(@C * sizeof(float));
+  step_factor = (float*) malloc(@C * sizeof(float));
+  flux_d = (float*) malloc(@C * sizeof(float));
+  flux_mx = (float*) malloc(@C * sizeof(float));
+  flux_my = (float*) malloc(@C * sizeof(float));
+  flux_e = (float*) malloc(@C * sizeof(float));
+  old_d = (float*) malloc(@C * sizeof(float));
+  old_mx = (float*) malloc(@C * sizeof(float));
+  old_my = (float*) malloc(@C * sizeof(float));
+  old_e = (float*) malloc(@C * sizeof(float));
+  init_density();
+  init_momentum();
+  init_energy();
+  for (int t = 0; t < @STEPS; t++) {
+    save_state();
+    compute_step_factor();
+    for (int rk = 1; rk <= 3; rk++) {
+      compute_flux_d();
+      compute_flux_mom();
+      compute_flux_e();
+      time_step(rk);
+    }
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @C; i++) {
+    sum = sum + density[i] + energy[i];
+  }
+  print(sum);
+  return 0;
+}
+|}

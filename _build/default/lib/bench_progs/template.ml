@@ -1,0 +1,37 @@
+(* Tiny template engine for the benchmark sources: replaces "@NAME"
+   placeholders with integer values. Longest names are substituted first
+   so "@NSTEPS" is never corrupted by "@N". *)
+
+let subst (pairs : (string * int) list) (template : string) : string =
+  let pairs =
+    List.sort
+      (fun (a, _) (b, _) -> compare (String.length b) (String.length a))
+      pairs
+  in
+  let replace_all ~key ~value s =
+    let klen = String.length key in
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i < n do
+      if
+        !i + klen <= n
+        && String.sub s !i klen = key
+        && ((not (!i + klen < n))
+           ||
+           let c = s.[!i + klen] in
+           not ((c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')))
+      then begin
+        Buffer.add_string buf (string_of_int value);
+        i := !i + klen
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  List.fold_left
+    (fun acc (key, value) -> replace_all ~key:("@" ^ key) ~value acc)
+    template pairs

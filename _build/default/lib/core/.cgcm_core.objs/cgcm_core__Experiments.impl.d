@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Buffer Cgcm_frontend Cgcm_gpusim Cgcm_interp Cgcm_progs Cgcm_report Cgcm_support Cgcm_transform List Option Pipeline Printf String

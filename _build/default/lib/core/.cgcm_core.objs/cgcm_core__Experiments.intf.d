@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Cgcm_gpusim Cgcm_interp Cgcm_progs

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Cgcm_frontend Cgcm_gpusim Cgcm_interp Cgcm_ir Cgcm_transform

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cgcm_frontend Cgcm_gpusim Cgcm_interp Cgcm_ir

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Buffer Cgcm_interp Experiments List Printf String

@@ -1,0 +1,84 @@
+(* The end-to-end CGCM pipeline: CGC source -> AST -> DOALL outlining ->
+   IR -> communication management -> communication optimization.
+
+   This is the facade most users (CLI, examples, benchmarks, tests) go
+   through. *)
+
+module Ast = Cgcm_frontend.Ast
+module Parser = Cgcm_frontend.Parser
+module Doall = Cgcm_frontend.Doall
+module Lower = Cgcm_frontend.Lower
+module Ir = Cgcm_ir.Ir
+module Interp = Cgcm_interp.Interp
+
+(* How much of CGCM runs after parallelization. *)
+type level =
+  | Unmanaged  (* DOALL only: launches carry raw CPU pointers *)
+  | Managed  (* + communication management (unoptimized CGCM) *)
+  | Optimized  (* + glue kernels, alloca promotion, map promotion *)
+
+type compiled = {
+  modul : Ir.modul;
+  doall : Doall.report;
+  level : level;
+  parallel : Doall.mode;
+}
+
+let compile ?(parallel = Doall.Auto) ?(level = Optimized) (source : string) :
+    compiled =
+  let ast = Parser.parse_string source in
+  let ast, doall = Doall.transform ~mode:parallel ast in
+  let modul = Lower.lower_program ast in
+  (* The pass manager runs the §5.3 schedule; simplification runs in every
+     configuration (including the sequential baseline) so cost comparisons
+     stay fair. *)
+  let pipeline =
+    match level with
+    | Unmanaged -> [ Cgcm_transform.Pass.simplify ]
+    | Managed -> Cgcm_transform.Pass.managed_pipeline
+    | Optimized -> Cgcm_transform.Pass.optimized_pipeline
+  in
+  Cgcm_transform.Pass.run_pipeline pipeline modul;
+  { modul; doall; level; parallel }
+
+(* The paper's execution configurations. *)
+type execution =
+  | Sequential  (* best sequential CPU-only run: the baseline *)
+  | Cgcm_unoptimized
+  | Cgcm_optimized
+  | Inspector_executor_exec
+  | Unified_oracle of level  (* functional oracle for differential tests *)
+
+let execution_to_string = function
+  | Sequential -> "sequential"
+  | Cgcm_unoptimized -> "cgcm-unopt"
+  | Cgcm_optimized -> "cgcm-opt"
+  | Inspector_executor_exec -> "inspector-executor"
+  | Unified_oracle _ -> "unified-oracle"
+
+let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
+    ?(trace = false) (execution : execution) (source : string) :
+    compiled * Interp.result =
+  let config mode =
+    { Interp.default_config with mode; cost; trace }
+  in
+  match execution with
+  | Sequential ->
+    (* No DOALL, no management. Explicitly-written kernels (the manual-
+       parallelization path) still carry launch statements, so the
+       baseline executes in unified memory: kernels run as ordinary host
+       loops and their instructions are charged as CPU time. *)
+    let c = compile ~parallel:Doall.Off ~level:Unmanaged source in
+    (c, Interp.run ~config:(config Interp.Unified) c.modul)
+  | Cgcm_unoptimized ->
+    let c = compile ~parallel ~level:Managed source in
+    (c, Interp.run ~config:(config Interp.Split) c.modul)
+  | Cgcm_optimized ->
+    let c = compile ~parallel ~level:Optimized source in
+    (c, Interp.run ~config:(config Interp.Split) c.modul)
+  | Inspector_executor_exec ->
+    let c = compile ~parallel ~level:Unmanaged source in
+    (c, Interp.run ~config:(config Interp.Inspector_executor) c.modul)
+  | Unified_oracle level ->
+    let c = compile ~parallel ~level source in
+    (c, Interp.run ~config:(config Interp.Unified) c.modul)

@@ -1,0 +1,50 @@
+(** The end-to-end CGCM pipeline: CGC source -> AST -> DOALL outlining ->
+    IR -> communication management -> communication optimization -> the
+    simulated split-memory machine. This is the facade the CLI, examples,
+    benchmarks and tests go through. *)
+
+module Doall = Cgcm_frontend.Doall
+module Ir = Cgcm_ir.Ir
+module Interp = Cgcm_interp.Interp
+
+(** How much of CGCM runs after parallelization. *)
+type level =
+  | Unmanaged  (** DOALL only: launches carry raw CPU pointers *)
+  | Managed  (** + communication management (unoptimized CGCM) *)
+  | Optimized  (** + glue kernels, alloca promotion, map promotion *)
+
+type compiled = {
+  modul : Ir.modul;
+  doall : Doall.report;  (** kernels created, loops rejected, and why *)
+  level : level;
+  parallel : Doall.mode;
+}
+
+val compile : ?parallel:Doall.mode -> ?level:level -> string -> compiled
+(** Compile CGC source text. The module is verified after lowering and
+    after every transformation. Raises the frontend/transform exceptions
+    ([Parse_error], [Sema_error], [Doall_error], [Ill_formed]) on bad
+    input or (for the latter) a compiler bug. *)
+
+(** The paper's execution configurations. *)
+type execution =
+  | Sequential
+      (** best sequential CPU-only run — the baseline. Parallelization is
+          off; explicitly written kernels execute in unified memory with
+          their work charged as CPU time. *)
+  | Cgcm_unoptimized  (** management only: cyclic communication *)
+  | Cgcm_optimized  (** full CGCM: acyclic communication *)
+  | Inspector_executor_exec  (** the idealized baseline of Section 6.3 *)
+  | Unified_oracle of level
+      (** flat-memory functional oracle for differential tests *)
+
+val execution_to_string : execution -> string
+
+val run :
+  ?parallel:Doall.mode ->
+  ?cost:Cgcm_gpusim.Cost_model.t ->
+  ?trace:bool ->
+  execution ->
+  string ->
+  compiled * Interp.result
+(** Compile and execute CGC source under the given configuration. *)

@@ -1,0 +1,1 @@
+lib/frontend/affine.ml: Ast Int64 List Option

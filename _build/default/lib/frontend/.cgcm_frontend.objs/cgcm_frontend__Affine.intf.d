@@ -1,0 +1,1 @@
+lib/frontend/affine.mli: Ast

@@ -1,0 +1,1 @@
+lib/frontend/doall.ml: Affine Ast Cgcm_ir Fmt Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/frontend/doall.mli: Ast

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Array Buffer Fmt Int64 List String Token

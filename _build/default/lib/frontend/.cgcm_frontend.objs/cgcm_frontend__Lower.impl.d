@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Cgcm_ir Fmt Hashtbl Int64 List Option String

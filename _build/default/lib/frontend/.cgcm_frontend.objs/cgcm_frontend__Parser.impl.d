@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Fmt Hashtbl Int64 Lexer List Token

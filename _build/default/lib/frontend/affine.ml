@@ -1,0 +1,193 @@
+(* Affine analysis of index expressions relative to a candidate parallel
+   loop variable. Used by the DOALL dependence test.
+
+   A flat (element-granularity) index expression is decomposed as
+
+       a * i  +  h(inner loop variables)  +  inv
+
+   where [i] is the parallel induction variable, [h] ranges over inner
+   sequential loop variables with known constant bounds (its numeric range
+   is tracked as an interval), and [inv] is a multiset of syntactic atoms
+   that are invariant across iterations of [i]. Two footprints with the
+   same [inv] part differ only by their [a*i + h] components, which is
+   what the disjointness test reasons about. *)
+
+open Ast
+
+type atom = int * expr  (* coefficient * invariant expression *)
+
+type form = {
+  icoeff : int;  (* coefficient of the parallel variable *)
+  lo : int;  (* numeric lower bound of the varying-constant part *)
+  hi : int;  (* numeric upper bound (inclusive) *)
+  inv : atom list;  (* sorted invariant atoms *)
+}
+
+type env = {
+  parallel_var : string;
+  (* inner sequential loop variables with inclusive constant ranges *)
+  inner : (string * (int * int)) list;
+  (* variables modified somewhere in the loop body (not invariant) *)
+  modified : string list;
+}
+
+let const c = { icoeff = 0; lo = c; hi = c; inv = [] }
+
+(* Constant folding over integer expressions. *)
+let rec const_eval (e : expr) : int option =
+  match e with
+  | Int_lit c -> Some (Int64.to_int c)
+  | Sizeof t -> Some (sizeof t)
+  | Unary (Uneg, a) -> Option.map (fun x -> -x) (const_eval a)
+  | Binary (op, a, b) -> (
+    match (const_eval a, const_eval b) with
+    | Some x, Some y -> (
+      match op with
+      | Badd -> Some (x + y)
+      | Bsub -> Some (x - y)
+      | Bmul -> Some (x * y)
+      | Bdiv -> if y = 0 then None else Some (x / y)
+      | Brem -> if y = 0 then None else Some (x mod y)
+      | _ -> None)
+    | _ -> None)
+  | Cast ((Int | Char), a) -> const_eval a
+  | _ -> None
+
+let rec expr_equal a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> x = y
+  | Float_lit x, Float_lit y -> x = y
+  | Ident x, Ident y -> x = y
+  | Binary (o1, a1, b1), Binary (o2, a2, b2) ->
+    o1 = o2 && expr_equal a1 a2 && expr_equal b1 b2
+  | Unary (o1, a1), Unary (o2, a2) -> o1 = o2 && expr_equal a1 a2
+  | Index (a1, i1), Index (a2, i2) -> expr_equal a1 a2 && expr_equal i1 i2
+  | Field (a1, f1), Field (a2, f2) -> f1 = f2 && expr_equal a1 a2
+  | Arrow (a1, f1), Arrow (a2, f2) -> f1 = f2 && expr_equal a1 a2
+  | Deref a1, Deref a2 -> expr_equal a1 a2
+  | Addr_of a1, Addr_of a2 -> expr_equal a1 a2
+  | Cast (t1, a1), Cast (t2, a2) -> t1 = t2 && expr_equal a1 a2
+  | Sizeof t1, Sizeof t2 -> t1 = t2
+  | Cond (c1, a1, b1), Cond (c2, a2, b2) ->
+    expr_equal c1 c2 && expr_equal a1 a2 && expr_equal b1 b2
+  | Call _, Call _ -> false  (* calls are never invariant atoms *)
+  | _ -> false
+
+let atom_compare (c1, e1) (c2, e2) =
+  let s = compare c1 c2 in
+  if s <> 0 then s else compare e1 e2
+
+(* Merge two sorted atom lists, summing coefficients of equal atoms. *)
+let merge_atoms a b =
+  let all = a @ b in
+  let rec insert (c, e) = function
+    | [] -> [ (c, e) ]
+    | (c', e') :: rest when expr_equal e e' ->
+      let s = c + c' in
+      if s = 0 then rest else (s, e') :: rest
+    | x :: rest -> x :: insert (c, e) rest
+  in
+  List.fold_left (fun acc atom -> insert atom acc) [] all
+  |> List.sort atom_compare
+
+let add f1 f2 =
+  {
+    icoeff = f1.icoeff + f2.icoeff;
+    lo = f1.lo + f2.lo;
+    hi = f1.hi + f2.hi;
+    inv = merge_atoms f1.inv f2.inv;
+  }
+
+let neg f =
+  {
+    icoeff = -f.icoeff;
+    lo = -f.hi;
+    hi = -f.lo;
+    inv = List.map (fun (c, e) -> (-c, e)) f.inv;
+  }
+
+let rec scale k f =
+  if k >= 0 then
+    {
+      icoeff = k * f.icoeff;
+      lo = k * f.lo;
+      hi = k * f.hi;
+      inv = List.map (fun (c, e) -> (k * c, e)) f.inv;
+    }
+  else neg (scale (-k) f)
+
+let is_const f = f.icoeff = 0 && f.lo = f.hi && f.inv = []
+
+let is_invariant_only f = f.icoeff = 0 && f.lo = 0 && f.hi = 0
+
+(* Does [e] mention any variable from [names]? *)
+let rec mentions names e =
+  match e with
+  | Ident x -> List.mem x names
+  | Int_lit _ | Float_lit _ | Sizeof _ -> false
+  | Binary (_, a, b) -> mentions names a || mentions names b
+  | Unary (_, a) | Deref a | Addr_of a | Cast (_, a)
+  | Field (a, _) | Arrow (a, _) ->
+    mentions names a
+  | Cond (c, a, b) -> mentions names c || mentions names a || mentions names b
+  | Index (a, i) -> mentions names a || mentions names i
+  | Call (_, args) -> List.exists (mentions names) args
+
+(* Decompose [e]; None = not affine in the required sense. *)
+let rec of_expr (env : env) (e : expr) : form option =
+  match e with
+  | Int_lit c -> Some (const (Int64.to_int c))
+  | Ident x when x = env.parallel_var ->
+    Some { icoeff = 1; lo = 0; hi = 0; inv = [] }
+  | Ident x -> (
+    match List.assoc_opt x env.inner with
+    | Some (lo, hi) -> Some { icoeff = 0; lo; hi; inv = [] }
+    | None ->
+      if List.mem x env.modified then None
+      else Some { icoeff = 0; lo = 0; hi = 0; inv = [ (1, e) ] })
+  | Binary (Badd, a, b) -> (
+    match (of_expr env a, of_expr env b) with
+    | Some fa, Some fb -> Some (add fa fb)
+    | _ -> None)
+  | Binary (Bsub, a, b) -> (
+    match (of_expr env a, of_expr env b) with
+    | Some fa, Some fb -> Some (add fa (neg fb))
+    | _ -> None)
+  | Binary (Bmul, a, b) -> (
+    match (of_expr env a, of_expr env b) with
+    | Some fa, Some fb when is_const fa -> Some (scale fa.lo fb)
+    | Some fa, Some fb when is_const fb -> Some (scale fb.lo fa)
+    | Some fa, Some fb when is_invariant_only fa && is_invariant_only fb ->
+      (* product of two invariants is itself a single invariant atom *)
+      Some { icoeff = 0; lo = 0; hi = 0; inv = [ (1, e) ] }
+    | _ -> None)
+  | Unary (Uneg, a) -> Option.map neg (of_expr env a)
+  | Cast ((Int | Char), a) -> of_expr env a
+  | _ ->
+    (* Anything else is affine only if invariant. *)
+    let varying = env.parallel_var :: List.map fst env.inner @ env.modified in
+    if mentions varying e then None
+    else if (match e with Call _ -> true | _ -> false) then None
+    else Some { icoeff = 0; lo = 0; hi = 0; inv = [ (1, e) ] }
+
+let same_inv f1 f2 =
+  List.length f1.inv = List.length f2.inv
+  && List.for_all2
+       (fun (c1, e1) (c2, e2) -> c1 = c2 && expr_equal e1 e2)
+       f1.inv f2.inv
+
+(* Write/write disjointness across iterations: with footprints
+   a*i + [lo1,hi1] and a*i' + [lo2,hi2] (same a, same inv), distinct
+   iterations are disjoint iff no nonzero multiple of a lies in
+   [lo2 - hi1, hi2 - lo1]. *)
+let cross_iteration_overlap ~a ~w:(lo1, hi1) ~r:(lo2, hi2) =
+  if a = 0 then true
+  else begin
+    let d_lo = lo2 - hi1 and d_hi = hi2 - lo1 in
+    (* is there k <> 0 with a*k in [d_lo, d_hi]? *)
+    let a = abs a in
+    let k_lo = int_of_float (ceil (float_of_int d_lo /. float_of_int a)) in
+    let k_hi = int_of_float (floor (float_of_int d_hi /. float_of_int a)) in
+    let exists_nonzero = k_lo <= k_hi && not (k_lo = 0 && k_hi = 0) in
+    exists_nonzero
+  end

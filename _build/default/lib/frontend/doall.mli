@@ -1,0 +1,52 @@
+(** The "simple automatic DOALL parallelizer" of Section 6.
+
+    Finds loops whose iterations are independent, outlines each body into
+    a GPU kernel, and replaces the loop with a launch. CGCM itself is
+    downstream of this pass and works identically for manual
+    ('parallel'-annotated) and automatic parallelizations, as the paper
+    stresses.
+
+    The dependence test is deliberately simple: a loop parallelizes when
+    its memory writes are affine in the induction variable with
+    per-iteration-disjoint footprints, its scalar writes are all to
+    iteration-private variables, and reads of written objects cannot
+    conflict across iterations. Unlike CGCM proper it needs static alias
+    information: distinct declared arrays never alias; accesses through
+    pointer variables may alias anything (annotate those loops).
+
+    Perfect two-deep nests whose inner loop is also independent (proved
+    or annotated) are flattened into a 2-D grid of trip_i * trip_j
+    threads — the <<<blocks, threads>>> grids of real CUDA mappings. *)
+
+exception Doall_error of string
+(** Raised when a 'parallel'-annotated loop cannot be outlined (it must
+    still have canonical induction structure). *)
+
+type mode =
+  | Auto  (** test every loop; honour annotations where the test fails *)
+  | Manual_only  (** only annotated loops *)
+  | Off  (** strip annotations; the sequential baseline *)
+
+type kernel_info = {
+  k_name : string;
+  k_func : string;  (** enclosing CPU function *)
+  k_manual : bool;  (** annotation-driven rather than proved *)
+  k_named_applicable : bool;
+      (** are all pointer live-ins distinct named allocation units with
+          affine indexing? The applicability condition shared by the
+          named-regions and inspector-executor baselines (Table 3). *)
+}
+
+type loop_note = {
+  l_func : string;
+  l_outcome : [ `Parallelized of string | `Rejected of string ];
+}
+
+type report = {
+  mutable kernels : kernel_info list;
+  mutable notes : loop_note list;
+}
+
+val transform : mode:mode -> Ast.program -> Ast.program * report
+(** Outline parallelizable loops; synthesised kernels are appended to the
+    returned program. *)

@@ -1,0 +1,160 @@
+(* Hand-written lexer for CGC. Produces a token array with positions so the
+   recursive-descent parser can backtrack cheaply. *)
+
+type pos = { line : int; col : int }
+
+exception Lex_error of string * pos
+
+type lexed = { tok : Token.t; pos : pos }
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Lex_error (s, pos))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : lexed array =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { line = !line; col = i - !bol + 1 } in
+  let emit p t = toks := { tok = t; pos = p } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos !i in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while not !closed do
+        if !i + 1 >= n then error p "unterminated comment";
+        if src.[!i] = '\n' then begin
+          incr line;
+          bol := !i + 1
+        end;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      let text = String.sub src start (!i - start) in
+      if !is_float then emit p (FLOAT_LIT (float_of_string text))
+      else begin
+        match Int64.of_string_opt text with
+        | Some v -> emit p (INT_LIT v)
+        | None -> error p "bad integer literal %s" text
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let text = String.sub src start (!i - start) in
+      match Token.keyword_of_string text with
+      | Some kw -> emit p kw
+      | None -> emit p (IDENT text)
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then error p "unterminated string literal";
+        match src.[!i] with
+        | '"' ->
+          closed := true;
+          incr i
+        | '\\' ->
+          if !i + 1 >= n then error p "unterminated escape";
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '0' -> Buffer.add_char buf '\000'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | e -> error p "unknown escape \\%c" e);
+          i := !i + 2
+        | '\n' -> error p "newline in string literal"
+        | ch ->
+          Buffer.add_char buf ch;
+          incr i
+      done;
+      emit p (STRING_LIT (Buffer.contents buf))
+    end
+    else begin
+      let two t =
+        emit p t;
+        i := !i + 2
+      in
+      let one t =
+        emit p t;
+        incr i
+      in
+      let nxt = if !i + 1 < n then Some src.[!i + 1] else None in
+      match (c, nxt) with
+      | '-', Some '>' -> two ARROW
+      | '&', Some '&' -> two AMPAMP
+      | '|', Some '|' -> two BARBAR
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NE
+      | '+', Some '=' -> two PLUSEQ
+      | '-', Some '=' -> two MINUSEQ
+      | '*', Some '=' -> two STAREQ
+      | '/', Some '=' -> two SLASHEQ
+      | '+', Some '+' -> two PLUSPLUS
+      | '-', Some '-' -> two MINUSMINUS
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '?', _ -> one QUESTION
+      | '.', _ -> one DOT
+      | ':', _ -> one COLON
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '&', _ -> one AMP
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '=', _ -> one ASSIGN
+      | '!', _ -> one BANG
+      | _ -> error p "unexpected character %C" c
+    end
+  done;
+  emit (pos !i) EOF;
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,12 @@
+(** Hand-written lexer for CGC, producing a token array with positions so
+    the recursive-descent parser can look ahead cheaply. *)
+
+type pos = { line : int; col : int }
+
+exception Lex_error of string * pos
+
+type lexed = { tok : Token.t; pos : pos }
+
+val tokenize : string -> lexed array
+(** The array always ends with {!Token.EOF}. Comments ([//] and
+    [/* */]) and whitespace are skipped. *)

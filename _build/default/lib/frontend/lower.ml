@@ -1,0 +1,846 @@
+(* Lowering from the CGC AST to the word-typed IR.
+
+   All source-level typing is resolved here and then erased: the IR that
+   CGCM's passes see has no pointer types, exactly like the LLVM IR the
+   paper works on after C's type system has been deemed unreliable.
+
+   Every local variable gets a stack slot ([Alloca] hoisted into the entry
+   block); reads and writes go through loads and stores. Virtual registers
+   are single-assignment. *)
+
+open Ast
+module Ir = Cgcm_ir.Ir
+module Builder = Cgcm_ir.Builder
+module Verifier = Cgcm_ir.Verifier
+
+exception Sema_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Sema_error s)) fmt
+
+let width_of = function
+  | Char -> Ir.I8
+  | Float -> Ir.F64
+  | Int | Ptr _ | Arr _ | Struct _ -> Ir.I64
+
+(* Arrays decay to a flat pointer to their element type. *)
+let decay_ty = function Arr (t, _) -> Ptr t | t -> t
+
+let is_float_ty t = decay_ty t = Float
+
+let is_int_like t = match decay_ty t with Int | Char -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Contexts                                                            *)
+
+type fsig = { sig_ret : cty option; sig_params : cty list; sig_kernel : bool }
+
+type ctx = { m : Ir.modul; fsigs : (string, fsig) Hashtbl.t }
+
+type var = {
+  v_ty : cty;
+  v_addr : Ir.value;  (* address of the slot, or base address for arrays *)
+  (* Array-typed parameters (created by the DOALL outliner) receive the
+     base pointer by value: [v_addr] is then the spill slot holding it,
+     and reads must load it rather than take the slot's address. *)
+  v_arr_param : bool;
+}
+
+type fctx = {
+  b : Builder.t;
+  ctx : ctx;
+  mutable scopes : (string, var) Hashtbl.t list;
+  mutable entry_allocas : Ir.instr list;  (* reversed *)
+  ret_ty : cty option;
+  in_kernel : bool;
+  mutable break_targets : int list;
+}
+
+let push_scope fc = fc.scopes <- Hashtbl.create 8 :: fc.scopes
+
+let pop_scope fc =
+  match fc.scopes with
+  | _ :: rest -> fc.scopes <- rest
+  | [] -> assert false
+
+let lookup_var fc name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some v -> Some v
+      | None -> go rest)
+  in
+  go fc.scopes
+
+let declare_var fc name v =
+  match fc.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then
+      error "redeclaration of '%s' in the same scope" name;
+    Hashtbl.replace scope name v
+  | [] -> assert false
+
+(* A fresh stack slot of [size] bytes, hoisted to the entry block. *)
+let fresh_slot fc ~name size =
+  let d = Builder.fresh fc.b in
+  fc.entry_allocas <-
+    Ir.Alloca (d, Ir.imm size, { aname = name; aregistered = false })
+    :: fc.entry_allocas;
+  Ir.Reg d
+
+(* ------------------------------------------------------------------ *)
+(* Builtin (intrinsic) signatures                                      *)
+
+let builtin_sig name : fsig option =
+  let f = Float and i = Int in
+  let math1 = Some { sig_ret = Some f; sig_params = [ f ]; sig_kernel = false } in
+  match name with
+  | "malloc" | "calloc" ->
+    Some { sig_ret = Some (Ptr Char); sig_params = [ i ]; sig_kernel = false }
+  | "realloc" ->
+    Some
+      { sig_ret = Some (Ptr Char); sig_params = [ Ptr Char; i ];
+        sig_kernel = false }
+  | "free" ->
+    Some { sig_ret = None; sig_params = [ Ptr Char ]; sig_kernel = false }
+  | "strlen" ->
+    Some { sig_ret = Some i; sig_params = [ Ptr Char ]; sig_kernel = false }
+  | "sqrt" | "exp" | "log" | "fabs" | "floor" | "ceil" | "sin" | "cos" | "tan" ->
+    math1
+  | "pow" ->
+    Some { sig_ret = Some f; sig_params = [ f; f ]; sig_kernel = false }
+  | "prints" ->
+    Some { sig_ret = None; sig_params = [ Ptr Char ]; sig_kernel = false }
+  (* Explicit driver API, for manual (Listing 1 style) communication
+     management. The returned device pointers are opaque ints on the CPU. *)
+  | "gpu_malloc" ->
+    Some { sig_ret = Some (Ptr Char); sig_params = [ i ]; sig_kernel = false }
+  | "gpu_free" ->
+    Some { sig_ret = None; sig_params = [ Ptr Char ]; sig_kernel = false }
+  | "gpu_memcpy_h2d" | "gpu_memcpy_d2h" ->
+    Some
+      { sig_ret = None; sig_params = [ Ptr Char; Ptr Char; i ];
+        sig_kernel = false }
+  | _ -> None
+
+let find_sig fc name =
+  match Hashtbl.find_opt fc.ctx.fsigs name with
+  | Some s -> Some s
+  | None -> builtin_sig name
+
+(* ------------------------------------------------------------------ *)
+(* Pure type computation (no code generation). Needed where the common
+   type of two subexpressions must be known before lowering them, e.g.
+   the branches of '?:' or print dispatch.                              *)
+
+let rec type_of fc e : cty =
+  match e with
+  | Int_lit _ -> Int
+  | Float_lit _ -> Float
+  | Sizeof _ -> Int
+  | Ident x -> (
+    match lookup_var fc x with
+    | Some v -> v.v_ty
+    | None -> error "unknown variable '%s'" x)
+  | Binary ((Band | Bor | Blt | Ble | Bgt | Bge | Beq | Bne), _, _) -> Int
+  | Binary ((Badd | Bsub), a, b) -> (
+    let ta = decay_ty (type_of fc a) and tb = decay_ty (type_of fc b) in
+    match (ta, tb) with
+    | Ptr t, _ -> Ptr t
+    | _, Ptr t -> Ptr t
+    | _ -> if is_float_ty ta || is_float_ty tb then Float else Int)
+  | Binary ((Bmul | Bdiv | Brem), a, b) ->
+    let ta = type_of fc a and tb = type_of fc b in
+    if is_float_ty ta || is_float_ty tb then Float else Int
+  | Unary (Uneg, a) -> decay_ty (type_of fc a)
+  | Unary (Unot, _) -> Int
+  | Cond (_, a, b) ->
+    let ta = decay_ty (type_of fc a) and tb = decay_ty (type_of fc b) in
+    if is_float_ty ta || is_float_ty tb then Float else ta
+  | Index (a, _) -> (
+    match type_of fc a with
+    | Ptr t -> t
+    | Arr (t, _ :: []) -> t
+    | Arr (t, _ :: rest) -> Arr (t, rest)
+    | t -> error "cannot index a value of type %a" pp_cty t)
+  | Deref a -> (
+    match decay_ty (type_of fc a) with
+    | Ptr t -> t
+    | t -> error "cannot dereference a value of type %a" pp_cty t)
+  | Field (a, f) -> (
+    match type_of fc a with
+    | Struct s -> (
+      match List.assoc_opt f s.s_fields with
+      | Some (_, t) -> t
+      | None -> error "struct %s has no field '%s'" s.s_name f)
+    | t -> error "'.%s' applied to a value of type %a" f pp_cty t)
+  | Arrow (a, f) -> (
+    match decay_ty (type_of fc a) with
+    | Ptr (Struct s) -> (
+      match List.assoc_opt f s.s_fields with
+      | Some (_, t) -> t
+      | None -> error "struct %s has no field '%s'" s.s_name f)
+    | t -> error "'->%s' applied to a value of type %a" f pp_cty t)
+  | Addr_of a -> Ptr (type_of fc a)
+  | Cast (t, _) -> t
+  | Call (name, _) -> (
+    match find_sig fc name with
+    | Some { sig_ret = Some t; _ } -> t
+    | Some { sig_ret = None; _ } ->
+      error "void function '%s' used in an expression" name
+    | None -> error "call to unknown function '%s'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering                                                 *)
+
+(* Convert a lowered value to the target class (int-like <-> float). *)
+let convert fc v ~from_ ~to_ =
+  match (is_float_ty from_, is_float_ty to_) with
+  | true, true | false, false -> v
+  | false, true -> Builder.unop fc.b Ir.Int_to_float v
+  | true, false -> Builder.unop fc.b Ir.Float_to_int v
+
+let rec lower_expr fc e : Ir.value * cty =
+  match e with
+  | Int_lit i -> (Ir.Imm_int i, Int)
+  | Float_lit f -> (Ir.Imm_float f, Float)
+  | Sizeof t -> (Ir.imm (sizeof t), Int)
+  | Ident x -> (
+    match lookup_var fc x with
+    | Some { v_ty = Arr (t, dims); v_addr; v_arr_param } ->
+      (* arrays evaluate to their base address; array parameters hold the
+         base pointer in their spill slot *)
+      if v_arr_param then (Builder.load fc.b Ir.I64 v_addr, Arr (t, dims))
+      else (v_addr, Arr (t, dims))
+    | Some { v_ty = Struct _ as t; v_addr; _ } ->
+      (v_addr, t)  (* structs evaluate to their address too *)
+    | Some { v_ty; v_addr; v_arr_param = _ } ->
+      (Builder.load fc.b (width_of v_ty) v_addr, v_ty)
+    | None -> error "unknown variable '%s'" x)
+  | Binary (Band, a, b) -> lower_short_circuit fc ~is_and:true a b
+  | Binary (Bor, a, b) -> lower_short_circuit fc ~is_and:false a b
+  | Binary (op, a, b) -> lower_binary fc op a b
+  | Unary (Uneg, a) ->
+    let v, t = lower_rvalue fc a in
+    if is_float_ty t then (Builder.unop fc.b Ir.Fneg v, Float)
+    else (Builder.unop fc.b Ir.Neg v, Int)
+  | Unary (Unot, a) ->
+    let v, t = lower_rvalue fc a in
+    if is_float_ty t then
+      (Builder.binop fc.b Ir.Feq v (Ir.Imm_float 0.0), Int)
+    else (Builder.binop fc.b Ir.Eq v (Ir.imm 0), Int)
+  | Cond (c, a, b) ->
+    let ta = decay_ty (type_of fc a) and tb = decay_ty (type_of fc b) in
+    let common = if is_float_ty ta || is_float_ty tb then Float else ta in
+    let slot = fresh_slot fc ~name:"cond.tmp" 8 in
+    let cv, _ = lower_rvalue fc c in
+    let then_b = Builder.new_block fc.b in
+    let else_b = Builder.new_block fc.b in
+    let join_b = Builder.new_block fc.b in
+    Builder.cbr fc.b cv then_b else_b;
+    Builder.position_at fc.b then_b;
+    let va, ta' = lower_rvalue fc a in
+    Builder.store fc.b (width_of common) slot (convert fc va ~from_:ta' ~to_:common);
+    Builder.br fc.b join_b;
+    Builder.position_at fc.b else_b;
+    let vb, tb' = lower_rvalue fc b in
+    Builder.store fc.b (width_of common) slot (convert fc vb ~from_:tb' ~to_:common);
+    Builder.br fc.b join_b;
+    Builder.position_at fc.b join_b;
+    (Builder.load fc.b (width_of common) slot, common)
+  | Index _ | Deref _ | Field _ | Arrow _ ->
+    let addr, t = lower_lvalue fc e in
+    (match t with
+    | Arr _ | Struct _ ->
+      (addr, t)  (* aggregates evaluate to their address *)
+    | _ -> (Builder.load fc.b (width_of t) addr, t))
+  | Addr_of a ->
+    let addr, t = lower_lvalue fc a in
+    (addr, Ptr t)
+  | Cast (t, a) ->
+    let v, from_ = lower_rvalue fc a in
+    let v =
+      match (decay_ty from_, t) with
+      | Float, (Int | Char | Ptr _) -> Builder.unop fc.b Ir.Float_to_int v
+      | (Int | Char | Ptr _), Float -> Builder.unop fc.b Ir.Int_to_float v
+      | _ -> v
+    in
+    (v, t)
+  | Call (name, args) -> lower_call fc name args
+
+(* Rvalue: like lower_expr but arrays decay to pointers. *)
+and lower_rvalue fc e =
+  let v, t = lower_expr fc e in
+  (v, decay_ty t)
+
+and lower_short_circuit fc ~is_and a b =
+  let slot = fresh_slot fc ~name:"bool.tmp" 8 in
+  let va, ta = lower_rvalue fc a in
+  let va =
+    if is_float_ty ta then Builder.binop fc.b Ir.Fne va (Ir.Imm_float 0.0)
+    else Builder.binop fc.b Ir.Ne va (Ir.imm 0)
+  in
+  Builder.store fc.b Ir.I64 slot va;
+  let more_b = Builder.new_block fc.b in
+  let join_b = Builder.new_block fc.b in
+  if is_and then Builder.cbr fc.b va more_b join_b
+  else Builder.cbr fc.b va join_b more_b;
+  Builder.position_at fc.b more_b;
+  let vb, tb = lower_rvalue fc b in
+  let vb =
+    if is_float_ty tb then Builder.binop fc.b Ir.Fne vb (Ir.Imm_float 0.0)
+    else Builder.binop fc.b Ir.Ne vb (Ir.imm 0)
+  in
+  Builder.store fc.b Ir.I64 slot vb;
+  Builder.br fc.b join_b;
+  Builder.position_at fc.b join_b;
+  (Builder.load fc.b Ir.I64 slot, Int)
+
+and lower_binary fc op a b =
+  let va, ta = lower_rvalue fc a in
+  let vb, tb = lower_rvalue fc b in
+  let open Ir in
+  match (op, ta, tb) with
+  (* pointer arithmetic: scale by element size *)
+  | Badd, Ptr t, _ when is_int_like tb ->
+    let scaled = Builder.binop fc.b Mul vb (imm (sizeof t)) in
+    (Builder.binop fc.b Add va scaled, Ptr t)
+  | Badd, _, Ptr t when is_int_like ta ->
+    let scaled = Builder.binop fc.b Mul va (imm (sizeof t)) in
+    (Builder.binop fc.b Add vb scaled, Ptr t)
+  | Bsub, Ptr t, _ when is_int_like tb ->
+    let scaled = Builder.binop fc.b Mul vb (imm (sizeof t)) in
+    (Builder.binop fc.b Sub va scaled, Ptr t)
+  | Bsub, Ptr _, Ptr _ -> error "pointer difference is not supported in CGC"
+  | (Badd | Bsub | Bmul | Bdiv | Brem), _, _
+    when is_float_ty ta || is_float_ty tb ->
+    let va = convert fc va ~from_:ta ~to_:Float in
+    let vb = convert fc vb ~from_:tb ~to_:Float in
+    let fop =
+      match op with
+      | Badd -> Fadd
+      | Bsub -> Fsub
+      | Bmul -> Fmul
+      | Bdiv -> Fdiv
+      | Brem -> error "'%%' is not defined on floats"
+      | _ -> assert false
+    in
+    (Builder.binop fc.b fop va vb, Float)
+  | (Badd | Bsub | Bmul | Bdiv | Brem), _, _ ->
+    let iop =
+      match op with
+      | Badd -> Add
+      | Bsub -> Sub
+      | Bmul -> Mul
+      | Bdiv -> Div
+      | Brem -> Rem
+      | _ -> assert false
+    in
+    (Builder.binop fc.b iop va vb, Int)
+  | (Blt | Ble | Bgt | Bge | Beq | Bne), _, _ ->
+    if is_float_ty ta || is_float_ty tb then begin
+      let va = convert fc va ~from_:ta ~to_:Float in
+      let vb = convert fc vb ~from_:tb ~to_:Float in
+      let fop =
+        match op with
+        | Blt -> Flt | Ble -> Fle | Bgt -> Fgt | Bge -> Fge
+        | Beq -> Feq | Bne -> Fne
+        | _ -> assert false
+      in
+      (Builder.binop fc.b fop va vb, Int)
+    end
+    else begin
+      let iop =
+        match op with
+        | Blt -> Lt | Ble -> Le | Bgt -> Gt | Bge -> Ge | Beq -> Eq | Bne -> Ne
+        | _ -> assert false
+      in
+      (Builder.binop fc.b iop va vb, Int)
+    end
+  | (Band | Bor), _, _ -> assert false  (* handled by lower_short_circuit *)
+
+(* Lvalues: return (address, pointee type). *)
+and lower_lvalue fc e : Ir.value * cty =
+  match e with
+  | Ident x -> (
+    match lookup_var fc x with
+    | Some { v_ty = Arr _ as t; _ } ->
+      error "array '%s' of type %a is not assignable" x pp_cty t
+    | Some { v_ty = Struct _ as t; v_addr; _ } ->
+      (* addressable; whole-struct assignment is rejected by
+         check_assignable *)
+      (v_addr, t)
+    | Some { v_ty; v_addr; v_arr_param = _ } -> (v_addr, v_ty)
+    | None -> error "unknown variable '%s'" x)
+  | Deref a -> (
+    let v, t = lower_rvalue fc a in
+    match t with
+    | Ptr t -> (v, t)
+    | _ -> error "cannot dereference a value of type %a" pp_cty t)
+  | Index (a, i) -> (
+    let base, t = lower_expr fc a in
+    let iv, it = lower_rvalue fc i in
+    if not (is_int_like it) then error "array index must be an integer";
+    match t with
+    | Ptr elem ->
+      let off = Builder.binop fc.b Ir.Mul iv (Ir.imm (sizeof elem)) in
+      (Builder.binop fc.b Ir.Add base off, elem)
+    | Arr (elem, [ _ ]) ->
+      let off = Builder.binop fc.b Ir.Mul iv (Ir.imm (sizeof elem)) in
+      (Builder.binop fc.b Ir.Add base off, elem)
+    | Arr (elem, _ :: rest) ->
+      let stride = sizeof (Arr (elem, rest)) in
+      let off = Builder.binop fc.b Ir.Mul iv (Ir.imm stride) in
+      (Builder.binop fc.b Ir.Add base off, Arr (elem, rest))
+    | _ -> error "cannot index a value of type %a" pp_cty t)
+  | Field (a, f) -> (
+    (* the base must be an addressable struct: a variable, an element of
+       an array of structs, or a nested field *)
+    let addr, t = lower_lvalue_or_aggregate fc a in
+    match t with
+    | Struct s -> (
+      match List.assoc_opt f s.s_fields with
+      | Some (off, fty) -> (Builder.binop fc.b Ir.Add addr (Ir.imm off), fty)
+      | None -> error "struct %s has no field '%s'" s.s_name f)
+    | t -> error "'.%s' applied to a value of type %a" f pp_cty t)
+  | Arrow (a, f) -> (
+    let v, t = lower_rvalue fc a in
+    match t with
+    | Ptr (Struct s) -> (
+      match List.assoc_opt f s.s_fields with
+      | Some (off, fty) -> (Builder.binop fc.b Ir.Add v (Ir.imm off), fty)
+      | None -> error "struct %s has no field '%s'" s.s_name f)
+    | t -> error "'->%s' applied to a value of type %a" f pp_cty t)
+  | _ -> error "expression is not an lvalue"
+
+(* Address of an aggregate-valued expression: struct variables evaluate to
+   their slot address, array elements of struct type to the element
+   address. *)
+and lower_lvalue_or_aggregate fc e : Ir.value * cty =
+  match e with
+  | Ident x -> (
+    match lookup_var fc x with
+    | Some { v_ty = Struct _ as t; v_addr; _ } -> (v_addr, t)
+    | _ -> lower_lvalue fc e)
+  | _ -> lower_lvalue fc e
+
+and lower_call fc name args : Ir.value * cty =
+  (* print is polymorphic: dispatch on argument type *)
+  if name = "print" then begin
+    match args with
+    | [ a ] ->
+      let v, t = lower_rvalue fc a in
+      let intr = if is_float_ty t then "print_f64" else "print_i64" in
+      Builder.call_void fc.b intr [ v ];
+      (Ir.imm 0, Int)
+    | _ -> error "print takes exactly one argument"
+  end
+  else begin
+    match find_sig fc name with
+    | None -> error "call to unknown function '%s'" name
+    | Some s ->
+      if s.sig_kernel then
+        error "kernel '%s' must be invoked with 'launch', not called" name;
+      if List.length args <> List.length s.sig_params then
+        error "'%s' expects %d arguments, got %d" name
+          (List.length s.sig_params) (List.length args);
+      if fc.in_kernel && not (Ir.Intrinsic.is_pure_math name) then
+        error "kernel code may only call math intrinsics, not '%s'" name;
+      let lowered =
+        List.map2
+          (fun param_ty arg ->
+            let v, t = lower_rvalue fc arg in
+            match (param_ty, t) with
+            | p, a when is_float_ty p <> is_float_ty a ->
+              convert fc v ~from_:a ~to_:p
+            | _ -> v)
+          s.sig_params args
+      in
+      (match s.sig_ret with
+      | Some rt -> (Builder.call fc.b name lowered, rt)
+      | None ->
+        Builder.call_void fc.b name lowered;
+        (Ir.imm 0, Int))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statement lowering                                                  *)
+
+let rec lower_stmt fc (s : stmt) : unit =
+  match s with
+  | Decl (t, name, init) -> begin
+    match t with
+    | Arr (elem, dims) ->
+      if List.exists (fun d -> d <= 0) dims then
+        error "local array '%s' needs positive dimensions" name;
+      let size = sizeof (Arr (elem, dims)) in
+      let slot = fresh_slot fc ~name size in
+      declare_var fc name { v_ty = t; v_addr = slot; v_arr_param = false }
+    | Struct _ ->
+      if init <> None then
+        error "struct '%s' cannot have a scalar initialiser" name;
+      let slot = fresh_slot fc ~name (sizeof t) in
+      declare_var fc name { v_ty = t; v_addr = slot; v_arr_param = false }
+    | _ ->
+      let slot = fresh_slot fc ~name 8 in
+      declare_var fc name { v_ty = t; v_addr = slot; v_arr_param = false };
+      (match init with
+      | Some e ->
+        let v, et = lower_rvalue fc e in
+        check_assignable t et;
+        Builder.store fc.b (width_of t) slot (convert fc v ~from_:et ~to_:t)
+      | None -> ())
+  end
+  | Assign (lhs, rhs) ->
+    let addr, t = lower_lvalue fc lhs in
+    let v, et = lower_rvalue fc rhs in
+    check_assignable t et;
+    check_kernel_pointer_store fc lhs t;
+    Builder.store fc.b (width_of t) addr (convert fc v ~from_:et ~to_:t)
+  | Op_assign (op, lhs, rhs) ->
+    let addr, t = lower_lvalue fc lhs in
+    let cur = Builder.load fc.b (width_of t) addr in
+    let v, et = lower_rvalue fc rhs in
+    let result, rt =
+      lower_binary_values fc op (cur, decay_ty t) (v, et)
+    in
+    Builder.store fc.b (width_of t) addr (convert fc result ~from_:rt ~to_:t)
+  | If (c, then_, else_) ->
+    let cv, _ = lower_rvalue fc c in
+    let then_b = Builder.new_block fc.b in
+    let join_b = Builder.new_block fc.b in
+    let else_b =
+      if else_ = [] then join_b else Builder.new_block fc.b
+    in
+    Builder.cbr fc.b cv then_b else_b;
+    Builder.position_at fc.b then_b;
+    lower_block fc then_;
+    Builder.br fc.b join_b;
+    if else_ <> [] then begin
+      Builder.position_at fc.b else_b;
+      lower_block fc else_;
+      Builder.br fc.b join_b
+    end;
+    Builder.position_at fc.b join_b
+  | While (c, body) ->
+    let header = Builder.new_block fc.b in
+    let body_b = Builder.new_block fc.b in
+    let exit_b = Builder.new_block fc.b in
+    Builder.br fc.b header;
+    Builder.position_at fc.b header;
+    let cv, _ = lower_rvalue fc c in
+    Builder.cbr fc.b cv body_b exit_b;
+    Builder.position_at fc.b body_b;
+    fc.break_targets <- exit_b :: fc.break_targets;
+    lower_block fc body;
+    fc.break_targets <- List.tl fc.break_targets;
+    Builder.br fc.b header;
+    Builder.position_at fc.b exit_b
+  | For { parallel; init; cond; update; body } ->
+    if parallel then
+      error "a 'parallel for' survived to lowering; run the DOALL outliner first";
+    push_scope fc;  (* the induction variable scopes over the loop *)
+    Option.iter (lower_stmt fc) init;
+    let header = Builder.new_block fc.b in
+    let body_b = Builder.new_block fc.b in
+    let latch = Builder.new_block fc.b in
+    let exit_b = Builder.new_block fc.b in
+    Builder.br fc.b header;
+    Builder.position_at fc.b header;
+    (match cond with
+    | Some c ->
+      let cv, _ = lower_rvalue fc c in
+      Builder.cbr fc.b cv body_b exit_b
+    | None -> Builder.br fc.b body_b);
+    Builder.position_at fc.b body_b;
+    fc.break_targets <- exit_b :: fc.break_targets;
+    lower_block fc body;
+    fc.break_targets <- List.tl fc.break_targets;
+    Builder.br fc.b latch;
+    Builder.position_at fc.b latch;
+    Option.iter (lower_stmt fc) update;
+    Builder.br fc.b header;
+    Builder.position_at fc.b exit_b;
+    pop_scope fc
+  | Return e -> begin
+    (match (e, fc.ret_ty) with
+    | None, None -> Builder.ret fc.b None
+    | Some e, Some rt ->
+      let v, t = lower_rvalue fc e in
+      Builder.ret fc.b (Some (convert fc v ~from_:t ~to_:rt))
+    | Some _, None -> error "void function returns a value"
+    | None, Some _ -> error "non-void function returns without a value");
+    (* continue lowering any trailing (dead) code into a fresh block *)
+    let dead = Builder.new_block fc.b in
+    Builder.position_at fc.b dead
+  end
+  | Break -> begin
+    match fc.break_targets with
+    | target :: _ ->
+      Builder.br fc.b target;
+      let dead = Builder.new_block fc.b in
+      Builder.position_at fc.b dead
+    | [] -> error "'break' outside of a loop"
+  end
+  | Expr_stmt e -> ignore (lower_expr fc e)
+  | Launch_stmt (kernel, trip, args) -> begin
+    if fc.in_kernel then error "kernels cannot launch kernels";
+    match Hashtbl.find_opt fc.ctx.fsigs kernel with
+    | Some { sig_kernel = true; sig_params; _ } ->
+      (* parameter 0 is the implicit thread index *)
+      let expected = List.length sig_params - 1 in
+      if List.length args <> expected then
+        error "kernel '%s' expects %d launch arguments, got %d" kernel expected
+          (List.length args);
+      let tv, tt = lower_rvalue fc trip in
+      if not (is_int_like tt) then error "launch trip count must be an integer";
+      let lowered =
+        List.map2
+          (fun param_ty arg ->
+            let v, t = lower_rvalue fc arg in
+            if is_float_ty param_ty <> is_float_ty t then
+              convert fc v ~from_:t ~to_:param_ty
+            else v)
+          (List.tl sig_params) args
+      in
+      Builder.launch fc.b ~kernel ~trip:tv ~args:lowered
+    | Some _ -> error "'%s' is not a kernel" kernel
+    | None -> error "launch of unknown kernel '%s'" kernel
+  end
+
+and lower_binary_values fc op (va, ta) (vb, tb) : Ir.value * cty =
+  (* binary op on already-lowered values (for op=); reuses lower_binary's
+     logic through a tiny adapter *)
+  let open Ir in
+  if (match op with Badd | Bsub -> true | _ -> false)
+     && match ta with Ptr _ -> true | _ -> false
+  then begin
+    match ta with
+    | Ptr t ->
+      let scaled = Builder.binop fc.b Mul vb (imm (sizeof t)) in
+      let iop = if op = Badd then Add else Sub in
+      (Builder.binop fc.b iop va scaled, Ptr t)
+    | _ -> assert false
+  end
+  else if is_float_ty ta || is_float_ty tb then begin
+    let va = convert fc va ~from_:ta ~to_:Float in
+    let vb = convert fc vb ~from_:tb ~to_:Float in
+    let fop =
+      match op with
+      | Badd -> Fadd | Bsub -> Fsub | Bmul -> Fmul | Bdiv -> Fdiv
+      | _ -> error "unsupported compound assignment on floats"
+    in
+    (Builder.binop fc.b fop va vb, Float)
+  end
+  else begin
+    let iop =
+      match op with
+      | Badd -> Add | Bsub -> Sub | Bmul -> Mul | Bdiv -> Div | Brem -> Rem
+      | _ -> error "unsupported compound assignment"
+    in
+    (Builder.binop fc.b iop va vb, Int)
+  end
+
+and check_assignable target source =
+  match (decay_ty target, decay_ty source) with
+  | Struct _, _ | _, Struct _ ->
+    error "structs are assigned field by field, not as a whole"
+  | (Int | Char), (Int | Char) -> ()
+  | Float, (Int | Char | Float) -> ()
+  | (Int | Char), Float -> ()  (* implicit truncation, as in C *)
+  | Ptr _, Ptr _ -> ()  (* weak typing: any pointer converts *)
+  | Ptr _, (Int | Char) -> ()  (* ints convert to pointers, as in C *)
+  | (Int | Char), Ptr _ -> ()
+  | a, b -> error "cannot assign %a to %a" pp_cty b pp_cty a
+
+(* The paper's restriction: GPU functions must not store pointers into
+   memory (other than the kernel's own scalar locals, which live in
+   registers/private slots and are never mapped). *)
+and check_kernel_pointer_store fc lhs t =
+  if fc.in_kernel then begin
+    match (lhs, t) with
+    | (Deref _ | Index _), Ptr _ ->
+      error "kernels may not store pointers into memory (CGCM restriction)"
+    | _ -> ()
+  end
+
+and lower_block fc stmts =
+  push_scope fc;
+  List.iter (lower_stmt fc) stmts;
+  pop_scope fc
+
+(* ------------------------------------------------------------------ *)
+(* Functions, globals, programs                                        *)
+
+(* Lower one function; [globals_scope] is the outermost variable scope. *)
+let lower_func ctx globals_scope (fd : func_decl) : Ir.func =
+  List.iter
+    (fun (t, _) ->
+      if indirection t > 2 then
+        error "%s: CGCM supports at most two levels of indirection" fd.f_name;
+      match t with
+      | Struct _ ->
+        error "%s: pass structs by pointer, not by value" fd.f_name
+      | _ -> ())
+    fd.f_params;
+  if fd.f_kernel then begin
+    match fd.f_params with
+    | (Int, _) :: _ -> ()
+    | _ ->
+      error "kernel '%s' must take the thread index as first parameter" fd.f_name
+  end;
+  let b =
+    Builder.create ~name:fd.f_name
+      ~nargs:(List.length fd.f_params)
+      ~kind:(if fd.f_kernel then Ir.Kernel else Ir.Cpu)
+  in
+  let fc =
+    {
+      b;
+      ctx;
+      scopes = [ globals_scope ];
+      entry_allocas = [];
+      ret_ty = fd.f_ret;
+      in_kernel = fd.f_kernel;
+      break_targets = [];
+    }
+  in
+  push_scope fc;
+  (* Parameters are copied into slots so they are addressable/assignable. *)
+  let body_start = Builder.new_block b in
+  Builder.position_at b body_start;
+  let param_stores =
+    List.mapi
+      (fun i (t, name) ->
+        let slot = fresh_slot fc ~name 8 in
+        declare_var fc name
+          {
+            v_ty = t;
+            v_addr = slot;
+            v_arr_param = (match t with Arr _ -> true | _ -> false);
+          };
+        Ir.Store (width_of t, slot, Ir.Reg i))
+      fd.f_params
+  in
+  lower_block fc fd.f_body;
+  (* Fall-through return. *)
+  (match fd.f_ret with
+  | None -> Builder.ret b None
+  | Some _ -> Builder.ret b (Some (Ir.imm 0)));
+  pop_scope fc;
+  let f = Builder.finish b in
+  (* Entry block: hoisted allocas, parameter spills, jump to the body. *)
+  f.Ir.blocks.(0).Ir.instrs <- List.rev fc.entry_allocas @ param_stores;
+  f.Ir.blocks.(0).Ir.term <- Ir.Br body_start;
+  f
+
+let lower_global (g : global_decl) : Ir.global =
+  let name = g.g_name in
+  let fixup_dims t init =
+    (* 'char s[] = "lit"': size inferred from the initialiser *)
+    match (t, init) with
+    | Arr (Char, [ 0 ]), Some [ I_string s ] -> Arr (Char, [ String.length s + 1 ])
+    | Arr (elem, dims), _ when List.exists (fun d -> d <= 0) dims -> (
+      match init with
+      | Some items -> Arr (elem, [ List.length items ])
+      | None -> error "global '%s' has an unsized dimension and no initialiser" name)
+    | t, _ -> t
+  in
+  let t = fixup_dims g.g_ty g.g_init in
+  let size = sizeof t in
+  let ginit =
+    match g.g_init with
+    | None -> Ir.Zeroed
+    | Some items -> (
+      let elem = match t with Arr (e, _) -> e | e -> e in
+      let count = size / max 1 (sizeof elem) in
+      match elem with
+      | Char -> (
+        match items with
+        | [ I_string s ] -> Ir.Str s
+        | _ -> error "global char array '%s' must be initialised by a string" name)
+      | Int -> (
+        let a = Array.make count 0L in
+        List.iteri
+          (fun i item ->
+            if i >= count then error "too many initialisers for '%s'" name;
+            match item with
+            | I_int v -> a.(i) <- v
+            | _ -> error "non-integer initialiser for '%s'" name)
+          items;
+        Ir.I64s a)
+      | Float -> (
+        let a = Array.make count 0.0 in
+        List.iteri
+          (fun i item ->
+            if i >= count then error "too many initialisers for '%s'" name;
+            match item with
+            | I_float v -> a.(i) <- v
+            | I_int v -> a.(i) <- Int64.to_float v
+            | _ -> error "non-float initialiser for '%s'" name)
+          items;
+        Ir.F64s a)
+      | Ptr _ -> (
+        let a = Array.make count "" in
+        List.iteri
+          (fun i item ->
+            if i >= count then error "too many initialisers for '%s'" name;
+            match item with
+            | I_ident other -> a.(i) <- other
+            | I_int 0L -> a.(i) <- ""
+            | _ -> error "pointer global '%s' must be initialised by names" name)
+          items;
+        Ir.Ptrs a)
+      | Arr _ -> error "nested array initialisers are not supported"
+      | Struct _ -> error "struct globals cannot have initialisers")
+  in
+  { Ir.gname = name; gsize = size; ginit; gread_only = g.g_readonly }
+
+(* Lower a full (already DOALL-outlined) program to an IR module. *)
+let lower_program (p : program) : Ir.modul =
+  let m = { Ir.globals = []; funcs = [] } in
+  let fsigs = Hashtbl.create 16 in
+  let ctx = { m; fsigs } in
+  let globals_scope = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Struct_decl _ -> ()  (* layouts are embedded in the types *)
+      | Global_decl g ->
+        if Hashtbl.mem globals_scope g.g_name then
+          error "duplicate global '%s'" g.g_name;
+        let ir_g = lower_global g in
+        (* the scope records the post-fixup type *)
+        let t =
+          match (g.g_ty, ir_g.Ir.ginit) with
+          | Arr (Char, [ d ]), Ir.Str s when d <= 0 ->
+            Arr (Char, [ String.length s + 1 ])
+          | Arr (e, dims), _ when List.exists (fun d -> d <= 0) dims ->
+            Arr (e, [ ir_g.Ir.gsize / max 1 (sizeof e) ])
+          | t, _ -> t
+        in
+        Hashtbl.replace globals_scope g.g_name
+          { v_ty = t; v_addr = Ir.Global g.g_name; v_arr_param = false };
+        m.Ir.globals <- m.Ir.globals @ [ ir_g ]
+      | Func_decl f ->
+        if Hashtbl.mem fsigs f.f_name then
+          error "duplicate function '%s'" f.f_name;
+        if builtin_sig f.f_name <> None || f.f_name = "print" then
+          error "'%s' shadows a builtin" f.f_name;
+        Hashtbl.replace fsigs f.f_name
+          {
+            sig_ret = f.f_ret;
+            sig_params = List.map fst f.f_params;
+            sig_kernel = f.f_kernel;
+          })
+    p;
+  (match Hashtbl.find_opt fsigs "main" with
+  | Some { sig_ret = Some Int; sig_params = []; sig_kernel = false } -> ()
+  | Some _ -> error "main must be 'int main()'"
+  | None -> error "program has no main function");
+  List.iter
+    (function
+      | Global_decl _ | Struct_decl _ -> ()
+      | Func_decl fd -> Ir.add_func m (lower_func ctx globals_scope fd))
+    p;
+  Verifier.verify_modul m;
+  m

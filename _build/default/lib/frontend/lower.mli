@@ -1,0 +1,19 @@
+(** Lowering from the CGC AST to the word-typed IR.
+
+    All source-level typing is resolved here and then erased: the IR that
+    CGCM's passes see has no pointer types, exactly like the LLVM IR the
+    paper works on once C's type system has been deemed unreliable.
+
+    Every local variable gets a stack slot (allocas hoisted into the entry
+    block); reads and writes go through loads and stores; virtual
+    registers are single-assignment. Semantic checking happens here too:
+    scoping, arity, assignability, the kernel restrictions (thread-index
+    first parameter, at most two levels of indirection on parameters, no
+    pointer stores into memory, math intrinsics only), and the
+    [int main()] entry requirement. *)
+
+exception Sema_error of string
+
+val lower_program : Ast.program -> Cgcm_ir.Ir.modul
+(** Expects a program already processed by {!Doall.transform} (no
+    'parallel' annotations remain). The result is verified. *)

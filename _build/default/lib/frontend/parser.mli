@@ -1,0 +1,11 @@
+(** Recursive-descent parser for CGC.
+
+    Notable grammar choices: struct definitions must precede use (their
+    layout is embedded into the type, see {!Ast.sdef}); the trip count in
+    [launch k<e>(...)] uses the additive grammar so '>' terminates it;
+    array dimensions may be empty ([char s[] = "..."]) only where an
+    initialiser fixes the size. *)
+
+exception Parse_error of string * Lexer.pos
+
+val parse_string : string -> Ast.program

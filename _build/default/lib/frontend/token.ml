@@ -1,0 +1,68 @@
+(* Tokens of the CGC mini-C language. *)
+
+type t =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | STRING_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_INT | KW_FLOAT | KW_CHAR | KW_VOID
+  | KW_GLOBAL | KW_READONLY | KW_KERNEL | KW_PARALLEL
+  | KW_IF | KW_ELSE | KW_FOR | KW_WHILE | KW_RETURN | KW_BREAK
+  | KW_LAUNCH | KW_SIZEOF | KW_STRUCT
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | AMPAMP | BARBAR | BANG
+  | LT | LE | GT | GE | EQEQ | NE
+  | DOT | ARROW
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "float" -> Some KW_FLOAT
+  | "double" -> Some KW_FLOAT  (* alias: CGC floats are 64-bit *)
+  | "char" -> Some KW_CHAR
+  | "void" -> Some KW_VOID
+  | "global" -> Some KW_GLOBAL
+  | "readonly" -> Some KW_READONLY
+  | "kernel" -> Some KW_KERNEL
+  | "parallel" -> Some KW_PARALLEL
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "for" -> Some KW_FOR
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "launch" -> Some KW_LAUNCH
+  | "sizeof" -> Some KW_SIZEOF
+  | "struct" -> Some KW_STRUCT
+  | _ -> None
+
+let to_string = function
+  | INT_LIT i -> Int64.to_string i
+  | FLOAT_LIT f -> string_of_float f
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_FLOAT -> "float" | KW_CHAR -> "char"
+  | KW_VOID -> "void" | KW_GLOBAL -> "global" | KW_READONLY -> "readonly"
+  | KW_KERNEL -> "kernel" | KW_PARALLEL -> "parallel"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_FOR -> "for" | KW_WHILE -> "while"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_LAUNCH -> "launch"
+  | KW_SIZEOF -> "sizeof"
+  | KW_STRUCT -> "struct"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | AMPAMP -> "&&" | BARBAR -> "||" | BANG -> "!"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NE -> "!="
+  | DOT -> "." | ARROW -> "->"
+  | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"

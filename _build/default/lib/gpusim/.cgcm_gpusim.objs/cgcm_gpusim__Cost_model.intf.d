@@ -1,0 +1,1 @@
+lib/gpusim/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/gpusim/device.mli: Cgcm_memory Cost_model Hashtbl Trace

@@ -1,0 +1,133 @@
+(* The simulated GPU device: a separate memory space plus a CUDA-driver-
+   style interface (cf. cuMemAlloc / cuMemcpyHtoD / cuMemcpyDtoH /
+   cuModuleGetGlobal) and a timeline. Kernels run asynchronously: a launch
+   returns as soon as the host-side driver work is done, and the device
+   timeline advances independently until a device-to-host transfer (or an
+   explicit sync) forces the CPU to wait — this asynchrony is what makes
+   acyclic communication patterns overlap CPU and GPU work (Figure 2). *)
+
+module Memspace = Cgcm_memory.Memspace
+
+type stats = {
+  mutable htod_bytes : int;
+  mutable dtoh_bytes : int;
+  mutable htod_count : int;
+  mutable dtoh_count : int;
+  mutable launches : int;
+  mutable kernel_insts : int;
+  mutable kernel_cycles : float;  (* total device busy time in kernels *)
+  mutable comm_cycles : float;  (* total time spent in transfers *)
+  mutable sync_cycles : float;  (* CPU cycles spent stalled on the device *)
+}
+
+type t = {
+  mem : Memspace.t;
+  cost : Cost_model.t;
+  trace : Trace.t;
+  mutable busy_until : float;  (* device timeline *)
+  globals : (string, int) Hashtbl.t;  (* named module globals *)
+  global_sizes : (string, int) Hashtbl.t;
+  stats : stats;
+}
+
+let create ?(trace = Trace.create ()) cost =
+  {
+    mem =
+      Memspace.create ~name:"device" ~range_lo:0x4000_0000_00
+        ~range_hi:0x7000_0000_00;
+    cost;
+    trace;
+    busy_until = 0.0;
+    globals = Hashtbl.create 16;
+    global_sizes = Hashtbl.create 16;
+    stats =
+      {
+        htod_bytes = 0;
+        dtoh_bytes = 0;
+        htod_count = 0;
+        dtoh_count = 0;
+        launches = 0;
+        kernel_insts = 0;
+        kernel_cycles = 0.0;
+        comm_cycles = 0.0;
+        sync_cycles = 0.0;
+      };
+  }
+
+let stats t = t.stats
+
+(* cuMemAlloc: synchronous host-side allocation. Returns (devptr, now'). *)
+let mem_alloc t ~now size =
+  let addr = Memspace.alloc ~tag:"dev" t.mem size in
+  (addr, now +. t.cost.Cost_model.alloc_overhead)
+
+let mem_free t ~now addr =
+  Memspace.free t.mem addr;
+  now +. t.cost.Cost_model.alloc_overhead
+
+(* cuModuleGetGlobal: device-resident copy of a named global, allocated
+   lazily (without copying any data — that is map's job). *)
+let module_get_global t ~now name =
+  match Hashtbl.find_opt t.globals name with
+  | Some addr -> (addr, now)
+  | None -> (
+    match Hashtbl.find_opt t.global_sizes name with
+    | None -> Memspace.fault "device: unknown module global %s" name
+    | Some size ->
+      let addr = Memspace.alloc ~tag:("g:" ^ name) t.mem size in
+      Hashtbl.replace t.globals name addr;
+      (addr, now +. t.cost.Cost_model.alloc_overhead))
+
+let declare_module_global t ~name ~size = Hashtbl.replace t.global_sizes name size
+
+(* Wait for all outstanding device work. *)
+let sync t ~now =
+  if t.busy_until > now then begin
+    t.stats.sync_cycles <- t.stats.sync_cycles +. (t.busy_until -. now);
+    Trace.record t.trace Trace.Sync ~start:now ~finish:t.busy_until
+      ~label:"sync" ~bytes:0;
+    t.busy_until
+  end
+  else now
+
+(* Synchronous transfers: like cudaMemcpy on the default stream, they wait
+   for outstanding kernels, then occupy the bus. *)
+let memcpy_h_to_d t ~now ~host ~host_addr ~dev_addr ~len =
+  let start = sync t ~now in
+  Memspace.blit ~src:host ~src_addr:host_addr ~dst:t.mem ~dst_addr:dev_addr
+    ~len;
+  let dur = Cost_model.transfer_cycles t.cost len in
+  let finish = start +. dur in
+  t.busy_until <- finish;
+  t.stats.htod_bytes <- t.stats.htod_bytes + len;
+  t.stats.htod_count <- t.stats.htod_count + 1;
+  t.stats.comm_cycles <- t.stats.comm_cycles +. dur;
+  Trace.record t.trace Trace.Htod ~start ~finish ~label:"HtoD" ~bytes:len;
+  finish
+
+let memcpy_d_to_h t ~now ~host ~host_addr ~dev_addr ~len =
+  let start = sync t ~now in
+  Memspace.blit ~src:t.mem ~src_addr:dev_addr ~dst:host ~dst_addr:host_addr
+    ~len;
+  let dur = Cost_model.transfer_cycles t.cost len in
+  let finish = start +. dur in
+  t.busy_until <- finish;
+  t.stats.dtoh_bytes <- t.stats.dtoh_bytes + len;
+  t.stats.dtoh_count <- t.stats.dtoh_count + 1;
+  t.stats.comm_cycles <- t.stats.comm_cycles +. dur;
+  Trace.record t.trace Trace.Dtoh ~start ~finish ~label:"DtoH" ~bytes:len;
+  finish
+
+(* Account for an (already functionally executed) kernel launch. The
+   launch is asynchronous: the device timeline advances, the CPU only pays
+   the driver overhead. *)
+let launch t ~now ~name ~insts ~trip =
+  let start = max now t.busy_until in
+  let dur = Cost_model.kernel_cycles t.cost ~insts ~trip in
+  t.busy_until <- start +. dur;
+  t.stats.launches <- t.stats.launches + 1;
+  t.stats.kernel_insts <- t.stats.kernel_insts + insts;
+  t.stats.kernel_cycles <- t.stats.kernel_cycles +. dur;
+  Trace.record t.trace Trace.Kernel ~start ~finish:(start +. dur) ~label:name
+    ~bytes:0;
+  now +. t.cost.Cost_model.launch_overhead_cpu

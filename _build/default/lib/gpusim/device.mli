@@ -1,0 +1,78 @@
+(** The simulated GPU device: a separate memory space plus a CUDA-driver-
+    style interface (cf. cuMemAlloc / cuMemcpyHtoD / cuMemcpyDtoH /
+    cuModuleGetGlobal) and a timeline.
+
+    Kernels run asynchronously: a launch returns once the host-side driver
+    work is done and the device timeline advances independently, until a
+    transfer (or explicit {!sync}) forces the CPU to wait — the asynchrony
+    that makes acyclic communication overlap CPU and GPU work
+    (Figure 2). *)
+
+type stats = {
+  mutable htod_bytes : int;
+  mutable dtoh_bytes : int;
+  mutable htod_count : int;
+  mutable dtoh_count : int;
+  mutable launches : int;
+  mutable kernel_insts : int;
+  mutable kernel_cycles : float;  (** total device busy time in kernels *)
+  mutable comm_cycles : float;  (** total time spent in transfers *)
+  mutable sync_cycles : float;  (** CPU cycles spent stalled on the device *)
+}
+
+type t = {
+  mem : Cgcm_memory.Memspace.t;  (** device global memory *)
+  cost : Cost_model.t;
+  trace : Trace.t;
+  mutable busy_until : float;  (** device timeline *)
+  globals : (string, int) Hashtbl.t;  (** resolved named module globals *)
+  global_sizes : (string, int) Hashtbl.t;
+  stats : stats;
+}
+
+val create : ?trace:Trace.t -> Cost_model.t -> t
+
+val stats : t -> stats
+
+(** All timing functions take the CPU clock [now] and return its new
+    value. *)
+
+val mem_alloc : t -> now:float -> int -> int * float
+(** cuMemAlloc: synchronous device allocation; returns (devptr, now'). *)
+
+val mem_free : t -> now:float -> int -> float
+
+val declare_module_global : t -> name:string -> size:int -> unit
+(** Declare a named global region of the device module (linker side). *)
+
+val module_get_global : t -> now:float -> string -> int * float
+(** cuModuleGetGlobal: device-resident copy of a named global, allocated
+    lazily without copying data (that is map's job). *)
+
+val sync : t -> now:float -> float
+(** Wait for all outstanding device work; records the stall. *)
+
+val memcpy_h_to_d :
+  t ->
+  now:float ->
+  host:Cgcm_memory.Memspace.t ->
+  host_addr:int ->
+  dev_addr:int ->
+  len:int ->
+  float
+(** Synchronous transfer: waits for outstanding kernels (default-stream
+    semantics), then occupies the bus. *)
+
+val memcpy_d_to_h :
+  t ->
+  now:float ->
+  host:Cgcm_memory.Memspace.t ->
+  host_addr:int ->
+  dev_addr:int ->
+  len:int ->
+  float
+
+val launch : t -> now:float -> name:string -> insts:int -> trip:int -> float
+(** Account for an (already functionally executed) kernel: the device
+    timeline advances by {!Cost_model.kernel_cycles}, the CPU pays only
+    the driver overhead. *)

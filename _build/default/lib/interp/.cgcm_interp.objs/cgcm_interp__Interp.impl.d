@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Buffer Cgcm_gpusim Cgcm_ir Cgcm_memory Cgcm_runtime Float Fmt Hashtbl Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Cgcm_gpusim Cgcm_ir Cgcm_memory Cgcm_runtime

@@ -1,0 +1,667 @@
+(* IR interpreter with a split CPU/GPU memory model and the analytic cost
+   model attached.
+
+   Two execution modes:
+   - [Split]   the real model: kernels execute against device memory, all
+               data movement must go through the CGCM run-time (or explicit
+               driver calls), and the clock advances per the cost model.
+   - [Unified] a debugging oracle: one flat memory, kernels read host
+               memory directly, cgcm.* intrinsics are identity/no-ops.
+               Every transformed program must produce the same observable
+               output under [Unified] as the untransformed program — the
+               differential tests lean on this. *)
+
+module Ir = Cgcm_ir.Ir
+module Memspace = Cgcm_memory.Memspace
+module Device = Cgcm_gpusim.Device
+module Trace = Cgcm_gpusim.Trace
+module Cost_model = Cgcm_gpusim.Cost_model
+module Runtime = Cgcm_runtime.Runtime
+
+exception Exec_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
+
+(* - [Inspector_executor] models the idealized baseline of Section 6.3:
+     an oracle scheduler, exactly one byte transferred per accessed
+     allocation unit, a sequential inspection pass before every launch,
+     and fully cyclic (synchronous) communication. It runs on the plain
+     DOALL-parallelized module, with no CGCM management. *)
+type mode = Split | Unified | Inspector_executor
+
+type config = {
+  mode : mode;
+  cost : Cost_model.t;
+  trace : bool;
+  (* fraction of kernel work the sequential inspector replays on the CPU *)
+  inspector_fraction : float;
+  (* dynamic instruction budget: guards against infinite loops *)
+  fuel : int;
+  (* per-function dynamic instruction counts in the result *)
+  profile : bool;
+}
+
+let default_config =
+  {
+    mode = Split;
+    cost = Cost_model.default;
+    trace = false;
+    inspector_fraction = 0.25;
+    fuel = 4_000_000_000;
+    profile = false;
+  }
+
+type rtval = VI of int64 | VF of float
+
+let as_int = function
+  | VI i -> i
+  | VF _ -> error "type confusion: float used as integer/pointer"
+
+let as_float = function
+  | VF f -> f
+  | VI _ -> error "type confusion: integer used as float"
+
+type result = {
+  exit_code : int64;
+  output : string;
+  wall : float;  (* total simulated cycles, including the final sync *)
+  cpu_compute : float;  (* cycles spent in interpreted CPU instructions *)
+  gpu : float;  (* device busy cycles in kernels *)
+  comm : float;  (* cycles spent in CPU-GPU transfers *)
+  sync : float;  (* CPU cycles stalled on the device *)
+  cpu_insts : int;
+  kernel_insts : int;
+  dev_stats : Device.stats;
+  rt_stats : Runtime.stats;
+  trace : Trace.t;
+  profile : (string * int) list;
+      (* per-function dynamic instruction counts, descending; empty unless
+         config.profile *)
+}
+
+type machine = {
+  m : Ir.modul;
+  host : Memspace.t;
+  dev : Device.t;
+  rt : Runtime.t;
+  mode : mode;
+  cost : Cost_model.t;
+  funcs : (string, Ir.func) Hashtbl.t;
+  globals_host : (string, int) Hashtbl.t;
+  out : Buffer.t;
+  mutable now : float;
+  mutable pending_insts : int;  (* CPU instructions not yet folded into now *)
+  mutable cpu_insts : int;
+  mutable kernel_insts : int;
+  mutable in_kernel : bool;
+  mutable fuel : int;  (* dynamic instruction budget; guards infinite loops *)
+  inspector_fraction : float;
+  (* Inspector-executor: allocation units touched by the current kernel,
+     base address -> was written. Units allocated after [threshold]
+     (thread-local stack slots) are not program data and are excluded. *)
+  mutable track_units : (int, bool) Hashtbl.t option;
+  mutable track_threshold : int;
+  (* profiling *)
+  profile_on : bool;
+  profile_counts : (string, int ref) Hashtbl.t;
+  mutable cur_fn : string;
+}
+
+let flush_time mc =
+  if mc.pending_insts > 0 then begin
+    mc.now <- mc.now +. (float_of_int mc.pending_insts *. mc.cost.Cost_model.cpu_cycle);
+    mc.pending_insts <- 0
+  end
+
+let tick mc =
+  mc.fuel <- mc.fuel - 1;
+  if mc.fuel <= 0 then error "instruction budget exhausted (infinite loop?)";
+  if mc.profile_on then begin
+    match Hashtbl.find_opt mc.profile_counts mc.cur_fn with
+    | Some r -> incr r
+    | None -> Hashtbl.replace mc.profile_counts mc.cur_fn (ref 1)
+  end;
+  (* In unified mode there is no device: kernel work is CPU work (this is
+     what makes it the sequential baseline for explicitly-written
+     kernels). *)
+  if mc.in_kernel && mc.mode <> Unified then
+    mc.kernel_insts <- mc.kernel_insts + 1
+  else begin
+    mc.cpu_insts <- mc.cpu_insts + 1;
+    mc.pending_insts <- mc.pending_insts + 1
+  end
+
+(* Memory space for the executing context. *)
+let space mc =
+  if mc.in_kernel && mc.mode = Split then mc.dev.Device.mem else mc.host
+
+let global_addr mc g =
+  if mc.in_kernel && mc.mode = Split then begin
+    let addr, now = Device.module_get_global mc.dev ~now:mc.now g in
+    mc.now <- now;
+    addr
+  end
+  else begin
+    match Hashtbl.find_opt mc.globals_host g with
+    | Some a -> a
+    | None -> error "unknown global %s" g
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Program loading: allocate and initialise globals, register them with
+   the run-time (the compiler's declareGlobal calls before main).        *)
+
+let load_globals mc =
+  List.iter
+    (fun (g : Ir.global) ->
+      let base = Memspace.alloc ~tag:("g:" ^ g.gname) mc.host g.gsize in
+      Hashtbl.replace mc.globals_host g.gname base)
+    mc.m.Ir.globals;
+  (* Initialise after all bases are known (pointer initialisers). *)
+  List.iter
+    (fun (g : Ir.global) ->
+      let base = Hashtbl.find mc.globals_host g.gname in
+      match g.ginit with
+      | Ir.Zeroed -> ()
+      | Ir.I64s a ->
+        Array.iteri (fun i v -> Memspace.store_i64 mc.host (base + (8 * i)) v) a
+      | Ir.F64s a ->
+        Array.iteri (fun i v -> Memspace.store_f64 mc.host (base + (8 * i)) v) a
+      | Ir.Str s -> Memspace.store_string mc.host base s
+      | Ir.Ptrs names ->
+        Array.iteri
+          (fun i n ->
+            let v =
+              if n = "" then 0L
+              else Int64.of_int (Hashtbl.find mc.globals_host n)
+            in
+            Memspace.store_i64 mc.host (base + (8 * i)) v)
+          names)
+    mc.m.Ir.globals;
+  List.iter
+    (fun (g : Ir.global) ->
+      let base = Hashtbl.find mc.globals_host g.gname in
+      Runtime.declare_global mc.rt ~name:g.gname ~base ~size:g.gsize
+        ~read_only:g.gread_only)
+    mc.m.Ir.globals
+
+(* ------------------------------------------------------------------ *)
+(* Instruction evaluation                                              *)
+
+let eval_binop op a b =
+  let open Ir in
+  let i op2 = VI (op2 (as_int a) (as_int b)) in
+  let f op2 = VF (op2 (as_float a) (as_float b)) in
+  let icmp op2 = VI (if op2 (compare (as_int a) (as_int b)) 0 then 1L else 0L) in
+  (* direct float operators: IEEE semantics (NaN <> NaN), unlike the
+     polymorphic compare *)
+  let fcmp op2 = VI (if op2 (as_float a) (as_float b) then 1L else 0L) in
+  match op with
+  | Add -> i Int64.add
+  | Sub -> i Int64.sub
+  | Mul -> i Int64.mul
+  | Div ->
+    if as_int b = 0L then error "integer division by zero";
+    i Int64.div
+  | Rem ->
+    if as_int b = 0L then error "integer remainder by zero";
+    i Int64.rem
+  | And -> i Int64.logand
+  | Or -> i Int64.logor
+  | Xor -> i Int64.logxor
+  | Shl -> VI (Int64.shift_left (as_int a) (Int64.to_int (as_int b) land 63))
+  | Shr ->
+    VI (Int64.shift_right_logical (as_int a) (Int64.to_int (as_int b) land 63))
+  | Fadd -> f ( +. )
+  | Fsub -> f ( -. )
+  | Fmul -> f ( *. )
+  | Fdiv -> f ( /. )
+  | Eq -> icmp ( = )
+  | Ne -> icmp ( <> )
+  | Lt -> icmp ( < )
+  | Le -> icmp ( <= )
+  | Gt -> icmp ( > )
+  | Ge -> icmp ( >= )
+  | Feq -> fcmp (fun (x : float) y -> x = y)
+  | Fne -> fcmp (fun (x : float) y -> x <> y)
+  | Flt -> fcmp (fun (x : float) y -> x < y)
+  | Fle -> fcmp (fun (x : float) y -> x <= y)
+  | Fgt -> fcmp (fun (x : float) y -> x > y)
+  | Fge -> fcmp (fun (x : float) y -> x >= y)
+
+let eval_unop op a =
+  let open Ir in
+  match op with
+  | Neg -> VI (Int64.neg (as_int a))
+  | Not -> VI (Int64.lognot (as_int a))
+  | Fneg -> VF (-.as_float a)
+  | Int_to_float -> VF (Int64.to_float (as_int a))
+  | Float_to_int -> VI (Int64.of_float (as_float a))
+
+let math1 name =
+  match name with
+  | "sqrt" -> Some sqrt
+  | "exp" -> Some exp
+  | "log" -> Some log
+  | "fabs" -> Some abs_float
+  | "floor" -> Some floor
+  | "ceil" -> Some ceil
+  | "sin" -> Some sin
+  | "cos" -> Some cos
+  | "tan" -> Some tan
+  | _ -> None
+
+let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
+  if Array.length args <> f.Ir.nargs then
+    error "%s called with %d args, expected %d" f.Ir.fname (Array.length args)
+      f.Ir.nargs;
+  let caller_fn = mc.cur_fn in
+  mc.cur_fn <- f.Ir.fname;
+  let frame = Array.make (max f.Ir.nregs 1) (VI 0L) in
+  Array.blit args 0 frame 0 (Array.length args);
+  let frame_allocas = ref [] in
+  let registered = ref [] in
+  let sp = space mc in
+  let eval = function
+    | Ir.Reg r -> frame.(r)
+    | Ir.Imm_int i -> VI i
+    | Ir.Imm_float x -> VF x
+    | Ir.Global g -> VI (Int64.of_int (global_addr mc g))
+  in
+  let finish () =
+    (* Stack frame unwinding: expire declareAlloca registrations, free the
+       frame's allocation units. *)
+    List.iter
+      (fun base ->
+        if mc.mode = Split then Runtime.expire_alloca mc.rt ~base)
+      !registered;
+    List.iter (fun base -> Memspace.free sp base) !frame_allocas
+  in
+  let rec run_block b =
+    let block = f.Ir.blocks.(b) in
+    List.iter exec_instr block.Ir.instrs;
+    match block.Ir.term with
+    | Ir.Br b' ->
+      tick mc;
+      run_block b'
+    | Ir.Cbr (v, b1, b2) ->
+      tick mc;
+      if as_int (eval v) <> 0L then run_block b1 else run_block b2
+    | Ir.Ret v ->
+      tick mc;
+      Option.map eval v
+  and exec_instr i =
+    tick mc;
+    match i with
+    | Ir.Binop (d, op, a, b) -> frame.(d) <- eval_binop op (eval a) (eval b)
+    | Ir.Unop (d, op, a) -> frame.(d) <- eval_unop op (eval a)
+    | Ir.Load (d, ty, a) -> begin
+      let addr = Int64.to_int (as_int (eval a)) in
+      (match mc.track_units with
+      | Some tbl ->
+        let base, _ = Memspace.unit_bounds sp addr in
+        if base < mc.track_threshold && not (Hashtbl.mem tbl base) then
+          Hashtbl.replace tbl base false
+      | None -> ());
+      frame.(d) <-
+        (match ty with
+        | Ir.I8 -> VI (Int64.of_int (Memspace.load_u8 sp addr))
+        | Ir.I64 -> VI (Memspace.load_i64 sp addr)
+        | Ir.F64 -> VF (Memspace.load_f64 sp addr))
+    end
+    | Ir.Store (ty, a, v) -> begin
+      let addr = Int64.to_int (as_int (eval a)) in
+      (match mc.track_units with
+      | Some tbl ->
+        let base, _ = Memspace.unit_bounds sp addr in
+        if base < mc.track_threshold then Hashtbl.replace tbl base true
+      | None -> ());
+      match ty with
+      | Ir.I8 -> Memspace.store_u8 sp addr (Int64.to_int (as_int (eval v)) land 0xff)
+      | Ir.I64 -> Memspace.store_i64 sp addr (as_int (eval v))
+      | Ir.F64 -> Memspace.store_f64 sp addr (as_float (eval v))
+    end
+    | Ir.Alloca (d, size, info) -> begin
+      let size = Int64.to_int (as_int (eval size)) in
+      let base = Memspace.alloc ~tag:info.Ir.aname sp size in
+      frame_allocas := base :: !frame_allocas;
+      frame.(d) <- VI (Int64.of_int base);
+      if info.Ir.aregistered && (not mc.in_kernel) && mc.mode = Split then begin
+        flush_time mc;
+        mc.rt.Runtime.now <- mc.now;
+        Runtime.declare_alloca mc.rt ~base ~size;
+        mc.now <- mc.rt.Runtime.now;
+        registered := base :: !registered
+      end
+    end
+    | Ir.Call (d, name, args) -> begin
+      let argv = List.map eval args in
+      let res = dispatch_call mc name argv in
+      match d with
+      | Some d -> frame.(d) <- (match res with Some v -> v | None -> VI 0L)
+      | None -> ()
+    end
+    | Ir.Launch { kernel; trip; args } ->
+      exec_launch mc ~kernel ~trip:(Int64.to_int (as_int (eval trip)))
+        ~args:(List.map eval args)
+  in
+  let res =
+    try run_block 0
+    with e ->
+      finish ();
+      mc.cur_fn <- caller_fn;
+      raise e
+  in
+  finish ();
+  mc.cur_fn <- caller_fn;
+  res
+
+and dispatch_call mc name argv : rtval option =
+  match (name, argv) with
+  | ("malloc" | "calloc"), [ size ] ->
+    (* our memory model zero-initialises, so calloc = malloc *)
+    let size = Int64.to_int (as_int size) in
+    if mc.in_kernel then error "malloc on the device";
+    let base = Memspace.alloc ~tag:"heap" mc.host size in
+    flush_time mc;
+    mc.now <- mc.now +. 100.0;
+    if mc.mode = Split then Runtime.register_heap mc.rt ~base ~size;
+    Some (VI (Int64.of_int base))
+  | "realloc", [ p; size ] ->
+    (* the run-time wrapper: the old unit leaves the allocation map, the
+       new one enters it (Section 3.1) *)
+    if mc.in_kernel then error "realloc on the device";
+    let old_base = Int64.to_int (as_int p) in
+    let size = Int64.to_int (as_int size) in
+    let base = Memspace.alloc ~tag:"heap" mc.host size in
+    flush_time mc;
+    mc.now <- mc.now +. 150.0;
+    if old_base <> 0 then begin
+      let _, old_size = Memspace.unit_bounds mc.host old_base in
+      Memspace.blit ~src:mc.host ~src_addr:old_base ~dst:mc.host
+        ~dst_addr:base ~len:(min old_size size);
+      if mc.mode = Split then begin
+        mc.rt.Runtime.now <- mc.now;
+        Runtime.unregister_heap mc.rt ~base:old_base;
+        mc.now <- mc.rt.Runtime.now
+      end;
+      Memspace.free mc.host old_base
+    end;
+    if mc.mode = Split then Runtime.register_heap mc.rt ~base ~size;
+    Some (VI (Int64.of_int base))
+  | "free", [ p ] ->
+    let base = Int64.to_int (as_int p) in
+    if mc.mode = Split then begin
+      flush_time mc;
+      mc.rt.Runtime.now <- mc.now;
+      Runtime.unregister_heap mc.rt ~base;
+      mc.now <- mc.rt.Runtime.now
+    end;
+    Memspace.free mc.host base;
+    None
+  (* ---- explicit driver API (manual management, Listing 1 style) ---- *)
+  | "gpu_malloc", [ size ] ->
+    let size = Int64.to_int (as_int size) in
+    if mc.in_kernel then error "gpu_malloc on the device";
+    flush_time mc;
+    if mc.mode = Split then begin
+      let d, now = Device.mem_alloc mc.dev ~now:mc.now size in
+      mc.now <- now;
+      Some (VI (Int64.of_int d))
+    end
+    else
+      (* unified memory: device allocations are just host allocations *)
+      Some (VI (Int64.of_int (Memspace.alloc ~tag:"gpu" mc.host size)))
+  | "gpu_free", [ p ] ->
+    let d = Int64.to_int (as_int p) in
+    flush_time mc;
+    if mc.mode = Split then mc.now <- Device.mem_free mc.dev ~now:mc.now d
+    else Memspace.free mc.host d;
+    None
+  | "gpu_memcpy_h2d", [ dst; src; len ] ->
+    let dst = Int64.to_int (as_int dst)
+    and src = Int64.to_int (as_int src)
+    and len = Int64.to_int (as_int len) in
+    flush_time mc;
+    if mc.mode = Split then
+      mc.now <-
+        Device.memcpy_h_to_d mc.dev ~now:mc.now ~host:mc.host ~host_addr:src
+          ~dev_addr:dst ~len
+    else Memspace.blit ~src:mc.host ~src_addr:src ~dst:mc.host ~dst_addr:dst ~len;
+    None
+  | "gpu_memcpy_d2h", [ dst; src; len ] ->
+    let dst = Int64.to_int (as_int dst)
+    and src = Int64.to_int (as_int src)
+    and len = Int64.to_int (as_int len) in
+    flush_time mc;
+    if mc.mode = Split then
+      mc.now <-
+        Device.memcpy_d_to_h mc.dev ~now:mc.now ~host:mc.host ~host_addr:dst
+          ~dev_addr:src ~len
+    else Memspace.blit ~src:mc.host ~src_addr:src ~dst:mc.host ~dst_addr:dst ~len;
+    None
+  | "strlen", [ p ] ->
+    let addr = Int64.to_int (as_int p) in
+    let s = Memspace.load_string (space mc) addr in
+    (* charge proportional work *)
+    for _ = 1 to String.length s do tick mc done;
+    Some (VI (Int64.of_int (String.length s)))
+  | "print_i64", [ v ] ->
+    Buffer.add_string mc.out (Int64.to_string (as_int v));
+    Buffer.add_char mc.out '\n';
+    None
+  | "print_f64", [ v ] ->
+    Buffer.add_string mc.out (Printf.sprintf "%.6g" (as_float v));
+    Buffer.add_char mc.out '\n';
+    None
+  | "prints", [ p ] ->
+    let addr = Int64.to_int (as_int p) in
+    Buffer.add_string mc.out (Memspace.load_string (space mc) addr);
+    Buffer.add_char mc.out '\n';
+    None
+  | "pow", [ a; b ] -> Some (VF (Float.pow (as_float a) (as_float b)))
+  | _ when math1 name <> None -> (
+    match argv with
+    | [ a ] -> Some (VF ((Option.get (math1 name)) (as_float a)))
+    | _ -> error "%s expects one argument" name)
+  (* ---- the CGCM run-time library ---- *)
+  | _ when Ir.Intrinsic.is_cgcm name -> dispatch_cgcm mc name argv
+  | _ -> (
+    match Hashtbl.find_opt mc.funcs name with
+    | Some f ->
+      if f.Ir.fkind = Ir.Kernel then error "direct call to kernel %s" name;
+      exec_func mc f (Array.of_list argv)
+    | None -> error "call to unknown function '%s'" name)
+
+and dispatch_cgcm mc name argv : rtval option =
+  let ptr_of v = Int64.to_int (as_int v) in
+  match (mc.mode, name, argv) with
+  (* Unified mode: the runtime is an identity — used to differentially
+     test that the compiler transformations preserve semantics. The
+     inspector-executor baseline runs unmanaged modules, but treat stray
+     cgcm calls the same way. *)
+  | (Unified | Inspector_executor), ("cgcm.map" | "cgcm.map_array"), [ p ] ->
+    Some p
+  | (Unified | Inspector_executor), _, _ -> None
+  | Split, "cgcm.map", [ p ] ->
+    flush_time mc;
+    mc.rt.Runtime.now <- mc.now;
+    let d = Runtime.map mc.rt (ptr_of p) in
+    mc.now <- mc.rt.Runtime.now;
+    Some (VI (Int64.of_int d))
+  | Split, "cgcm.unmap", [ p ] ->
+    flush_time mc;
+    mc.rt.Runtime.now <- mc.now;
+    Runtime.unmap mc.rt (ptr_of p);
+    mc.now <- mc.rt.Runtime.now;
+    None
+  | Split, "cgcm.release", [ p ] ->
+    flush_time mc;
+    mc.rt.Runtime.now <- mc.now;
+    Runtime.release mc.rt (ptr_of p);
+    mc.now <- mc.rt.Runtime.now;
+    None
+  | Split, "cgcm.map_array", [ p ] ->
+    flush_time mc;
+    mc.rt.Runtime.now <- mc.now;
+    let d = Runtime.map_array mc.rt (ptr_of p) in
+    mc.now <- mc.rt.Runtime.now;
+    Some (VI (Int64.of_int d))
+  | Split, "cgcm.unmap_array", [ p ] ->
+    flush_time mc;
+    mc.rt.Runtime.now <- mc.now;
+    Runtime.unmap_array mc.rt (ptr_of p);
+    mc.now <- mc.rt.Runtime.now;
+    None
+  | Split, "cgcm.release_array", [ p ] ->
+    flush_time mc;
+    mc.rt.Runtime.now <- mc.now;
+    Runtime.release_array mc.rt (ptr_of p);
+    mc.now <- mc.rt.Runtime.now;
+    None
+  | Split, _, _ -> error "unknown cgcm intrinsic '%s'" name
+
+and exec_launch mc ~kernel ~trip ~args =
+  let f =
+    match Hashtbl.find_opt mc.funcs kernel with
+    | Some f when f.Ir.fkind = Ir.Kernel -> f
+    | _ -> error "launch of unknown kernel %s" kernel
+  in
+  if trip > 0 then begin
+    flush_time mc;
+    if mc.mode = Split then Runtime.bump_epoch mc.rt;
+    let saved_in_kernel = mc.in_kernel in
+    let insts_before = mc.kernel_insts in
+    let tracking =
+      if mc.mode = Inspector_executor then begin
+        let tbl = Hashtbl.create 16 in
+        mc.track_units <- Some tbl;
+        mc.track_threshold <- mc.host.Memspace.next;
+        Some tbl
+      end
+      else None
+    in
+    mc.in_kernel <- true;
+    (try
+       for tid = 0 to trip - 1 do
+         ignore
+           (exec_func mc f
+              (Array.of_list (VI (Int64.of_int tid) :: args)))
+       done
+     with e ->
+       mc.in_kernel <- saved_in_kernel;
+       mc.track_units <- None;
+       raise e);
+    mc.in_kernel <- saved_in_kernel;
+    mc.track_units <- None;
+    let insts = mc.kernel_insts - insts_before in
+    match mc.mode with
+    | Split ->
+      mc.now <- Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip
+    | Unified -> ()
+    | Inspector_executor ->
+      (* 1. sequential inspection on the CPU: replay the loop's address
+            slice (a fraction of the kernel's dynamic instructions) *)
+      let inspect =
+        float_of_int insts *. mc.inspector_fraction
+        *. mc.cost.Cost_model.cpu_cycle
+      in
+      mc.now <- mc.now +. inspect;
+      mc.cpu_insts <-
+        mc.cpu_insts + int_of_float (float_of_int insts *. mc.inspector_fraction);
+      (* 2. oracle transfers: one byte per accessed allocation unit,
+            batched into a single DMA each way (the scheduler is an
+            oracle, so it gathers perfectly) *)
+      let st = Device.stats mc.dev in
+      let tbl = Option.get tracking in
+      let read_units = Hashtbl.length tbl in
+      let written_units =
+        Hashtbl.fold (fun _ w n -> if w then n + 1 else n) tbl 0
+      in
+      if read_units > 0 then begin
+        let dur = Cost_model.transfer_cycles mc.cost read_units in
+        Trace.record mc.dev.Device.trace Trace.Htod ~start:mc.now
+          ~finish:(mc.now +. dur) ~label:"ie-in" ~bytes:read_units;
+        mc.now <- mc.now +. dur;
+        st.Device.comm_cycles <- st.Device.comm_cycles +. dur;
+        st.Device.htod_bytes <- st.Device.htod_bytes + read_units;
+        st.Device.htod_count <- st.Device.htod_count + 1
+      end;
+      if written_units > 0 then begin
+        let dur = Cost_model.transfer_cycles mc.cost written_units in
+        Trace.record mc.dev.Device.trace Trace.Dtoh ~start:mc.now
+          ~finish:(mc.now +. dur) ~label:"ie-out" ~bytes:written_units;
+        mc.now <- mc.now +. dur;
+        st.Device.comm_cycles <- st.Device.comm_cycles +. dur;
+        st.Device.dtoh_bytes <- st.Device.dtoh_bytes + written_units;
+        st.Device.dtoh_count <- st.Device.dtoh_count + 1
+      end;
+      (* 3. the kernel itself, fully synchronous (cyclic schedule) *)
+      mc.now <- Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip;
+      mc.now <- Device.sync mc.dev ~now:mc.now
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default_config) (m : Ir.modul) : result =
+  let host =
+    Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000_00
+  in
+  let trace = Trace.create ~enabled:config.trace () in
+  let dev = Device.create ~trace config.cost in
+  let rt = Runtime.create ~host ~dev in
+  let funcs = Hashtbl.create 32 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.fname f) m.Ir.funcs;
+  let mc =
+    {
+      m;
+      host;
+      dev;
+      rt;
+      mode = config.mode;
+      cost = config.cost;
+      funcs;
+      globals_host = Hashtbl.create 16;
+      out = Buffer.create 256;
+      now = 0.0;
+      pending_insts = 0;
+      cpu_insts = 0;
+      kernel_insts = 0;
+      in_kernel = false;
+      fuel = config.fuel;
+      inspector_fraction = config.inspector_fraction;
+      track_units = None;
+      track_threshold = max_int;
+      profile_on = config.profile;
+      profile_counts = Hashtbl.create 16;
+      cur_fn = "<toplevel>";
+    }
+  in
+  load_globals mc;
+  let main =
+    match Hashtbl.find_opt funcs "main" with
+    | Some f -> f
+    | None -> error "module has no main function"
+  in
+  let res = exec_func mc main [||] in
+  flush_time mc;
+  mc.now <- Device.sync mc.dev ~now:mc.now;
+  let st = Device.stats dev in
+  {
+    exit_code = (match res with Some (VI i) -> i | _ -> 0L);
+    output = Buffer.contents mc.out;
+    wall = mc.now;
+    cpu_compute =
+      float_of_int mc.cpu_insts *. config.cost.Cost_model.cpu_cycle;
+    gpu = st.Device.kernel_cycles;
+    comm = st.Device.comm_cycles;
+    sync = st.Device.sync_cycles;
+    cpu_insts = mc.cpu_insts;
+    kernel_insts = mc.kernel_insts;
+    dev_stats = st;
+    rt_stats = rt.Runtime.stats;
+    trace;
+    profile =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) mc.profile_counts []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+  }

@@ -1,0 +1,67 @@
+(** IR interpreter with the split CPU/GPU memory model and the analytic
+    cost model attached.
+
+    Execution modes:
+    - {!Split} — the real model: kernels execute against device memory,
+      all data movement must go through the CGCM run-time (or explicit
+      driver calls), and the clock advances per the cost model.
+    - {!Unified} — a debugging oracle: one flat memory, kernels read host
+      memory directly, [cgcm.*] intrinsics are identity/no-ops, kernel
+      work is charged as CPU time. Every transformed program must produce
+      the same observable output under [Unified] as the untransformed
+      program — the differential tests lean on this. It is also the
+      sequential baseline for programs with explicitly written kernels.
+    - {!Inspector_executor} — the idealized baseline of Section 6.3: an
+      oracle scheduler, one byte transferred per accessed allocation unit
+      (batched into one DMA per direction per launch), a sequential
+      inspection pass before every launch, fully cyclic synchronisation.
+      Runs on the plain DOALL-parallelized module with no management. *)
+
+module Ir = Cgcm_ir.Ir
+module Memspace = Cgcm_memory.Memspace
+module Device = Cgcm_gpusim.Device
+module Trace = Cgcm_gpusim.Trace
+module Cost_model = Cgcm_gpusim.Cost_model
+module Runtime = Cgcm_runtime.Runtime
+
+exception Exec_error of string
+(** Raised on dynamic errors the memory model does not already catch:
+    division by zero, type confusion (float used as pointer), calls to
+    unknown functions, fuel exhaustion, arity mismatches. *)
+
+type mode = Split | Unified | Inspector_executor
+
+type config = {
+  mode : mode;
+  cost : Cost_model.t;
+  trace : bool;  (** record a {!Trace.t} of transfers/kernels/stalls *)
+  inspector_fraction : float;
+      (** fraction of kernel work the sequential inspector replays *)
+  fuel : int;  (** dynamic instruction budget; guards infinite loops *)
+  profile : bool;  (** collect per-function instruction counts *)
+}
+
+val default_config : config
+
+type result = {
+  exit_code : int64;
+  output : string;  (** everything the program printed *)
+  wall : float;  (** total simulated cycles, including the final sync *)
+  cpu_compute : float;  (** cycles spent in interpreted CPU instructions *)
+  gpu : float;  (** device busy cycles in kernels *)
+  comm : float;  (** cycles spent in CPU-GPU transfers *)
+  sync : float;  (** CPU cycles stalled on the device *)
+  cpu_insts : int;
+  kernel_insts : int;
+  dev_stats : Device.stats;
+  rt_stats : Runtime.stats;
+  trace : Trace.t;
+  profile : (string * int) list;
+      (** per-function dynamic instruction counts, descending; empty
+          unless [config.profile] *)
+}
+
+val run : ?config:config -> Ir.modul -> result
+(** Load the module's globals (registering each with the run-time, the
+    compiler's declareGlobal calls), execute [main], and account timing
+    per the configuration. *)

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Int64 List String

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Fmt Int64 Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/reader.ml: Array Filename Fmt Fun Int64 Ir List Scanf String Verifier

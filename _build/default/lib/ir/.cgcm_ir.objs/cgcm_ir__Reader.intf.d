@@ -1,0 +1,1 @@
+lib/ir/reader.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Cfg Dominance Fmt Hashtbl Ir List

@@ -1,0 +1,32 @@
+(* Control-flow-graph utilities over [Ir.func]. *)
+
+let succs (f : Ir.func) b = Ir.succs_of_term f.blocks.(b).term
+
+let preds (f : Ir.func) =
+  let n = Array.length f.blocks in
+  let p = Array.make n [] in
+  for b = 0 to n - 1 do
+    List.iter (fun s -> p.(s) <- b :: p.(s)) (succs f b)
+  done;
+  p
+
+(* Reverse postorder from the entry; unreachable blocks are excluded. *)
+let reverse_postorder (f : Ir.func) =
+  let n = Array.length f.blocks in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (succs f b);
+      order := b :: !order
+    end
+  in
+  go 0;
+  !order
+
+let reachable (f : Ir.func) =
+  let n = Array.length f.blocks in
+  let r = Array.make n false in
+  List.iter (fun b -> r.(b) <- true) (reverse_postorder f);
+  r

@@ -1,0 +1,9 @@
+(** Control-flow-graph utilities over {!Ir.func}. *)
+
+val succs : Ir.func -> int -> int list
+val preds : Ir.func -> int list array
+
+val reverse_postorder : Ir.func -> int list
+(** From the entry; unreachable blocks are excluded. *)
+
+val reachable : Ir.func -> bool array

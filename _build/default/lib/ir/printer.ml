@@ -1,0 +1,93 @@
+(* Human-readable IR dump, used by the CLI, golden tests, and debugging. *)
+
+open Ir
+
+let string_of_ty = function I8 -> "i8" | I64 -> "i64" | F64 -> "f64"
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+  | Feq -> "feq" | Fne -> "fne" | Flt -> "flt" | Fle -> "fle" | Fgt -> "fgt"
+  | Fge -> "fge"
+
+let string_of_unop = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Fneg -> "fneg"
+  | Int_to_float -> "itof"
+  | Float_to_int -> "ftoi"
+
+let pp_value ppf = function
+  | Reg r -> Fmt.pf ppf "%%r%d" r
+  | Imm_int i -> Fmt.pf ppf "%Ld" i
+  | Imm_float f -> Fmt.pf ppf "%h" f
+  | Global g -> Fmt.pf ppf "@%s" g
+
+let pp_values = Fmt.list ~sep:(Fmt.any ", ") pp_value
+
+let pp_instr ppf = function
+  | Binop (d, op, a, b) ->
+    Fmt.pf ppf "%%r%d = %s %a, %a" d (string_of_binop op) pp_value a pp_value b
+  | Unop (d, op, a) ->
+    Fmt.pf ppf "%%r%d = %s %a" d (string_of_unop op) pp_value a
+  | Load (d, ty, a) ->
+    Fmt.pf ppf "%%r%d = load.%s %a" d (string_of_ty ty) pp_value a
+  | Store (ty, a, v) ->
+    Fmt.pf ppf "store.%s %a, %a" (string_of_ty ty) pp_value a pp_value v
+  | Alloca (d, size, info) ->
+    Fmt.pf ppf "%%r%d = alloca%s %a  ; %s" d
+      (if info.aregistered then ".reg" else "")
+      pp_value size info.aname
+  | Call (Some d, name, args) ->
+    Fmt.pf ppf "%%r%d = call %s(%a)" d name pp_values args
+  | Call (None, name, args) -> Fmt.pf ppf "call %s(%a)" name pp_values args
+  | Launch { kernel; trip; args } ->
+    Fmt.pf ppf "launch %s<%a>(%a)" kernel pp_value trip pp_values args
+
+let pp_term ppf = function
+  | Br b -> Fmt.pf ppf "br b%d" b
+  | Cbr (v, b1, b2) -> Fmt.pf ppf "cbr %a, b%d, b%d" pp_value v b1 b2
+  | Ret (Some v) -> Fmt.pf ppf "ret %a" pp_value v
+  | Ret None -> Fmt.pf ppf "ret"
+
+let pp_func ppf (f : func) =
+  let kind = match f.fkind with Cpu -> "func" | Kernel -> "kernel" in
+  Fmt.pf ppf "%s %s(%d args, %d regs) {@." kind f.fname f.nargs f.nregs;
+  Array.iteri
+    (fun bi block ->
+      Fmt.pf ppf "b%d:@." bi;
+      List.iter (fun i -> Fmt.pf ppf "  %a@." pp_instr i) block.instrs;
+      Fmt.pf ppf "  %a@." pp_term block.term)
+    f.blocks;
+  Fmt.pf ppf "}@."
+
+let pp_global ppf (g : global) =
+  let init =
+    match g.ginit with
+    | Zeroed -> "zeroed"
+    | I64s a ->
+      Fmt.str "i64{%s}"
+        (String.concat ", " (Array.to_list (Array.map Int64.to_string a)))
+    | F64s a ->
+      Fmt.str "f64{%s}"
+        (String.concat ", "
+           (Array.to_list (Array.map (Printf.sprintf "%h") a)))
+    | Str s -> Fmt.str "%S" s
+    | Ptrs a ->
+      Fmt.str "ptrs{%s}"
+        (String.concat ", "
+           (Array.to_list (Array.map (fun n -> if n = "" then "null" else "@" ^ n) a)))
+  in
+  Fmt.pf ppf "global %s%s : %d bytes = %s@." g.gname
+    (if g.gread_only then " (ro)" else "")
+    g.gsize init
+
+let pp_modul ppf (m : modul) =
+  List.iter (pp_global ppf) m.globals;
+  List.iter (fun f -> Fmt.pf ppf "@.%a" pp_func f) m.funcs
+
+let func_to_string f = Fmt.str "%a" pp_func f
+
+let modul_to_string m = Fmt.str "%a" pp_modul m

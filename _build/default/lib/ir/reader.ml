@@ -1,0 +1,324 @@
+(* Parser for the textual IR produced by {!Printer}: modules round-trip
+   through their printed form (Printer.modul_to_string >> Reader.parse ==
+   identity up to printing). Used for .ir files in the CLI and by the
+   serialization property tests. *)
+
+open Ir
+
+exception Bad_ir of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Bad_ir s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Line-level scanning helpers                                         *)
+
+let strip s = String.trim s
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after ~prefix s = String.sub s (String.length prefix)
+    (String.length s - String.length prefix)
+
+(* Split "a, b, c" at top level (no nesting in our syntax). *)
+let split_commas s =
+  if strip s = "" then []
+  else List.map strip (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+
+let parse_value (s : string) : value =
+  let s = strip s in
+  if s = "" then fail "empty value"
+  else if s.[0] = '%' then begin
+    if not (starts_with ~prefix:"%r" s) then fail "bad register %s" s;
+    Reg (int_of_string (after ~prefix:"%r" s))
+  end
+  else if s.[0] = '@' then Global (after ~prefix:"@" s)
+  else if String.contains s 'x' || String.contains s '.'
+          || String.contains s 'n' (* nan, inf *)
+          || String.contains s 'p' then
+    Imm_float (float_of_string s)
+  else
+    match Int64.of_string_opt s with
+    | Some v -> Imm_int v
+    | None -> Imm_float (float_of_string s)
+
+(* "name(a, b)" -> name, [a; b] *)
+let parse_call_syntax (s : string) : string * string list =
+  match String.index_opt s '(' with
+  | None -> fail "expected '(' in %s" s
+  | Some i ->
+    let name = strip (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let close = String.rindex rest ')' in
+    (name, split_commas (String.sub rest 0 close))
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+
+let binop_of_string s =
+  match s with
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "div" -> Some Div | "rem" -> Some Rem | "and" -> Some And
+  | "or" -> Some Or | "xor" -> Some Xor | "shl" -> Some Shl
+  | "shr" -> Some Shr | "fadd" -> Some Fadd | "fsub" -> Some Fsub
+  | "fmul" -> Some Fmul | "fdiv" -> Some Fdiv | "eq" -> Some Eq
+  | "ne" -> Some Ne | "lt" -> Some Lt | "le" -> Some Le | "gt" -> Some Gt
+  | "ge" -> Some Ge | "feq" -> Some Feq | "fne" -> Some Fne
+  | "flt" -> Some Flt | "fle" -> Some Fle | "fgt" -> Some Fgt
+  | "fge" -> Some Fge
+  | _ -> None
+
+let unop_of_string s =
+  match s with
+  | "neg" -> Some Neg | "not" -> Some Not | "fneg" -> Some Fneg
+  | "itof" -> Some Int_to_float | "ftoi" -> Some Float_to_int
+  | _ -> None
+
+let ty_of_string s =
+  match s with
+  | "i8" -> I8
+  | "i64" -> I64
+  | "f64" -> F64
+  | _ -> fail "unknown access type %s" s
+
+(* The right-hand side of "%rD = ...". *)
+let parse_def d (rhs : string) : instr =
+  let rhs = strip rhs in
+  match String.index_opt rhs ' ' with
+  | None -> fail "malformed definition: %s" rhs
+  | Some sp -> (
+    let head = String.sub rhs 0 sp in
+    let rest = strip (String.sub rhs sp (String.length rhs - sp)) in
+    match binop_of_string head with
+    | Some op -> (
+      match split_commas rest with
+      | [ a; b ] -> Binop (d, op, parse_value a, parse_value b)
+      | _ -> fail "binop arity in %s" rhs)
+    | None -> (
+      match unop_of_string head with
+      | Some op -> Unop (d, op, parse_value rest)
+      | None ->
+        if starts_with ~prefix:"load." head then
+          Load (d, ty_of_string (after ~prefix:"load." head), parse_value rest)
+        else if head = "alloca" || head = "alloca.reg" then begin
+          (* "SIZE  ; name" *)
+          let size, name =
+            match String.index_opt rest ';' with
+            | Some i ->
+              ( strip (String.sub rest 0 i),
+                strip (String.sub rest (i + 1) (String.length rest - i - 1)) )
+            | None -> (rest, "tmp")
+          in
+          Alloca
+            ( d,
+              parse_value size,
+              { aname = name; aregistered = head = "alloca.reg" } )
+        end
+        else if head = "call" then begin
+          let name, args = parse_call_syntax rest in
+          Call (Some d, name, List.map parse_value args)
+        end
+        else fail "unknown instruction %s" rhs))
+
+let parse_instr (line : string) : instr =
+  let line = strip line in
+  if starts_with ~prefix:"%r" line then begin
+    match String.index_opt line '=' with
+    | None -> fail "expected '=' in %s" line
+    | Some i ->
+      let d =
+        int_of_string (after ~prefix:"%r" (strip (String.sub line 0 i)))
+      in
+      parse_def d (String.sub line (i + 1) (String.length line - i - 1))
+  end
+  else if starts_with ~prefix:"store." line then begin
+    let rest = after ~prefix:"store." line in
+    match String.index_opt rest ' ' with
+    | None -> fail "malformed store %s" line
+    | Some sp -> (
+      let ty = ty_of_string (String.sub rest 0 sp) in
+      match split_commas (String.sub rest sp (String.length rest - sp)) with
+      | [ a; v ] -> Store (ty, parse_value a, parse_value v)
+      | _ -> fail "store arity in %s" line)
+  end
+  else if starts_with ~prefix:"call " line then begin
+    let name, args = parse_call_syntax (after ~prefix:"call " line) in
+    Call (None, name, List.map parse_value args)
+  end
+  else if starts_with ~prefix:"launch " line then begin
+    (* launch k<trip>(args) *)
+    let rest = after ~prefix:"launch " line in
+    let lt = String.index rest '<' in
+    let gt = String.index rest '>' in
+    let kernel = strip (String.sub rest 0 lt) in
+    let trip = parse_value (String.sub rest (lt + 1) (gt - lt - 1)) in
+    let _, args = parse_call_syntax (String.sub rest gt (String.length rest - gt)) in
+    Launch { kernel; trip; args = List.map parse_value args }
+  end
+  else fail "unknown instruction: %s" line
+
+let parse_term (line : string) : terminator =
+  let line = strip line in
+  if starts_with ~prefix:"br b" line then
+    Br (int_of_string (after ~prefix:"br b" line))
+  else if starts_with ~prefix:"cbr " line then begin
+    match split_commas (after ~prefix:"cbr " line) with
+    | [ v; b1; b2 ] when starts_with ~prefix:"b" b1 && starts_with ~prefix:"b" b2 ->
+      Cbr
+        ( parse_value v,
+          int_of_string (after ~prefix:"b" b1),
+          int_of_string (after ~prefix:"b" b2) )
+    | _ -> fail "malformed cbr: %s" line
+  end
+  else if line = "ret" then Ret None
+  else if starts_with ~prefix:"ret " line then
+    Ret (Some (parse_value (after ~prefix:"ret " line)))
+  else fail "unknown terminator: %s" line
+
+let is_term line =
+  let line = strip line in
+  starts_with ~prefix:"br " line
+  || starts_with ~prefix:"cbr " line
+  || line = "ret"
+  || starts_with ~prefix:"ret " line
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                             *)
+
+let parse_global (line : string) : global =
+  (* global NAME (ro)? : SIZE bytes = INIT *)
+  let rest = after ~prefix:"global " line in
+  let colon = String.index rest ':' in
+  let head = strip (String.sub rest 0 colon) in
+  let gname, gread_only =
+    if starts_with ~prefix:"" head && Filename.check_suffix head "(ro)" then
+      (strip (Filename.chop_suffix head "(ro)"), true)
+    else (head, false)
+  in
+  let tail = strip (String.sub rest (colon + 1) (String.length rest - colon - 1)) in
+  let eq = String.index tail '=' in
+  let size_part = strip (String.sub tail 0 eq) in
+  let gsize =
+    match String.index_opt size_part ' ' with
+    | Some i -> int_of_string (String.sub size_part 0 i)
+    | None -> int_of_string size_part
+  in
+  let init_s = strip (String.sub tail (eq + 1) (String.length tail - eq - 1)) in
+  let between_braces s =
+    let o = String.index s '{' and c = String.rindex s '}' in
+    String.sub s (o + 1) (c - o - 1)
+  in
+  let ginit =
+    if init_s = "zeroed" then Zeroed
+    else if starts_with ~prefix:"i64{" init_s then
+      I64s
+        (Array.of_list
+           (List.map Int64.of_string (split_commas (between_braces init_s))))
+    else if starts_with ~prefix:"f64{" init_s then
+      F64s
+        (Array.of_list
+           (List.map float_of_string (split_commas (between_braces init_s))))
+    else if starts_with ~prefix:"ptrs{" init_s then
+      Ptrs
+        (Array.of_list
+           (List.map
+              (fun s ->
+                if s = "null" then ""
+                else if starts_with ~prefix:"@" s then after ~prefix:"@" s
+                else fail "bad ptr initialiser %s" s)
+              (split_commas (between_braces init_s))))
+    else if init_s <> "" && init_s.[0] = '"' then Str (Scanf.sscanf init_s "%S" Fun.id)
+    else fail "bad initialiser: %s" init_s
+  in
+  { gname; gsize; ginit; gread_only }
+
+(* ------------------------------------------------------------------ *)
+(* Functions and modules                                               *)
+
+let parse (text : string) : modul =
+  let lines =
+    List.filter (fun l -> strip l <> "") (String.split_on_char '\n' text)
+  in
+  let m = { globals = []; funcs = [] } in
+  let rec top = function
+    | [] -> ()
+    | line :: rest when starts_with ~prefix:"global " (strip line) ->
+      m.globals <- m.globals @ [ parse_global (strip line) ];
+      top rest
+    | line :: rest
+      when starts_with ~prefix:"func " (strip line)
+           || starts_with ~prefix:"kernel " (strip line) ->
+      let line = strip line in
+      let fkind, rest_line =
+        if starts_with ~prefix:"func " line then (Cpu, after ~prefix:"func " line)
+        else (Kernel, after ~prefix:"kernel " line)
+      in
+      (* NAME(N args, M regs) { *)
+      let name, meta = parse_call_syntax rest_line in
+      let nargs, nregs =
+        match meta with
+        | [ a; r ] ->
+          ( Scanf.sscanf a "%d args" Fun.id,
+            Scanf.sscanf r "%d regs" Fun.id )
+        | _ -> fail "malformed function header: %s" line
+      in
+      let blocks = ref [] in
+      let cur_instrs = ref [] in
+      let cur_term = ref None in
+      let flush_block () =
+        match !cur_term with
+        | Some t ->
+          blocks := { instrs = List.rev !cur_instrs; term = t } :: !blocks;
+          cur_instrs := [];
+          cur_term := None
+        | None ->
+          if !cur_instrs <> [] then fail "%s: block without terminator" name
+      in
+      let rec body = function
+        | [] -> fail "%s: unterminated function" name
+        | l :: ls when strip l = "}" ->
+          flush_block ();
+          let f =
+            {
+              fname = name;
+              nargs;
+              nregs;
+              blocks = Array.of_list (List.rev !blocks);
+              fkind;
+            }
+          in
+          add_func m f;
+          ls
+        | l :: ls ->
+          let l' = strip l in
+          if String.length l' > 1 && l'.[0] = 'b' && String.contains l' ':'
+             && (match int_of_string_opt (String.sub l' 1 (String.index l' ':' - 1)) with
+                | Some _ -> true
+                | None -> false)
+          then begin
+            flush_block ();
+            body ls
+          end
+          else if is_term l' then begin
+            cur_term := Some (parse_term l');
+            body ls
+          end
+          else begin
+            cur_instrs := parse_instr l' :: !cur_instrs;
+            body ls
+          end
+      in
+      top (body rest)
+    | line :: _ -> fail "unexpected top-level line: %s" (strip line)
+  in
+  top lines;
+  m
+
+let parse_verified text =
+  let m = parse text in
+  Verifier.verify_modul m;
+  m

@@ -1,0 +1,12 @@
+(** Parser for the textual IR produced by {!Printer}: modules round-trip
+    through their printed form ([Printer.modul_to_string] then {!parse}
+    reproduces the module up to printing). Lets the CLI execute .ir files
+    and the tests pin serialization. *)
+
+exception Bad_ir of string
+
+val parse : string -> Ir.modul
+(** Syntactic parse; raises {!Bad_ir} on malformed text. *)
+
+val parse_verified : string -> Ir.modul
+(** {!parse} followed by {!Verifier.verify_modul}. *)

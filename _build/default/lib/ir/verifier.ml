@@ -1,0 +1,135 @@
+(* Structural well-formedness checks for IR modules. Run after the frontend
+   and after every transformation pass; a pass that produces ill-formed IR
+   is a compiler bug, so failures raise. *)
+
+open Ir
+
+exception Ill_formed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+
+let verify_func (m : modul) (f : func) =
+  let nblocks = Array.length f.blocks in
+  if nblocks = 0 then fail "%s: no blocks" f.fname;
+  (* Branch targets in range. *)
+  Array.iteri
+    (fun bi block ->
+      List.iter
+        (fun s ->
+          if s < 0 || s >= nblocks then
+            fail "%s: block b%d branches to nonexistent b%d" f.fname bi s)
+        (succs_of_term block.term))
+    f.blocks;
+  (* Single assignment, register indices in range. *)
+  let defined = Array.make f.nregs false in
+  for a = 0 to f.nargs - 1 do
+    defined.(a) <- true
+  done;
+  let def_block = Array.make f.nregs (-1) in
+  Array.iteri
+    (fun bi block ->
+      List.iter
+        (fun i ->
+          match def_of_instr i with
+          | Some d ->
+            if d < 0 || d >= f.nregs then
+              fail "%s: register %%r%d out of range" f.fname d;
+            if defined.(d) then fail "%s: %%r%d defined twice" f.fname d;
+            defined.(d) <- true;
+            def_block.(d) <- bi
+          | None -> ())
+        block.instrs)
+    f.blocks;
+  (* Every used register has a reaching definition: its defining block
+     dominates the use (same-block ordering is checked separately). *)
+  let dom = Dominance.compute f in
+  let reach = Cfg.reachable f in
+  Array.iteri
+    (fun bi block ->
+      if reach.(bi) then begin
+        let seen_here = Hashtbl.create 8 in
+        let check_use where v =
+          match v with
+          | Reg r ->
+            if r < 0 || r >= f.nregs then
+              fail "%s: use of out-of-range %%r%d in %s" f.fname r where;
+            if not defined.(r) then
+              fail "%s: use of undefined %%r%d in %s" f.fname r where;
+            if r >= f.nargs then begin
+              let db = def_block.(r) in
+              if db = bi then begin
+                if not (Hashtbl.mem seen_here r) then
+                  fail "%s: %%r%d used before its definition in b%d" f.fname r bi
+              end
+              else if not (Dominance.dominates dom db bi) then
+                fail "%s: def of %%r%d (b%d) does not dominate use in b%d"
+                  f.fname r db bi
+            end
+          | Imm_int _ | Imm_float _ -> ()
+          | Global g ->
+            if find_global m g = None then
+              fail "%s: reference to unknown global @%s" f.fname g
+        in
+        List.iter
+          (fun i ->
+            List.iter (check_use "instr") (uses_of_instr i);
+            (match i with
+            | Launch { kernel; _ } -> begin
+              match find_func m kernel with
+              | Some k when k.fkind = Kernel -> ()
+              | Some _ -> fail "%s: launch of non-kernel %s" f.fname kernel
+              | None -> fail "%s: launch of unknown kernel %s" f.fname kernel
+            end
+            | Call (_, name, _) -> begin
+              match find_func m name with
+              | Some k when k.fkind = Kernel ->
+                fail "%s: direct call to kernel %s" f.fname name
+              | _ -> ()  (* intrinsics are resolved by the interpreter *)
+            end
+            | _ -> ());
+            match def_of_instr i with
+            | Some d -> Hashtbl.replace seen_here d ()
+            | None -> ())
+          block.instrs;
+        List.iter (check_use "terminator") (uses_of_term block.term)
+      end)
+    f.blocks;
+  (* Kernels must not launch other kernels and must not contain allocas
+     whose address could be stored (the paper forbids storing pointers in
+     GPU functions; the frontend enforces the source-level restriction,
+     here we only forbid nested launches). *)
+  if f.fkind = Kernel then
+    iter_instrs
+      (fun _ i ->
+        match i with
+        | Launch _ -> fail "%s: kernel launches a kernel" f.fname
+        | _ -> ())
+      f
+
+let verify_modul (m : modul) =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : global) ->
+      if Hashtbl.mem seen g.gname then fail "duplicate global %s" g.gname;
+      Hashtbl.replace seen g.gname ();
+      let isz = init_size g.ginit in
+      if isz > g.gsize then
+        fail "global %s: initialiser (%d bytes) larger than size (%d)" g.gname
+          isz g.gsize;
+      match g.ginit with
+      | Ptrs names ->
+        Array.iter
+          (fun n ->
+            (* "" initialises to null *)
+            if n <> "" && find_global m n = None then
+              fail "global %s: initialiser references unknown global %s" g.gname n)
+          names
+      | _ -> ())
+    m.globals;
+  let seenf = Hashtbl.create 16 in
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem seenf f.fname then fail "duplicate function %s" f.fname;
+      Hashtbl.replace seenf f.fname ();
+      verify_func m f)
+    m.funcs

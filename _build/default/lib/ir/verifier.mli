@@ -1,0 +1,14 @@
+(** Structural well-formedness checks for IR modules, run after the
+    frontend and after every transformation — a pass producing ill-formed
+    IR is a compiler bug.
+
+    Checks: branch targets in range; registers single-assignment and in
+    range; every use dominated by its definition (with intra-block
+    ordering); referenced globals exist; launches name kernels; kernels
+    are not called directly and do not launch; global initialisers fit
+    their declared sizes. *)
+
+exception Ill_formed of string
+
+val verify_func : Ir.modul -> Ir.func -> unit
+val verify_modul : Ir.modul -> unit

@@ -1,0 +1,1 @@
+lib/memory/memspace.ml: Buffer Bytes Cgcm_support Char Fmt Int64 String

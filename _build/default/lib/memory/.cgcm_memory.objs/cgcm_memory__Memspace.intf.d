@@ -1,0 +1,1 @@
+lib/memory/memspace.mli: Bytes Cgcm_support Format

@@ -1,0 +1,168 @@
+(* A simulated byte-addressable memory space. The host (CPU) memory and the
+   GPU device memory are two separate instances with disjoint address
+   ranges, mirroring the divided memories that motivate CGCM.
+
+   Every allocation is an *allocation unit* in the paper's sense: a
+   contiguous region created as a single unit. Addresses are plain ints;
+   resolution from an interior pointer back to its unit uses the same
+   greatest-key-<= query the CGCM run-time uses, so valid pointer
+   arithmetic (within a unit, per C99) works and anything else faults. *)
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
+
+type block = {
+  base : int;
+  size : int;
+  data : Bytes.t;
+  tag : string;
+  mutable freed : bool;
+}
+
+type t = {
+  name : string;
+  range_lo : int;
+  range_hi : int;
+  mutable next : int;
+  mutable blocks : block Cgcm_support.Avl_map.Int.t;
+  mutable live_bytes : int;
+  mutable peak_bytes : int;
+  (* one-entry cache: consecutive accesses usually hit the same unit *)
+  mutable last : block option;
+}
+
+let word_size = 8
+
+let create ~name ~range_lo ~range_hi =
+  {
+    name;
+    range_lo;
+    range_hi;
+    next = range_lo;
+    blocks = Cgcm_support.Avl_map.Int.empty;
+    live_bytes = 0;
+    peak_bytes = 0;
+    last = None;
+  }
+
+let in_range t addr = addr >= t.range_lo && addr < t.range_hi
+
+let round_up n align = (n + align - 1) / align * align
+
+(* Allocate [size] bytes (zero-initialised). A 16-byte guard gap separates
+   consecutive units so off-by-one pointer arithmetic faults instead of
+   silently touching a neighbour. *)
+let alloc ?(tag = "heap") t size =
+  if size < 0 then fault "%s: negative allocation size %d" t.name size;
+  let size = max size 1 in
+  let base = t.next in
+  if base + size >= t.range_hi then
+    fault "%s: out of memory allocating %d bytes" t.name size;
+  t.next <- base + round_up size 16 + 16;
+  let block = { base; size; data = Bytes.make size '\000'; tag; freed = false } in
+  t.blocks <- Cgcm_support.Avl_map.Int.add base block t.blocks;
+  t.live_bytes <- t.live_bytes + size;
+  t.peak_bytes <- max t.peak_bytes t.live_bytes;
+  base
+
+let block_of_base t base =
+  match Cgcm_support.Avl_map.Int.find_opt base t.blocks with
+  | Some b when not b.freed -> b
+  | Some _ -> fault "%s: use of freed block at 0x%x" t.name base
+  | None -> fault "%s: 0x%x is not the base of any allocation unit" t.name base
+
+(* Resolve an interior pointer to its allocation unit. *)
+let block_of_addr t addr =
+  match t.last with
+  | Some b when (not b.freed) && addr >= b.base && addr < b.base + b.size -> b
+  | _ -> (
+    match Cgcm_support.Avl_map.Int.greatest_leq addr t.blocks with
+    | Some (_, b) when (not b.freed) && addr >= b.base && addr < b.base + b.size
+      ->
+      t.last <- Some b;
+      b
+    | Some (_, b) when b.freed && addr >= b.base && addr < b.base + b.size ->
+      fault "%s: access to freed allocation unit (addr 0x%x, tag %s)" t.name
+        addr b.tag
+    | _ -> fault "%s: wild pointer 0x%x" t.name addr)
+
+let free t base =
+  let b = block_of_base t base in
+  if b.base <> base then
+    fault "%s: free of interior pointer 0x%x (unit base 0x%x)" t.name base b.base;
+  b.freed <- true;
+  t.live_bytes <- t.live_bytes - b.size;
+  t.blocks <- Cgcm_support.Avl_map.Int.remove base t.blocks
+
+let check_span t b addr len what =
+  if addr < b.base || addr + len > b.base + b.size then
+    fault "%s: %s of %d bytes at 0x%x overruns unit [0x%x, 0x%x)" t.name what len
+      addr b.base (b.base + b.size)
+
+let load_u8 t addr =
+  let b = block_of_addr t addr in
+  check_span t b addr 1 "load";
+  Char.code (Bytes.get b.data (addr - b.base))
+
+let store_u8 t addr v =
+  let b = block_of_addr t addr in
+  check_span t b addr 1 "store";
+  Bytes.set b.data (addr - b.base) (Char.chr (v land 0xff))
+
+let load_i64 t addr =
+  let b = block_of_addr t addr in
+  check_span t b addr 8 "load";
+  Bytes.get_int64_le b.data (addr - b.base)
+
+let store_i64 t addr v =
+  let b = block_of_addr t addr in
+  check_span t b addr 8 "store";
+  Bytes.set_int64_le b.data (addr - b.base) v
+
+let load_f64 t addr = Int64.float_of_bits (load_i64 t addr)
+
+let store_f64 t addr v = store_i64 t addr (Int64.bits_of_float v)
+
+(* Raw byte access used by the transfer engine. *)
+let read_bytes t addr len =
+  let b = block_of_addr t addr in
+  check_span t b addr len "read";
+  Bytes.sub b.data (addr - b.base) len
+
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  let b = block_of_addr t addr in
+  check_span t b addr len "write";
+  Bytes.blit src 0 b.data (addr - b.base) len
+
+(* Copy [len] bytes across (or within) spaces. *)
+let blit ~src ~src_addr ~dst ~dst_addr ~len =
+  if len > 0 then write_bytes dst dst_addr (read_bytes src src_addr len)
+
+let unit_bounds t addr =
+  let b = block_of_addr t addr in
+  (b.base, b.size)
+
+let live_bytes t = t.live_bytes
+
+let peak_bytes t = t.peak_bytes
+
+let live_units t = Cgcm_support.Avl_map.Int.cardinal t.blocks
+
+(* Store an OCaml string as NUL-terminated bytes. *)
+let store_string t addr s =
+  String.iteri (fun i c -> store_u8 t (addr + i) (Char.code c)) s;
+  store_u8 t (addr + String.length s) 0
+
+let load_string t addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let c = load_u8 t a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf

@@ -1,0 +1,87 @@
+(** A simulated byte-addressable memory space.
+
+    The host (CPU) memory and the GPU device memory are separate instances
+    with disjoint address ranges — the divided memories that motivate
+    CGCM. Every allocation is an {e allocation unit} in the paper's sense:
+    a contiguous region created as a single unit, resolvable from any
+    interior pointer. Accesses are bounds-checked against the containing
+    unit, so valid pointer arithmetic (within a unit, per C99) works and
+    anything else raises {!Fault}. *)
+
+(** Raised on wild pointers, out-of-bounds accesses, use-after-free,
+    double free, interior-pointer free, and exhaustion. *)
+exception Fault of string
+
+(** Raise a {!Fault} with a formatted message. *)
+val fault : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type block = {
+  base : int;
+  size : int;
+  data : Bytes.t;
+  tag : string;  (** provenance label, for diagnostics *)
+  mutable freed : bool;
+}
+
+type t = {
+  name : string;
+  range_lo : int;
+  range_hi : int;
+  mutable next : int;  (** bump-allocation frontier *)
+  mutable blocks : block Cgcm_support.Avl_map.Int.t;
+  mutable live_bytes : int;
+  mutable peak_bytes : int;
+  mutable last : block option;  (** one-entry resolution cache *)
+}
+
+val word_size : int
+(** Size of an IR word (8 bytes). *)
+
+val create : name:string -> range_lo:int -> range_hi:int -> t
+(** [create ~name ~range_lo ~range_hi] is an empty space whose unit
+    addresses fall in [\[range_lo, range_hi)]. *)
+
+val in_range : t -> int -> bool
+
+val alloc : ?tag:string -> t -> int -> int
+(** [alloc t size] creates a zero-initialised allocation unit and returns
+    its base address. A 16-byte guard gap separates consecutive units so
+    off-by-one arithmetic faults rather than corrupting a neighbour.
+    Size 0 is clamped to 1. *)
+
+val free : t -> int -> unit
+(** [free t base] retires the unit whose base address is [base]. Faults on
+    interior pointers and double frees. *)
+
+val block_of_addr : t -> int -> block
+(** Resolve an interior pointer to its allocation unit (the paper's
+    greatest-key-≤ lookup). Faults on wild pointers. *)
+
+val unit_bounds : t -> int -> int * int
+(** [unit_bounds t addr] is [(base, size)] of the containing unit. *)
+
+(** {2 Typed access} — all bounds-checked against the containing unit. *)
+
+val load_u8 : t -> int -> int
+val store_u8 : t -> int -> int -> unit
+val load_i64 : t -> int -> int64
+val store_i64 : t -> int -> int64 -> unit
+val load_f64 : t -> int -> float
+val store_f64 : t -> int -> float -> unit
+
+val read_bytes : t -> int -> int -> Bytes.t
+val write_bytes : t -> int -> Bytes.t -> unit
+
+val blit : src:t -> src_addr:int -> dst:t -> dst_addr:int -> len:int -> unit
+(** Copy bytes across (or within) spaces — the transfer engine's core. *)
+
+(** {2 NUL-terminated strings} *)
+
+val store_string : t -> int -> string -> unit
+val load_string : t -> int -> string
+
+(** {2 Accounting} *)
+
+val live_bytes : t -> int
+val peak_bytes : t -> int
+val live_units : t -> int

@@ -1,0 +1,53 @@
+(* ASCII bar chart for whole-program speedups (Figure 4 style). The axis
+   is logarithmic, as in the paper's figure, so slowdowns and large
+   speedups are both visible. *)
+
+let log_bar ~width ~lo ~hi v =
+  let v = max lo (min hi v) in
+  let frac = (log v -. log lo) /. (log hi -. log lo) in
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make (max 0 n) '#'
+
+(* [series]: (label, speedup) pairs per program. *)
+let speedups ?(width = 48) ?(lo = 0.01) ?(hi = 100.0)
+    (rows : (string * (string * float) list) list) : string =
+  let buf = Buffer.create 4096 in
+  let name_w =
+    List.fold_left (fun m (n, _) -> max m (String.length n)) 0 rows
+  in
+  let series_names =
+    match rows with (_, s) :: _ -> List.map fst s | [] -> []
+  in
+  let label_w =
+    List.fold_left (fun m n -> max m (String.length n)) 0 series_names
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s  (log scale, %.2fx .. %.0fx; '|' marks 1.0x)\n"
+       (String.make name_w ' ') lo hi);
+  let one_mark =
+    int_of_float
+      (log (1.0 /. lo) /. log (hi /. lo) *. float_of_int width)
+  in
+  List.iter
+    (fun (name, series) ->
+      List.iteri
+        (fun i (label, v) ->
+          let bar = log_bar ~width ~lo ~hi v in
+          let bar =
+            (* overlay the 1.0x marker *)
+            let b = Bytes.make (width + 1) ' ' in
+            Bytes.blit_string bar 0 b 0 (String.length bar);
+            if one_mark >= 0 && one_mark <= width then
+              Bytes.set b one_mark
+                (if String.length bar > one_mark then '+' else '|');
+            Bytes.to_string b
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s  %-*s %s %8.2fx\n"
+               name_w
+               (if i = 0 then name else "")
+               label_w label bar v))
+        series;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** ASCII bar chart for whole-program speedups (Figure 4 style), on a
+    logarithmic axis so slowdowns and large speedups are both visible. *)
+
+val log_bar : width:int -> lo:float -> hi:float -> float -> string
+(** Bar of '#' characters, log-scaled and clamped to [lo, hi]. *)
+
+val speedups :
+  ?width:int ->
+  ?lo:float ->
+  ?hi:float ->
+  (string * (string * float) list) list ->
+  string
+(** [(program, [(configuration, speedup); ...]); ...] — one bar per
+    configuration per program, with a '|' marker at 1.0x. *)

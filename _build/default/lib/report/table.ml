@@ -1,0 +1,51 @@
+(* Plain-text table renderer with automatic column widths. *)
+
+type align = Left | Right
+
+let render ?(aligns : align list = []) ~(header : string list)
+    (rows : string list list) : string =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> Left
+  in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = String.length cell in
+    if n >= w then cell
+    else
+      match align_of i with
+      | Left -> cell ^ String.make (w - n) ' '
+      | Right -> String.make (w - n) ' ' ^ cell
+  in
+  let line row =
+    (* cells beyond the header are dropped; missing cells padded empty *)
+    let cells = List.filteri (fun i _ -> i < ncols) row in
+    let cells =
+      cells @ List.init (ncols - List.length cells) (fun _ -> "")
+    in
+    String.concat "  " (List.mapi pad cells)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

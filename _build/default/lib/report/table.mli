@@ -1,0 +1,9 @@
+(** Plain-text table renderer with automatic column widths. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~aligns ~header rows]: columns are sized to the widest cell;
+    rows longer than the header are truncated, shorter ones padded.
+    Unspecified alignments default to [Left]. *)

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Cgcm_gpusim Cgcm_memory Cgcm_support Fmt Int64 List Option

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Cgcm_gpusim Cgcm_memory Cgcm_support

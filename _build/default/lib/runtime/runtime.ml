@@ -1,0 +1,309 @@
+(* The CGCM run-time library (Section 3 of the paper).
+
+   The library tracks *allocation units* — contiguous regions allocated as
+   a single unit (heap blocks, globals, escaping stack variables) — in a
+   self-balancing tree map indexed by base address, and translates CPU
+   pointers into equivalent GPU pointers:
+
+     map      copy the unit to the device if needed; bump its refcount;
+              return the translated pointer (Algorithm 1).
+     unmap    copy the unit back to the host unless the host copy is
+              already current in this epoch or the unit is read-only
+              (Algorithm 2).
+     release  drop a reference; free device memory at zero (Algorithm 3).
+
+   The *Array variants operate on doubly indirect pointers: each CPU
+   pointer stored in the unit is translated into a new device-side array,
+   which is what the kernel receives.
+
+   An epoch counter increments at every kernel launch; unmap copies a unit
+   at most once per epoch, because only kernels mutate device memory. *)
+
+module Memspace = Cgcm_memory.Memspace
+module Avl = Cgcm_support.Avl_map.Int
+module Device = Cgcm_gpusim.Device
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type alloc_info = {
+  base : int;
+  size : int;
+  is_global : bool;
+  global_name : string option;
+  read_only : bool;
+  from_alloca : bool;
+  mutable devptr : int option;
+  mutable refcount : int;
+  mutable epoch : int;  (* last epoch in which the host copy was updated *)
+  (* state for the array variants *)
+  mutable arr_shadow : int option;  (* device array of translated pointers *)
+  mutable arr_refcount : int;
+  mutable arr_elems : int list;  (* host pointers translated by map_array *)
+}
+
+type stats = {
+  mutable map_calls : int;
+  mutable unmap_calls : int;
+  mutable release_calls : int;
+  mutable map_array_calls : int;
+  mutable skipped_unmaps : int;  (* epoch optimisation hits *)
+  mutable skipped_copies : int;  (* map found the unit already resident *)
+}
+
+type t = {
+  host : Memspace.t;
+  dev : Device.t;
+  mutable info : alloc_info Avl.t;
+  mutable global_epoch : int;
+  stats : stats;
+  (* wall-clock hook: the interpreter threads its clock through us *)
+  mutable now : float;
+}
+
+let create ~host ~dev =
+  {
+    host;
+    dev;
+    info = Avl.empty;
+    global_epoch = 0;
+    stats =
+      {
+        map_calls = 0;
+        unmap_calls = 0;
+        release_calls = 0;
+        map_array_calls = 0;
+        skipped_unmaps = 0;
+        skipped_copies = 0;
+      };
+    now = 0.0;
+  }
+
+let charge t cycles = t.now <- t.now +. cycles
+
+let runtime_call_cost t =
+  charge t t.dev.Device.cost.Cgcm_gpusim.Cost_model.runtime_call_overhead
+
+(* ------------------------------------------------------------------ *)
+(* Registration: heap, globals, escaping allocas                       *)
+
+let register t info = t.info <- Avl.add info.base info t.info
+
+let mk_info ?(is_global = false) ?(global_name = None) ?(read_only = false)
+    ?(from_alloca = false) ~base ~size () =
+  {
+    base;
+    size;
+    is_global;
+    global_name;
+    read_only;
+    from_alloca;
+    devptr = None;
+    refcount = 0;
+    epoch = 0;
+    arr_shadow = None;
+    arr_refcount = 0;
+    arr_elems = [];
+  }
+
+(* Wrapper around malloc/calloc: the interpreter calls this for every heap
+   allocation so the run-time knows the dynamic state of the heap. *)
+let register_heap t ~base ~size = register t (mk_info ~base ~size ())
+
+(* declareGlobal(name, ptr, size, isReadOnly): called once per global
+   before main. Registering addresses at run time side-steps position-
+   independent-code and ASLR issues, as the paper notes. *)
+let declare_global t ~name ~base ~size ~read_only =
+  Device.declare_module_global t.dev ~name ~size;
+  register t (mk_info ~is_global:true ~global_name:(Some name) ~read_only ~base ~size ())
+
+(* declareAlloca: registration of an escaping stack variable. *)
+let declare_alloca t ~base ~size =
+  register t (mk_info ~from_alloca:true ~base ~size ())
+
+let find_info t ptr =
+  match Avl.greatest_leq ptr t.info with
+  | Some (_, info) when ptr >= info.base && ptr < info.base + info.size ->
+    info
+  | _ ->
+    error "no allocation unit contains pointer 0x%x (missing registration?)"
+      ptr
+
+let lookup_unit t ptr = find_info t ptr
+
+(* The wrapper around free: heap units must not leave the map while still
+   mapped on the device. *)
+let unregister_heap t ~base =
+  (match Avl.find_opt base t.info with
+  | Some info when info.refcount > 0 || info.arr_refcount > 0 ->
+    error "free of allocation unit 0x%x while mapped on the device" base
+  | Some info ->
+    (match info.devptr with
+    | Some d when not info.is_global ->
+      t.now <- Device.mem_free t.dev ~now:t.now d;
+      info.devptr <- None
+    | _ -> ())
+  | None -> ());
+  t.info <- Avl.remove base t.info
+
+(* Expiry of a declareAlloca registration at scope exit. *)
+let expire_alloca t ~base =
+  match Avl.find_opt base t.info with
+  | Some info ->
+    if info.refcount > 0 || info.arr_refcount > 0 then
+      error "stack allocation unit 0x%x left scope while mapped" base;
+    (match info.devptr with
+    | Some d when not info.is_global ->
+      t.now <- Device.mem_free t.dev ~now:t.now d;
+      info.devptr <- None
+    | _ -> ());
+    t.info <- Avl.remove base t.info
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Epochs                                                              *)
+
+(* Called at every kernel launch. *)
+let bump_epoch t = t.global_epoch <- t.global_epoch + 1
+
+(* ------------------------------------------------------------------ *)
+(* map / unmap / release (Algorithms 1-3)                              *)
+
+let device_base_of t info =
+  match info.devptr with
+  | Some d -> d
+  | None ->
+    let d, now =
+      if info.is_global then
+        Device.module_get_global t.dev ~now:t.now (Option.get info.global_name)
+      else Device.mem_alloc t.dev ~now:t.now info.size
+    in
+    t.now <- now;
+    info.devptr <- Some d;
+    d
+
+let map t ptr =
+  t.stats.map_calls <- t.stats.map_calls + 1;
+  runtime_call_cost t;
+  let info = find_info t ptr in
+  let d = device_base_of t info in
+  if info.refcount = 0 then
+    t.now <-
+      Device.memcpy_h_to_d t.dev ~now:t.now ~host:t.host ~host_addr:info.base
+        ~dev_addr:d ~len:info.size
+  else t.stats.skipped_copies <- t.stats.skipped_copies + 1;
+  info.refcount <- info.refcount + 1;
+  d + (ptr - info.base)
+
+let unmap t ptr =
+  t.stats.unmap_calls <- t.stats.unmap_calls + 1;
+  runtime_call_cost t;
+  let info = find_info t ptr in
+  match info.devptr with
+  | Some d when info.epoch <> t.global_epoch && not info.read_only ->
+    t.now <-
+      Device.memcpy_d_to_h t.dev ~now:t.now ~host:t.host ~host_addr:info.base
+        ~dev_addr:d ~len:info.size;
+    info.epoch <- t.global_epoch
+  | _ -> t.stats.skipped_unmaps <- t.stats.skipped_unmaps + 1
+
+let release t ptr =
+  t.stats.release_calls <- t.stats.release_calls + 1;
+  runtime_call_cost t;
+  let info = find_info t ptr in
+  if info.refcount <= 0 then
+    error "release of allocation unit 0x%x with zero reference count" info.base;
+  info.refcount <- info.refcount - 1;
+  if info.refcount = 0 && not info.is_global then begin
+    match info.devptr with
+    | Some d ->
+      t.now <- Device.mem_free t.dev ~now:t.now d;
+      info.devptr <- None
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Array variants: doubly indirect pointers                            *)
+
+let word = 8
+
+let map_array t ptr =
+  t.stats.map_array_calls <- t.stats.map_array_calls + 1;
+  runtime_call_cost t;
+  let info = find_info t ptr in
+  (match info.arr_shadow with
+  | Some _ ->
+    (* Already translated: take a reference on every element unit so the
+       balancing releaseArray keeps refcounts non-negative. *)
+    List.iter (fun p -> ignore (map t p)) info.arr_elems
+  | None ->
+    (* Translate every CPU pointer in the unit into a new device array. *)
+    let n = info.size / word in
+    let elems = ref [] in
+    let translated =
+      Array.init n (fun i ->
+          let p = Int64.to_int (Memspace.load_i64 t.host (info.base + (i * word))) in
+          if p = 0 then 0L
+          else begin
+            elems := p :: !elems;
+            Int64.of_int (map t p)
+          end)
+    in
+    info.arr_elems <- List.rev !elems;
+    (* For a global, the translated pointers must land in the device copy
+       of the global itself: kernels reach it via cuModuleGetGlobal. *)
+    let shadow, now =
+      if info.is_global then
+        Device.module_get_global t.dev ~now:t.now (Option.get info.global_name)
+      else Device.mem_alloc t.dev ~now:t.now (n * word)
+    in
+    t.now <- now;
+    (* Write the translated array into device memory (costed as HtoD
+       through a bounce buffer on the host). *)
+    Array.iteri
+      (fun i v -> Memspace.store_i64 t.dev.Device.mem (shadow + (i * word)) v)
+      translated;
+    let dur = Cgcm_gpusim.Cost_model.transfer_cycles t.dev.Device.cost (n * word) in
+    charge t dur;
+    t.dev.Device.stats.Device.htod_bytes <-
+      t.dev.Device.stats.Device.htod_bytes + (n * word);
+    t.dev.Device.stats.Device.htod_count <-
+      t.dev.Device.stats.Device.htod_count + 1;
+    t.dev.Device.stats.Device.comm_cycles <-
+      t.dev.Device.stats.Device.comm_cycles +. dur;
+    info.arr_shadow <- Some shadow);
+  info.arr_refcount <- info.arr_refcount + 1;
+  (* The kernel receives the shadow array; interior offsets translate. *)
+  Option.get info.arr_shadow + (ptr - info.base)
+
+let unmap_array t ptr =
+  runtime_call_cost t;
+  let info = find_info t ptr in
+  List.iter (fun p -> unmap t p) info.arr_elems
+
+let release_array t ptr =
+  runtime_call_cost t;
+  let info = find_info t ptr in
+  if info.arr_refcount <= 0 then
+    error "releaseArray on 0x%x with zero reference count" info.base;
+  List.iter (fun p -> release t p) info.arr_elems;
+  info.arr_refcount <- info.arr_refcount - 1;
+  if info.arr_refcount = 0 then begin
+    (match info.arr_shadow with
+    | Some shadow when not info.is_global ->
+      t.now <- Device.mem_free t.dev ~now:t.now shadow
+    | _ -> ());
+    info.arr_shadow <- None;
+    info.arr_elems <- []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection for tests and reports                                 *)
+
+let resident_units t =
+  Avl.fold (fun _ i n -> if i.devptr <> None then n + 1 else n) t.info 0
+
+let total_refcount t = Avl.fold (fun _ i n -> n + i.refcount) t.info 0
+
+let unit_count t = Avl.cardinal t.info

@@ -1,0 +1,125 @@
+(** The CGCM run-time library (Section 3 of the paper).
+
+    Tracks {e allocation units} — contiguous regions allocated as a single
+    unit (heap blocks, globals, escaping stack variables) — in a
+    self-balancing tree map indexed by base address, and translates CPU
+    pointers into equivalent GPU pointers:
+
+    - {!map} copies the unit to the device if needed, bumps its reference
+      count, and returns the translated pointer (Algorithm 1);
+    - {!unmap} copies the unit back to the host unless the host copy is
+      already current in this epoch or the unit is read-only
+      (Algorithm 2);
+    - {!release} drops a reference and frees device memory at zero
+      (Algorithm 3).
+
+    The [_array] variants operate on doubly indirect pointers: each CPU
+    pointer stored in the unit is translated into a new device-side
+    array, which is what the kernel receives.
+
+    An epoch counter increments at every kernel launch ({!bump_epoch});
+    unmap copies a unit at most once per epoch, because only kernels
+    mutate device memory. *)
+
+exception Runtime_error of string
+
+type alloc_info = {
+  base : int;
+  size : int;
+  is_global : bool;
+  global_name : string option;
+  read_only : bool;
+  from_alloca : bool;
+  mutable devptr : int option;  (** device copy, when resident *)
+  mutable refcount : int;
+  mutable epoch : int;  (** last epoch in which the host copy was updated *)
+  mutable arr_shadow : int option;
+      (** device array of translated pointers (mapArray) *)
+  mutable arr_refcount : int;
+  mutable arr_elems : int list;
+      (** host pointers translated by the last mapArray *)
+}
+
+type stats = {
+  mutable map_calls : int;
+  mutable unmap_calls : int;
+  mutable release_calls : int;
+  mutable map_array_calls : int;
+  mutable skipped_unmaps : int;  (** epoch-optimisation hits *)
+  mutable skipped_copies : int;  (** map found the unit already resident *)
+}
+
+type t = {
+  host : Cgcm_memory.Memspace.t;
+  dev : Cgcm_gpusim.Device.t;
+  mutable info : alloc_info Cgcm_support.Avl_map.Int.t;
+  mutable global_epoch : int;
+  stats : stats;
+  mutable now : float;
+      (** wall-clock hook: the interpreter threads its clock through the
+          run-time so transfers and driver calls are costed *)
+}
+
+val create : host:Cgcm_memory.Memspace.t -> dev:Cgcm_gpusim.Device.t -> t
+
+(** {2 Registration} *)
+
+val register_heap : t -> base:int -> size:int -> unit
+(** The wrapper around [malloc]/[calloc]/[realloc]: every heap allocation
+    enters the allocation map. *)
+
+val unregister_heap : t -> base:int -> unit
+(** The wrapper around [free]. Raises if the unit is still mapped. *)
+
+val declare_global :
+  t -> name:string -> base:int -> size:int -> read_only:bool -> unit
+(** [declareGlobal]: called once per global before [main]. Also declares
+    the matching named region to the device module. *)
+
+val declare_alloca : t -> base:int -> size:int -> unit
+(** [declareAlloca]: registration of an escaping stack variable. *)
+
+val expire_alloca : t -> base:int -> unit
+(** Registration expiry at scope exit. Raises if the unit is still
+    mapped (its device copy would dangle). *)
+
+(** {2 The mapping interface (Table 2 of the paper)} *)
+
+val map : t -> int -> int
+(** [map t ptr] returns the equivalent device pointer, copying the
+    allocation unit host-to-device when its reference count was zero.
+    Interior offsets are preserved: [map (p + k) = map p + k] within a
+    unit. *)
+
+val unmap : t -> int -> unit
+(** [unmap t ptr] updates the host copy from the device, at most once per
+    epoch, never for read-only units. *)
+
+val release : t -> int -> unit
+(** [release t ptr] drops a reference; at zero the device copy of a
+    non-global unit is freed. Raises on underflow. *)
+
+val map_array : t -> int -> int
+(** [mapArray]: translate every pointer stored in the unit (mapping each
+    pointee), publish the translated array on the device, return its
+    address. For a global, the translated array lands in the device copy
+    of the global itself (kernels reach it via [cuModuleGetGlobal]). *)
+
+val unmap_array : t -> int -> unit
+(** [unmapArray]: unmap every pointee translated by the matching
+    {!map_array}. The host pointer array itself is untouched (kernels
+    cannot store pointers). *)
+
+val release_array : t -> int -> unit
+(** [releaseArray]: release every pointee and drop the shadow array's
+    reference; at zero the shadow is freed. *)
+
+val bump_epoch : t -> unit
+(** Called at every kernel launch. *)
+
+(** {2 Introspection (tests, reports)} *)
+
+val lookup_unit : t -> int -> alloc_info
+val resident_units : t -> int
+val total_refcount : t -> int
+val unit_count : t -> int

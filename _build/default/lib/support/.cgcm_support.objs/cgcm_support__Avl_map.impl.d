@@ -1,0 +1,1 @@
+lib/support/avl_map.ml: Int List Option

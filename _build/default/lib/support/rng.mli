@@ -1,0 +1,14 @@
+(** Deterministic splitmix64 generator. Benchmark workloads must be
+    reproducible across runs and execution modes, so the global [Random]
+    state is never used. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]; raises on non-positive bounds. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)

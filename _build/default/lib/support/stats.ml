@@ -1,0 +1,24 @@
+(* Small numeric helpers shared by the report generators. *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Geometric mean; every input must be strictly positive. *)
+let geomean = function
+  | [] -> nan
+  | xs ->
+    let logsum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive input"
+          else acc +. log x)
+        0.0 xs
+    in
+    exp (logsum /. float_of_int (List.length xs))
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let sum = List.fold_left ( +. ) 0.0
+
+let percent part total = if total <= 0.0 then 0.0 else 100.0 *. part /. total

@@ -1,0 +1,1 @@
+lib/transform/alloca_promotion.ml: Array Cgcm_analysis Cgcm_ir List Option Rewrite

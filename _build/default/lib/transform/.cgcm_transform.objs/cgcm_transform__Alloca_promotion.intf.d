@@ -1,0 +1,1 @@
+lib/transform/alloca_promotion.mli: Cgcm_ir

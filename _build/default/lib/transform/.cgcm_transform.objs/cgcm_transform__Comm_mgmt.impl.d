@@ -1,0 +1,1 @@
+lib/transform/comm_mgmt.ml: Array Cgcm_analysis Cgcm_ir Hashtbl List Rewrite

@@ -1,0 +1,1 @@
+lib/transform/comm_mgmt.mli: Cgcm_analysis Cgcm_ir

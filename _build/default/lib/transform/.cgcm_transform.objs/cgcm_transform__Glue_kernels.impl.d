@@ -1,0 +1,1 @@
+lib/transform/glue_kernels.ml: Array Cgcm_analysis Cgcm_ir Comm_mgmt Fmt Hashtbl List

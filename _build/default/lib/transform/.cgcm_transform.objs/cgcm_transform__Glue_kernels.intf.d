@@ -1,0 +1,1 @@
+lib/transform/glue_kernels.mli: Cgcm_ir

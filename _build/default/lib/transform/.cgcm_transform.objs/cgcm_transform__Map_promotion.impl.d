@@ -1,0 +1,1 @@
+lib/transform/map_promotion.ml: Array Cgcm_analysis Cgcm_ir Hashtbl List Option Rewrite

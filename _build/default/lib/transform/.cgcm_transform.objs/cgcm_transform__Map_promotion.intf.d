@@ -1,0 +1,1 @@
+lib/transform/map_promotion.mli: Cgcm_ir

@@ -1,0 +1,1 @@
+lib/transform/pass.ml: Alloca_promotion Cgcm_ir Comm_mgmt Glue_kernels List Logs Map_promotion Simplify Sys

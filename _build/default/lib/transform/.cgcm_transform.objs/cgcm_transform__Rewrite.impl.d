@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Array Cgcm_analysis Cgcm_ir List Option

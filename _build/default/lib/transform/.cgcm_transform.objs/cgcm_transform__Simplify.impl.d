@@ -1,0 +1,1 @@
+lib/transform/simplify.ml: Array Cgcm_ir Hashtbl Int64 List Rewrite

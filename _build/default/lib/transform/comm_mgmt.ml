@@ -1,0 +1,109 @@
+(* Communication management (Section 4 of the paper).
+
+   The pass starts from sequential CPU code launching GPU kernels with no
+   CPU-GPU communication whatsoever (a shared namespace fiction produced
+   by the DOALL outliner) and makes the program correct on split memories:
+
+   - every kernel's live-in values are its launch operands plus the
+     globals its body references;
+   - use-based type inference classifies each live-in as scalar, pointer,
+     or double pointer (the C types being long gone);
+   - pointer live-ins are routed through the run-time: map before the
+     launch (translating the operand), unmap and release after it;
+   - stack variables whose address escapes are flagged so the interpreter
+     registers them with the run-time (declareAlloca).
+
+   The resulting cyclic pattern is correct but slow; the optimization
+   passes (glue kernels, alloca promotion, map promotion) remove the
+   cycles afterwards. *)
+
+module Ir = Cgcm_ir.Ir
+module Typeinfer = Cgcm_analysis.Typeinfer
+module Alias = Cgcm_analysis.Alias
+
+exception Unmanageable of string
+
+(* Mark escaping allocas for run-time registration. *)
+let register_escaping_allocas (f : Ir.func) =
+  let escaping = Alias.escaping_allocas f in
+  Ir.iter_instrs
+    (fun _ i ->
+      match i with
+      | Ir.Alloca (d, _, info) when List.mem d escaping ->
+        info.Ir.aregistered <- true
+      | _ -> ())
+    f
+
+let map_fn = function
+  | Typeinfer.Pointer -> (Ir.Intrinsic.map, Ir.Intrinsic.unmap, Ir.Intrinsic.release)
+  | Typeinfer.Double_pointer ->
+    (Ir.Intrinsic.map_array, Ir.Intrinsic.unmap_array, Ir.Intrinsic.release_array)
+  | Typeinfer.Scalar -> assert false
+
+(* Wrap one launch with the management calls. Returns the instruction
+   sequence replacing it. *)
+let manage_launch (f : Ir.func) (types : Typeinfer.kernel_types)
+    ~(kernel : string) ~(trip : Ir.value) ~(args : Ir.value list) :
+    Ir.instr list =
+  let pre = ref [] and post = ref [] in
+  let new_args =
+    List.mapi
+      (fun j arg ->
+        (* parameter 0 is the thread index; launch operand j is param j+1 *)
+        match types.Typeinfer.param_cls.(j + 1) with
+        | Typeinfer.Scalar -> arg
+        | (Typeinfer.Pointer | Typeinfer.Double_pointer) as cls ->
+          let mapf, unmapf, releasef = map_fn cls in
+          let d = Ir.fresh_reg f in
+          pre := Ir.Call (Some d, mapf, [ arg ]) :: !pre;
+          post :=
+            !post @ [ Ir.Call (None, unmapf, [ arg ]); Ir.Call (None, releasef, [ arg ]) ];
+          Ir.Reg d)
+      args
+  in
+  List.iter
+    (fun (g, cls) ->
+      match cls with
+      | Typeinfer.Scalar -> ()
+      | (Typeinfer.Pointer | Typeinfer.Double_pointer) as cls ->
+        let mapf, unmapf, releasef = map_fn cls in
+        let d = Ir.fresh_reg f in
+        (* The kernel reaches the global through cuModuleGetGlobal; the map
+           call's job is the data transfer, its result is unused. *)
+        pre := Ir.Call (Some d, mapf, [ Ir.Global g ]) :: !pre;
+        post :=
+          !post
+          @ [
+              Ir.Call (None, unmapf, [ Ir.Global g ]);
+              Ir.Call (None, releasef, [ Ir.Global g ]);
+            ])
+    types.Typeinfer.global_cls;
+  List.rev !pre
+  @ [ Ir.Launch { kernel; trip; args = new_args } ]
+  @ !post
+
+(* Manage every launch in the module. *)
+let run (m : Ir.modul) =
+  let kernel_types = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if f.Ir.fkind = Ir.Kernel then
+        Hashtbl.replace kernel_types f.Ir.fname (Typeinfer.infer_kernel f))
+    m.Ir.funcs;
+  List.iter
+    (fun (f : Ir.func) ->
+      if f.Ir.fkind = Ir.Cpu then begin
+        register_escaping_allocas f;
+        Rewrite.expand_instrs f (fun _bi i ->
+            match i with
+            | Ir.Launch { kernel; trip; args } ->
+              let types =
+                match Hashtbl.find_opt kernel_types kernel with
+                | Some t -> t
+                | None -> raise (Unmanageable ("unknown kernel " ^ kernel))
+              in
+              manage_launch f types ~kernel ~trip ~args
+            | i -> [ i ])
+      end)
+    m.Ir.funcs;
+  Cgcm_ir.Verifier.verify_modul m

@@ -1,0 +1,33 @@
+(** Communication management (Section 4 of the paper).
+
+    Starts from sequential CPU code launching GPU kernels with no CPU-GPU
+    communication whatsoever (the shared-namespace fiction produced by the
+    DOALL outliner) and makes the program correct on split memories: each
+    kernel's live-ins (launch operands + referenced globals) are
+    classified by use-based type inference, and pointer live-ins are
+    routed through the run-time — map before the launch, unmap and release
+    after it. Stack variables whose address escapes are flagged for
+    declareAlloca registration.
+
+    The result is correct but cyclic; the optimization passes remove the
+    cycles afterwards. *)
+
+exception Unmanageable of string
+
+val register_escaping_allocas : Cgcm_ir.Ir.func -> unit
+(** Mark allocas whose address escapes so the interpreter registers them
+    with the run-time (declareAlloca). *)
+
+val manage_launch :
+  Cgcm_ir.Ir.func ->
+  Cgcm_analysis.Typeinfer.kernel_types ->
+  kernel:string ->
+  trip:Cgcm_ir.Ir.value ->
+  args:Cgcm_ir.Ir.value list ->
+  Cgcm_ir.Ir.instr list
+(** Wrap one launch in management calls; returns the replacement
+    instruction sequence. Exposed for the glue-kernel pass, which must
+    manage the launches it synthesises. *)
+
+val run : Cgcm_ir.Ir.modul -> unit
+(** Manage every launch in the module; verifies the result. *)

@@ -1,0 +1,79 @@
+(* Pass manager: named module transformations composed into pipelines,
+   with optional logging and per-pass timing (via the [logs] library at
+   debug level), and verification between passes. *)
+
+module Ir = Cgcm_ir.Ir
+
+let src = Logs.Src.create "cgcm.pass" ~doc:"CGCM pass manager"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  name : string;
+  description : string;
+  run : Ir.modul -> unit;
+}
+
+let make ~name ~description run = { name; description; run }
+
+(* The standard CGCM passes, in their §5.3 schedule order. *)
+let simplify =
+  make ~name:"simplify"
+    ~description:"constant folding, algebraic identities, dead code"
+    Simplify.run
+
+let comm_mgmt =
+  make ~name:"comm-mgmt"
+    ~description:
+      "insert map/unmap/release around every launch (use-based type \
+       inference); mark escaping allocas"
+    Comm_mgmt.run
+
+let glue_kernels =
+  make ~name:"glue-kernels"
+    ~description:
+      "outline small CPU regions between launches onto the GPU"
+    (fun m -> Glue_kernels.run m)
+
+let alloca_promotion =
+  make ~name:"alloca-promotion"
+    ~description:"preallocate escaping locals in callers' frames"
+    (fun m -> Alloca_promotion.run m)
+
+let map_promotion =
+  make ~name:"map-promotion"
+    ~description:
+      "hoist run-time calls out of loops and up the call graph (acyclic \
+       communication)"
+    (fun m -> Map_promotion.run m)
+
+(* Pipelines per optimization level. *)
+let managed_pipeline = [ simplify; comm_mgmt ]
+
+let optimized_pipeline =
+  [ simplify; comm_mgmt; glue_kernels; alloca_promotion; map_promotion ]
+
+let instr_count (m : Ir.modul) =
+  List.fold_left
+    (fun acc f -> Ir.fold_instrs (fun n _ _ -> n + 1) acc f)
+    0 m.Ir.funcs
+
+(* Run a pipeline, verifying after every pass (each pass also verifies
+   internally; the double check is cheap and catches manager bugs). *)
+let run_pipeline (passes : t list) (m : Ir.modul) =
+  List.iter
+    (fun p ->
+      let before = instr_count m in
+      let t0 = Sys.time () in
+      p.run m;
+      Cgcm_ir.Verifier.verify_modul m;
+      Log.debug (fun k ->
+          k "%s: %d -> %d instructions (%.1f ms)" p.name before
+            (instr_count m)
+            ((Sys.time () -. t0) *. 1000.0)))
+    passes
+
+let find name =
+  List.find_opt (fun p -> p.name = name) optimized_pipeline
+
+let all = optimized_pipeline

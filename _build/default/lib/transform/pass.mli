@@ -1,0 +1,35 @@
+(** Pass manager: named module transformations composed into pipelines,
+    with debug-level logging of per-pass instruction deltas and timing,
+    and verification between passes. *)
+
+type t = {
+  name : string;
+  description : string;
+  run : Cgcm_ir.Ir.modul -> unit;
+}
+
+val make :
+  name:string -> description:string -> (Cgcm_ir.Ir.modul -> unit) -> t
+
+(** The standard CGCM passes. *)
+
+val simplify : t
+val comm_mgmt : t
+val glue_kernels : t
+val alloca_promotion : t
+val map_promotion : t
+
+val managed_pipeline : t list
+(** simplify + communication management: unoptimized CGCM. *)
+
+val optimized_pipeline : t list
+(** The full §5.3 schedule: simplify, comm-mgmt, glue kernels, alloca
+    promotion, map promotion. *)
+
+val run_pipeline : t list -> Cgcm_ir.Ir.modul -> unit
+(** Run each pass and re-verify the module after it. *)
+
+val instr_count : Cgcm_ir.Ir.modul -> int
+
+val find : string -> t option
+val all : t list

@@ -1,0 +1,1 @@
+test/test_advanced.ml: Alcotest Cgcm_analysis Cgcm_core Cgcm_frontend Cgcm_gpusim Cgcm_interp Cgcm_ir Cgcm_progs List Printf String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Cgcm_analysis Cgcm_frontend Cgcm_ir Fmt List

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Cgcm_core Cgcm_frontend Cgcm_interp Cgcm_ir

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Cgcm_frontend Cgcm_ir Cgcm_progs List Option

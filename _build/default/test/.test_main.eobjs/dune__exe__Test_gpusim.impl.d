@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Cgcm_gpusim Cgcm_memory List String

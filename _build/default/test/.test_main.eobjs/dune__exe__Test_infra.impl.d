@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Array Cgcm_analysis Cgcm_core Cgcm_ir Cgcm_progs Cgcm_transform List String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cgcm_ir List String

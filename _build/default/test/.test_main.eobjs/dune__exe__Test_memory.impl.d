@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Cgcm_memory Int64 List QCheck2 QCheck_alcotest

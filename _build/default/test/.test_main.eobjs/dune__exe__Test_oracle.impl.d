@@ -1,0 +1,1 @@
+test/test_oracle.ml: Array Cgcm_core Cgcm_interp Int64 Printf QCheck2 QCheck_alcotest

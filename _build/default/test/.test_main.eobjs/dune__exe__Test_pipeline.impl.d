@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Cgcm_core Cgcm_frontend Cgcm_gpusim Cgcm_interp Cgcm_progs List Printf QCheck2 QCheck_alcotest

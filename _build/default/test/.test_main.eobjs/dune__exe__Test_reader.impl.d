@@ -1,0 +1,1 @@
+test/test_reader.ml: Alcotest Array Cgcm_core Cgcm_interp Cgcm_ir Cgcm_progs Float Int64 List

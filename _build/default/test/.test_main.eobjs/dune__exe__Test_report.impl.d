@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Cgcm_progs Cgcm_report List String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Cgcm_gpusim Cgcm_memory Cgcm_runtime Int64 List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Cgcm_core Cgcm_interp Cgcm_ir Cgcm_transform Fmt

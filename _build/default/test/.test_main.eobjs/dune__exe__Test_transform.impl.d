@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Cgcm_analysis Cgcm_core Cgcm_frontend Cgcm_gpusim Cgcm_interp Cgcm_ir Cgcm_transform List String

@@ -1,0 +1,287 @@
+(* Deeper scenario tests: multi-level promotion climbing, invariant-chain
+   cloning, multi-exit loops, inference failure modes, heap reallocation,
+   and smoke tests of the experiment drivers. *)
+
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+module Ir = Cgcm_ir.Ir
+module Builder = Cgcm_ir.Builder
+module Typeinfer = Cgcm_analysis.Typeinfer
+
+let check = Alcotest.check
+
+let run_pair src =
+  let _, seq = Pipeline.run Pipeline.Sequential src in
+  let _, opt = Pipeline.run Pipeline.Cgcm_optimized src in
+  check Alcotest.string "output matches sequential" seq.Interp.output
+    opt.Interp.output;
+  (seq, opt)
+
+let htod (r : Interp.result) = r.Interp.dev_stats.Cgcm_gpusim.Device.htod_count
+let dtoh (r : Interp.result) = r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_count
+
+(* ------------------------------------------------------------------ *)
+
+let test_promotion_climbs_two_loops () =
+  (* kernel inside a doubly nested sequential loop: maps must climb both
+     levels, so transfer counts are independent of both trip counts *)
+  let src t1 t2 =
+    Printf.sprintf
+      "global float x[128];\n\
+       int main() {\n\
+       for (int i = 0; i < 128; i++) { x[i] = i * 0.5; }\n\
+       for (int a = 0; a < %d; a++) {\n\
+       for (int b = 0; b < %d; b++) {\n\
+       parallel for (int i = 0; i < 128; i++) { x[i] = x[i] * 1.001; }\n\
+       }\n\
+       }\n\
+       float s = 0.0;\n\
+       for (int i = 0; i < 128; i++) { s = s + x[i]; }\n\
+       print(s); return 0; }"
+      t1 t2
+  in
+  let _, small = run_pair (src 2 2) in
+  let _, big = run_pair (src 5 7) in
+  check Alcotest.int "HtoD independent of trip counts" (htod small) (htod big);
+  check Alcotest.int "DtoH independent of trip counts" (dtoh small) (dtoh big)
+
+let test_promotion_invariant_chain () =
+  (* the mapped pointer is reloaded from a global pointer cell inside the
+     loop: promotion must clone the load into the preheader *)
+  let src =
+    "global float* buf;\n\
+     int main() {\n\
+     buf = (float*) malloc(64 * sizeof(float));\n\
+     parallel for (int i = 0; i < 64; i++) { buf[i] = i * 1.5; }\n\
+     for (int t = 0; t < 9; t++) {\n\
+     parallel for (int i = 0; i < 64; i++) { buf[i] = buf[i] + 1.0; }\n\
+     }\n\
+     float s = 0.0;\n\
+     for (int i = 0; i < 64; i++) { s = s + buf[i]; }\n\
+     print(s); return 0; }"
+  in
+  let _, opt = run_pair src in
+  (* the pointee (64 floats) crosses at most twice per direction *)
+  check Alcotest.bool "no per-iteration transfers" true (dtoh opt <= 4)
+
+let test_promotion_multi_exit_loop () =
+  (* a data-dependent break gives the loop two exits; unmap+release land
+     on every exit edge and the result is still correct *)
+  let src =
+    "global float x[64];\n\
+     global int flag[1];\n\
+     int main() {\n\
+     for (int i = 0; i < 64; i++) { x[i] = i * 1.0; }\n\
+     int t = 0;\n\
+     while (t < 20) {\n\
+     parallel for (int i = 0; i < 64; i++) { x[i] = x[i] + 1.0; }\n\
+     t = t + 1;\n\
+     if (t == 7) { break; }\n\
+     }\n\
+     float s = 0.0;\n\
+     for (int i = 0; i < 64; i++) { s = s + x[i]; }\n\
+     print(s); print(t); return 0; }"
+  in
+  ignore (run_pair src)
+
+let test_promotion_respects_free () =
+  (* the unit is freed and reallocated between launches: pointsToChanges /
+     modOrRef must keep the maps cyclic, and the program stays correct *)
+  let src =
+    "global float* buf;\n\
+     int main() {\n\
+     float total = 0.0;\n\
+     for (int t = 0; t < 4; t++) {\n\
+     buf = (float*) malloc(32 * sizeof(float));\n\
+     parallel for (int i = 0; i < 32; i++) { buf[i] = i + t * 10.0; }\n\
+     total = total + buf[5];\n\
+     free(buf);\n\
+     }\n\
+     print(total); return 0; }"
+  in
+  ignore (run_pair src)
+
+let test_realloc () =
+  let src =
+    "int main() {\n\
+     int* a = (int*) malloc(4 * sizeof(int));\n\
+     for (int i = 0; i < 4; i++) { a[i] = i + 1; }\n\
+     a = (int*) realloc(a, 8 * sizeof(int));\n\
+     for (int i = 4; i < 8; i++) { a[i] = (i + 1) * 10; }\n\
+     parallel for (int i = 0; i < 8; i++) { a[i] = a[i] * 2; }\n\
+     int s = 0;\n\
+     for (int i = 0; i < 8; i++) { s = s + a[i]; }\n\
+     print(s);\n\
+     free(a);\n\
+     return 0; }"
+  in
+  let _, opt = run_pair src in
+  (* 2*(1+2+3+4) + 2*(50+60+70+80) = 20 + 520 *)
+  check Alcotest.string "value" "540\n" opt.Interp.output
+
+let test_calloc_zeroed () =
+  let src =
+    "int main() {\n\
+     int* a = (int*) calloc(4 * sizeof(int));\n\
+     int s = 0;\n\
+     for (int i = 0; i < 4; i++) { s = s + a[i]; }\n\
+     print(s); free(a); return 0; }"
+  in
+  let _, r = run_pair src in
+  check Alcotest.string "zeroed" "0\n" r.Interp.output
+
+(* ------------------------------------------------------------------ *)
+
+let test_typeinfer_too_indirect () =
+  (* three levels of indirection, constructed directly in the IR (the
+     frontend rejects it earlier) *)
+  let b = Builder.create ~name:"k3" ~nargs:2 ~kind:Ir.Kernel in
+  let p1 = Builder.load b Ir.I64 (Ir.Reg 1) in
+  let p2 = Builder.load b Ir.I64 p1 in
+  let _ = Builder.load b Ir.F64 p2 in
+  Builder.ret b None;
+  let f = Builder.finish b in
+  match Typeinfer.infer_kernel f with
+  | exception Typeinfer.Too_indirect _ -> ()
+  | _ -> Alcotest.fail "expected Too_indirect"
+
+let test_glue_skips_calls () =
+  (* a print between launches is not glue-able: no glue kernel appears and
+     the program still runs correctly *)
+  let src =
+    "global float x[32];\n\
+     int main() {\n\
+     for (int t = 0; t < 3; t++) {\n\
+     parallel for (int i = 0; i < 32; i++) { x[i] = x[i] + 1.0; }\n\
+     print(t);\n\
+     parallel for (int i = 0; i < 32; i++) { x[i] = x[i] * 1.5; }\n\
+     }\n\
+     print(x[3]); return 0; }"
+  in
+  let c = Pipeline.compile ~level:Pipeline.Optimized src in
+  let glue =
+    List.exists
+      (fun (f : Ir.func) ->
+        String.length f.Ir.fname >= 6 && String.sub f.Ir.fname 0 6 = "__glue")
+      c.Pipeline.modul.Ir.funcs
+  in
+  check Alcotest.bool "no glue kernel" false glue;
+  ignore (run_pair src)
+
+let test_alloca_promotion_skips_recursive () =
+  let src =
+    "global float out[16];\n\
+     void rec_work(int depth) {\n\
+     float tmp[16];\n\
+     parallel for (int i = 0; i < 16; i++) { tmp[i] = i + depth * 1.0; }\n\
+     parallel for (int i = 0; i < 16; i++) { out[i] = out[i] + tmp[i]; }\n\
+     if (depth > 0) { rec_work(depth - 1); }\n\
+     }\n\
+     int main() {\n\
+     rec_work(3);\n\
+     float s = 0.0;\n\
+     for (int i = 0; i < 16; i++) { s = s + out[i]; }\n\
+     print(s); return 0; }"
+  in
+  let c = Pipeline.compile ~level:Pipeline.Optimized src in
+  let f = Ir.find_func_exn c.Pipeline.modul "rec_work" in
+  check Alcotest.int "signature unchanged" 1 f.Ir.nargs;
+  ignore (run_pair src)
+
+let test_manual_driver_api () =
+  (* Listing 1 style: explicit gpu_malloc / gpu_memcpy / gpu_free with no
+     CGCM management at all; checked against the unified oracle *)
+  let src =
+    "global float host_data[32];
+     kernel void scale(int tid, float* d) { d[tid] = d[tid] * 3.0; }
+     int main() {
+     for (int i = 0; i < 32; i++) { host_data[i] = i * 0.5; }
+     float* d = (float*) gpu_malloc(32 * sizeof(float));
+     gpu_memcpy_h2d((char*) d, (char*) host_data, 32 * sizeof(float));
+     launch scale<32>(d);
+     gpu_memcpy_d2h((char*) host_data, (char*) d, 32 * sizeof(float));
+     gpu_free((char*) d);
+     float s = 0.0;
+     for (int i = 0; i < 32; i++) { s = s + host_data[i]; }
+     print(s); return 0; }"
+  in
+  (* manual management composes with manual parallelization: the auto
+     parallelizer must stay out of the way (its unmanaged kernels would
+     write device copies the manual code never reads back) *)
+  let c =
+    Pipeline.compile ~parallel:Cgcm_frontend.Doall.Off
+      ~level:Pipeline.Unmanaged src
+  in
+  let split = Interp.run c.Pipeline.modul in
+  let unified =
+    Interp.run
+      ~config:{ Interp.default_config with Interp.mode = Interp.Unified }
+      c.Pipeline.modul
+  in
+  check Alcotest.string "manual management is correct" unified.Interp.output
+    split.Interp.output;
+  check Alcotest.string "value" "744
+" split.Interp.output;
+  check Alcotest.int "one upload" 1
+    split.Interp.dev_stats.Cgcm_gpusim.Device.htod_count
+
+(* ------------------------------------------------------------------ *)
+(* Experiment-driver smoke tests                                       *)
+
+let test_table1_features_handled () =
+  let s = Cgcm_core.Experiments.table1 () in
+  let contains_sub hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "no failures" false (contains_sub s "FAILED");
+  check Alcotest.bool "struct row present" true
+    (contains_sub s "array of structures")
+
+let test_figure2_smoke () =
+  let s = Cgcm_core.Experiments.figure2 () in
+  check Alcotest.bool "three schedules" true
+    (List.length (String.split_on_char 'K' s) > 3)
+
+let test_run_program_driver () =
+  let prog =
+    {
+      Cgcm_progs.Registry.name = "mini";
+      suite = "test";
+      source = Cgcm_progs.Polybench.gemm ~n:8 ();
+      paper_limiting = Cgcm_progs.Registry.Gpu;
+      paper_kernels = 4;
+    }
+  in
+  let r = Cgcm_core.Experiments.run_program prog in
+  check Alcotest.bool "outputs match" true r.Cgcm_core.Experiments.outputs_match;
+  check Alcotest.int "kernel count" 4 r.Cgcm_core.Experiments.kernels;
+  let fig = Cgcm_core.Experiments.figure4 [ r ] in
+  check Alcotest.bool "figure renders" true (String.length fig > 100);
+  let tbl = Cgcm_core.Experiments.table3 [ r ] in
+  check Alcotest.bool "table renders" true (String.length tbl > 100)
+
+let tests =
+  [
+    Alcotest.test_case "promotion climbs two loops" `Quick
+      test_promotion_climbs_two_loops;
+    Alcotest.test_case "promotion clones invariant chains" `Quick
+      test_promotion_invariant_chain;
+    Alcotest.test_case "promotion with multi-exit loop" `Quick
+      test_promotion_multi_exit_loop;
+    Alcotest.test_case "promotion respects free/realloc" `Quick
+      test_promotion_respects_free;
+    Alcotest.test_case "realloc" `Quick test_realloc;
+    Alcotest.test_case "calloc zeroes" `Quick test_calloc_zeroed;
+    Alcotest.test_case "typeinfer rejects 3 levels" `Quick
+      test_typeinfer_too_indirect;
+    Alcotest.test_case "glue skips calls" `Quick test_glue_skips_calls;
+    Alcotest.test_case "alloca promotion skips recursion" `Quick
+      test_alloca_promotion_skips_recursive;
+    Alcotest.test_case "manual driver API" `Quick test_manual_driver_api;
+    Alcotest.test_case "table1 features handled" `Quick
+      test_table1_features_handled;
+    Alcotest.test_case "figure2 smoke" `Quick test_figure2_smoke;
+    Alcotest.test_case "run_program driver" `Quick test_run_program_driver;
+  ]

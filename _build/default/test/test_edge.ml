@@ -1,0 +1,157 @@
+(* Edge-case coverage: numeric semantics, char truncation, null pointers,
+   3-D arrays, parser corners, direct IR-level shift operators, deep
+   recursion, and argument errors. *)
+
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+module Ir = Cgcm_ir.Ir
+module Builder = Cgcm_ir.Builder
+module Parser = Cgcm_frontend.Parser
+
+let check = Alcotest.check
+
+let run_seq src =
+  let c =
+    Pipeline.compile ~parallel:Cgcm_frontend.Doall.Off
+      ~level:Pipeline.Unmanaged src
+  in
+  Interp.run c.Pipeline.modul
+
+let output src = (run_seq src).Interp.output
+
+let test_int64_wraparound () =
+  check Alcotest.string "max + 1 wraps" "-9223372036854775808\n"
+    (output
+       "int main() { int x = 9223372036854775807; print(x + 1); return 0; }")
+
+let test_negative_modulo () =
+  (* C semantics: remainder takes the sign of the dividend *)
+  check Alcotest.string "-7 %% 3" "-1\n"
+    (output "int main() { print(-7 % 3); return 0; }");
+  check Alcotest.string "7 %% -3" "1\n"
+    (output "int main() { print(7 % -3); return 0; }")
+
+let test_float_specials () =
+  check Alcotest.string "inf" "inf\n"
+    (output "int main() { print(1.0 / 0.0); return 0; }");
+  check Alcotest.string "nan compares false" "0\n"
+    (output "int main() { float n = 0.0 / 0.0; print(n == n); return 0; }")
+
+let test_char_truncation () =
+  check Alcotest.string "store truncates to a byte" "44\n"
+    (output
+       "int main() { char* s = malloc(2); s[0] = 300; print(s[0]);\n\
+        free(s); return 0; }")
+
+let test_null_pointer_faults () =
+  match run_seq "int main() { int* p = (int*) 0; return *p; }" with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "null dereference must fault"
+
+let test_3d_arrays () =
+  check Alcotest.string "3-D indexing" "42\n"
+    (output
+       "global int T[2][3][4];\n\
+        int main() { T[1][2][3] = 42; int* p = (int*) T;\n\
+        print(p[1 * 12 + 2 * 4 + 3]); return 0; }")
+
+let test_deep_recursion () =
+  check Alcotest.string "fib 20" "6765\n"
+    (output
+       "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
+        int main() { print(fib(20)); return 0; }")
+
+let test_mutual_recursion () =
+  (* no prototypes needed: all signatures are collected in a prepass *)
+  check Alcotest.string "is_even 10" "1\n"
+    (output
+       "int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }\n\
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }\n\
+        int main() { print(is_even(10)); return 0; }")
+
+let test_else_if_chain () =
+  check Alcotest.string "chain" "2\n"
+    (output
+       "int main() { int x = 15;\n\
+        if (x < 10) { print(1); } else if (x < 20) { print(2); }\n\
+        else { print(3); } return 0; }")
+
+let test_sizeof_values () =
+  (* CGC struct layout: chars pack, words align to 8, no tail padding *)
+  check Alcotest.string "sizes" "8\n1\n8\n17\n34\n"
+    (output
+       "struct s { float a; int b; char c; };\n\
+        int main() { print(sizeof(int)); print(sizeof(char));\n\
+        print(sizeof(float*)); print(sizeof(struct s));\n\
+        print(sizeof(struct s) * 2); return 0; }")
+
+let test_global_null_init () =
+  check Alcotest.string "null entries" "1\n"
+    (output
+       "global char a[] = \"x\";\n\
+        global char* tbl[3] = {a, 0, a};\n\
+        int main() { print(tbl[1] == (char*) 0); return 0; }")
+
+let test_shift_operators_ir () =
+  (* Shl/Shr are IR-level only (no CGC syntax); execute them directly *)
+  let b = Builder.create ~name:"main" ~nargs:0 ~kind:Ir.Cpu in
+  let x = Builder.binop b Ir.Shl (Ir.imm 3) (Ir.imm 4) in
+  let y = Builder.binop b Ir.Shr x (Ir.imm 2) in
+  Builder.call_void b "print_i64" [ y ];
+  Builder.ret b (Some (Ir.imm 0));
+  let m = { Ir.globals = []; funcs = [ Builder.finish b ] } in
+  let r = Interp.run m in
+  check Alcotest.string "3 << 4 >> 2" "12\n" r.Interp.output
+
+let test_wrong_launch_arity_rejected () =
+  match
+    Pipeline.compile
+      "global float x[4];\n\
+       kernel void k(int tid, float v) { x[tid] = v; }\n\
+       int main() { launch k<4>(); return 0; }"
+  with
+  | exception Cgcm_frontend.Lower.Sema_error _ -> ()
+  | _ -> Alcotest.fail "expected arity error"
+
+let test_no_trailing_newline () =
+  check Alcotest.string "parses" "5\n"
+    (output "int main() { print(5); return 0; }")
+
+let test_comment_at_eof () =
+  check Alcotest.string "parses" "1\n"
+    (output "int main() { print(1); return 0; } // trailing comment")
+
+let test_parallel_for_reduction_error () =
+  (* annotating a genuinely dependent loop is the programmer's mistake,
+     but a non-canonical annotated loop is rejected loudly *)
+  match
+    Pipeline.compile
+      "global float x[8];\n\
+       int main() { int i = 0;\n\
+       parallel for (; i < 8; i++) { x[i] = 1.0; }\n\
+       return 0; }"
+  with
+  | exception Cgcm_frontend.Doall.Doall_error _ -> ()
+  | _ -> Alcotest.fail "expected Doall_error for non-canonical annotated loop"
+
+let tests =
+  [
+    Alcotest.test_case "int64 wraparound" `Quick test_int64_wraparound;
+    Alcotest.test_case "negative modulo" `Quick test_negative_modulo;
+    Alcotest.test_case "float specials" `Quick test_float_specials;
+    Alcotest.test_case "char truncation" `Quick test_char_truncation;
+    Alcotest.test_case "null pointer faults" `Quick test_null_pointer_faults;
+    Alcotest.test_case "3-D arrays" `Quick test_3d_arrays;
+    Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+    Alcotest.test_case "sizeof values" `Quick test_sizeof_values;
+    Alcotest.test_case "null global initialisers" `Quick test_global_null_init;
+    Alcotest.test_case "IR shift operators" `Quick test_shift_operators_ir;
+    Alcotest.test_case "launch arity rejected" `Quick
+      test_wrong_launch_arity_rejected;
+    Alcotest.test_case "no trailing newline" `Quick test_no_trailing_newline;
+    Alcotest.test_case "comment at EOF" `Quick test_comment_at_eof;
+    Alcotest.test_case "non-canonical parallel-for" `Quick
+      test_parallel_for_reduction_error;
+  ]

@@ -1,0 +1,131 @@
+(* Tests for the GPU simulator: cost model arithmetic, device timeline
+   semantics (async launches, synchronising transfers), named module
+   globals, and the trace machinery. *)
+
+module Cost_model = Cgcm_gpusim.Cost_model
+module Device = Cgcm_gpusim.Device
+module Trace = Cgcm_gpusim.Trace
+module Memspace = Cgcm_memory.Memspace
+
+let check = Alcotest.check
+
+let cm = Cost_model.default
+
+let test_transfer_cycles () =
+  let t0 = Cost_model.transfer_cycles cm 0 in
+  let t1 = Cost_model.transfer_cycles cm 1024 in
+  check (Alcotest.float 1e-9) "latency floor" cm.Cost_model.transfer_latency t0;
+  check (Alcotest.float 1e-9) "bandwidth term"
+    (cm.Cost_model.transfer_latency
+    +. (1024.0 /. cm.Cost_model.transfer_bytes_per_cycle))
+    t1
+
+let test_kernel_cycles () =
+  (* more threads = more parallelism, up to the core count *)
+  let small = Cost_model.kernel_cycles cm ~insts:100_000 ~trip:10 in
+  let big = Cost_model.kernel_cycles cm ~insts:100_000 ~trip:480 in
+  let huge = Cost_model.kernel_cycles cm ~insts:100_000 ~trip:100_000 in
+  check Alcotest.bool "parallelism helps" true (big < small);
+  check (Alcotest.float 1e-6) "saturates at the core count" big huge;
+  (* zero-work kernel still pays the launch overhead *)
+  check (Alcotest.float 1e-9) "launch overhead"
+    cm.Cost_model.launch_overhead_gpu
+    (Cost_model.kernel_cycles cm ~insts:0 ~trip:1)
+
+let mk_host () =
+  Memspace.create ~name:"h" ~range_lo:0x10_0000 ~range_hi:0x1000_0000
+
+let test_device_alloc_and_copy () =
+  let host = mk_host () in
+  let dev = Device.create cm in
+  let h = Memspace.alloc host 64 in
+  Memspace.store_i64 host h 77L;
+  let d, now = Device.mem_alloc dev ~now:0.0 64 in
+  check Alcotest.bool "alloc charges time" true (now > 0.0);
+  let now =
+    Device.memcpy_h_to_d dev ~now ~host ~host_addr:h ~dev_addr:d ~len:64
+  in
+  check Alcotest.int64 "data arrived" 77L (Memspace.load_i64 dev.Device.mem d);
+  Memspace.store_i64 dev.Device.mem d 88L;
+  let _ =
+    Device.memcpy_d_to_h dev ~now ~host ~host_addr:h ~dev_addr:d ~len:64
+  in
+  check Alcotest.int64 "data returned" 88L (Memspace.load_i64 host h);
+  let st = Device.stats dev in
+  check Alcotest.int "htod bytes" 64 st.Device.htod_bytes;
+  check Alcotest.int "dtoh bytes" 64 st.Device.dtoh_bytes
+
+let test_async_launch_then_sync () =
+  let dev = Device.create cm in
+  (* an async launch returns almost immediately on the CPU side... *)
+  let cpu_after = Device.launch dev ~now:0.0 ~name:"k" ~insts:1_000_000 ~trip:480 in
+  check (Alcotest.float 1e-9) "cpu pays only driver overhead"
+    cm.Cost_model.launch_overhead_cpu cpu_after;
+  (* ...while the device is busy until the kernel completes *)
+  let synced = Device.sync dev ~now:cpu_after in
+  check Alcotest.bool "sync waits" true (synced > cpu_after);
+  (* back-to-back launches queue on the device timeline *)
+  let dev2 = Device.create cm in
+  let t1 = Device.launch dev2 ~now:0.0 ~name:"a" ~insts:500_000 ~trip:480 in
+  let _t2 = Device.launch dev2 ~now:t1 ~name:"b" ~insts:500_000 ~trip:480 in
+  let end2 = Device.sync dev2 ~now:0.0 in
+  let solo = Device.create cm in
+  let _ = Device.launch solo ~now:0.0 ~name:"a" ~insts:500_000 ~trip:480 in
+  let end1 = Device.sync solo ~now:0.0 in
+  check Alcotest.bool "two kernels take about twice as long" true
+    (end2 > 1.8 *. end1)
+
+let test_transfer_waits_for_kernels () =
+  (* default-stream semantics: a DtoH copy waits for outstanding kernels *)
+  let host = mk_host () in
+  let dev = Device.create cm in
+  let h = Memspace.alloc host 8 in
+  let d, now = Device.mem_alloc dev ~now:0.0 8 in
+  let now = Device.launch dev ~now ~name:"k" ~insts:2_000_000 ~trip:480 in
+  let finish =
+    Device.memcpy_d_to_h dev ~now ~host ~host_addr:h ~dev_addr:d ~len:8
+  in
+  check Alcotest.bool "copy synchronised with the kernel" true
+    (finish > Cost_model.kernel_cycles cm ~insts:2_000_000 ~trip:480)
+
+let test_module_globals () =
+  let dev = Device.create cm in
+  Device.declare_module_global dev ~name:"G" ~size:128;
+  let a1, _ = Device.module_get_global dev ~now:0.0 "G" in
+  let a2, _ = Device.module_get_global dev ~now:0.0 "G" in
+  check Alcotest.int "stable address" a1 a2;
+  (match Device.module_get_global dev ~now:0.0 "unknown" with
+  | exception Memspace.Fault _ -> ()
+  | _ -> Alcotest.fail "unknown module global must fault")
+
+let test_trace_records_and_renders () =
+  let tr = Trace.create ~enabled:true () in
+  Trace.record tr Trace.Htod ~start:0.0 ~finish:10.0 ~label:"up" ~bytes:64;
+  Trace.record tr Trace.Kernel ~start:10.0 ~finish:30.0 ~label:"k" ~bytes:0;
+  Trace.record tr Trace.Dtoh ~start:30.0 ~finish:40.0 ~label:"down" ~bytes:64;
+  check Alcotest.int "events" 3 (List.length (Trace.events tr));
+  check Alcotest.int "kernels" 1 (Trace.count tr Trace.Kernel);
+  let s = Trace.render tr in
+  check Alcotest.bool "has lanes" true (String.length s > 0);
+  check Alcotest.bool "kernel glyph" true (String.contains s 'K');
+  check Alcotest.bool "htod glyph" true (String.contains s '>');
+  check Alcotest.bool "dtoh glyph" true (String.contains s '<')
+
+let test_trace_disabled_is_free () =
+  let tr = Trace.create () in
+  Trace.record tr Trace.Kernel ~start:0.0 ~finish:1.0 ~label:"k" ~bytes:0;
+  check Alcotest.int "nothing recorded" 0 (List.length (Trace.events tr))
+
+let tests =
+  [
+    Alcotest.test_case "transfer cycles" `Quick test_transfer_cycles;
+    Alcotest.test_case "kernel cycles" `Quick test_kernel_cycles;
+    Alcotest.test_case "device alloc + copy" `Quick test_device_alloc_and_copy;
+    Alcotest.test_case "async launch + sync" `Quick test_async_launch_then_sync;
+    Alcotest.test_case "transfers wait for kernels" `Quick
+      test_transfer_waits_for_kernels;
+    Alcotest.test_case "module globals" `Quick test_module_globals;
+    Alcotest.test_case "trace record + render" `Quick
+      test_trace_records_and_renders;
+    Alcotest.test_case "trace disabled" `Quick test_trace_disabled_is_free;
+  ]

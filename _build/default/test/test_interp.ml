@@ -1,0 +1,200 @@
+(* Tests for the interpreter: arithmetic and control-flow semantics,
+   intrinsics, fault detection, and cost-model accounting. *)
+
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+module Parser = Cgcm_frontend.Parser
+module Lower = Cgcm_frontend.Lower
+
+let check = Alcotest.check
+
+(* Run a program sequentially (no parallelization). *)
+let run_seq src =
+  let c = Pipeline.compile ~parallel:Cgcm_frontend.Doall.Off ~level:Pipeline.Unmanaged src in
+  Interp.run c.Pipeline.modul
+
+let output src = (run_seq src).Interp.output
+
+let test_arithmetic () =
+  check Alcotest.string "int ops" "17\n"
+    (output "int main() { print(3 + 4 * 5 - 6 / 2 - 10 % 7); return 0; }");
+  check Alcotest.string "negative division truncates" "-2\n"
+    (output "int main() { print(-7 / 3); return 0; }");
+  check Alcotest.string "float" "2.5\n"
+    (output "int main() { print(10.0 / 4.0); return 0; }");
+  check Alcotest.string "conversion" "3\n"
+    (output "int main() { print((int)3.9); return 0; }");
+  check Alcotest.string "int to float" "1.5\n"
+    (output "int main() { float x = 3; print(x / 2); return 0; }")
+
+let test_comparisons_logic () =
+  check Alcotest.string "short circuit and" "0\n"
+    (output
+       "int guard(int x) { print(x); return x; }\n\
+        int main() { int r = 0 && guard(9); print(r); return 0; }");
+  check Alcotest.string "short circuit or" "1\n"
+    (output
+       "int guard(int x) { print(x); return x; }\n\
+        int main() { int r = 1 || guard(9); print(r); return 0; }");
+  check Alcotest.string "ternary" "5\n"
+    (output "int main() { int x = -5; print(x < 0 ? -x : x); return 0; }")
+
+let test_control_flow () =
+  check Alcotest.string "while + break" "3\n"
+    (output
+       "int main() { int i = 0; while (1) { i++; if (i == 3) { break; } }\n\
+        print(i); return 0; }");
+  check Alcotest.string "for downward" "10\n"
+    (output
+       "int main() { int s = 0; for (int i = 4; i >= 1; i--) { s += i; }\n\
+        print(s); return 0; }");
+  check Alcotest.string "nested for" "100\n"
+    (output
+       "int main() { int s = 0;\n\
+        for (int i = 0; i < 10; i++) { for (int j = 0; j < 10; j++) { s++; } }\n\
+        print(s); return 0; }")
+
+let test_functions_recursion () =
+  check Alcotest.string "fib" "55\n"
+    (output
+       "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
+        int main() { print(fib(10)); return 0; }")
+
+let test_arrays_pointers () =
+  check Alcotest.string "2d array" "14\n"
+    (output
+       "global int A[3][4];\n\
+        int main() { A[1][2] = 14; int* p = (int*)A; print(p[6]); return 0; }");
+  check Alcotest.string "pointer arithmetic" "7\n"
+    (output
+       "int main() { int* p = (int*) malloc(4 * sizeof(int));\n\
+        *(p + 3) = 7; print(p[3]); free(p); return 0; }");
+  check Alcotest.string "address-of" "9\n"
+    (output
+       "int main() { int x = 1; int* p = &x; *p = 9; print(x); return 0; }")
+
+let test_char_strings () =
+  check Alcotest.string "strlen + prints" "5\nhello\n"
+    (output
+       "global char msg[] = \"hello\";\n\
+        int main() { print(strlen(msg)); prints(msg); return 0; }");
+  check Alcotest.string "char array writes" "ab\n"
+    (output
+       "int main() { char* s = malloc(3); s[0] = 97; s[1] = 98; s[2] = 0;\n\
+        prints(s); return 0; }")
+
+let test_math_intrinsics () =
+  check Alcotest.string "sqrt" "3\n"
+    (output "int main() { print(sqrt(9.0)); return 0; }");
+  check Alcotest.string "pow" "8\n"
+    (output "int main() { print(pow(2.0, 3.0)); return 0; }")
+
+let test_exit_code () =
+  let r = run_seq "int main() { return 42; }" in
+  check Alcotest.int64 "exit" 42L r.Interp.exit_code
+
+let expect_exec_error src =
+  match run_seq src with
+  | exception (Interp.Exec_error _ | Cgcm_memory.Memspace.Fault _) -> ()
+  | _ -> Alcotest.fail ("expected a runtime fault: " ^ src)
+
+let test_faults () =
+  expect_exec_error "int main() { int x = 1 / 0; return x; }";
+  expect_exec_error "int main() { int x = 1 % 0; return x; }";
+  expect_exec_error
+    "global int A[4];\nint main() { return A[5]; }";  (* out of bounds *)
+  expect_exec_error
+    "int main() { int* p = (int*) 123456; return *p; }";  (* wild pointer *)
+  expect_exec_error
+    "int main() { int* p = malloc(8); free(p); return *p; }"  (* use after free *)
+
+let test_infinite_loop_guard () =
+  let c =
+    Pipeline.compile ~parallel:Cgcm_frontend.Doall.Off
+      ~level:Pipeline.Unmanaged "int main() { while (1) { } return 0; }"
+  in
+  let config = { Interp.default_config with fuel = 100_000 } in
+  match Interp.run ~config c.Pipeline.modul with
+  | exception Interp.Exec_error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_cost_accounting () =
+  (* wall time grows with work in sequential mode *)
+  let small = run_seq "int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } print(s); return 0; }" in
+  let large = run_seq "int main() { int s = 0; for (int i = 0; i < 1000; i++) { s += i; } print(s); return 0; }" in
+  check Alcotest.bool "monotone cost" true (large.Interp.wall > small.Interp.wall);
+  check Alcotest.bool "seq has no gpu" true (small.Interp.gpu = 0.0);
+  check Alcotest.bool "seq has no comm" true (small.Interp.comm = 0.0)
+
+let test_launch_semantics () =
+  (* explicit kernels and launches; split memory needs management, so use
+     the optimized pipeline end to end *)
+  let src =
+    "global float data[64];\n\
+     kernel void fill(int tid, float v) { data[tid] = v + tid; }\n\
+     int main() {\n\
+    \  launch fill<64>(0.5);\n\
+    \  float s = 0.0;\n\
+    \  for (int i = 0; i < 64; i++) { s = s + data[i]; }\n\
+    \  print(s);\n\
+    \  return 0;\n\
+     }"
+  in
+  let _, opt = Pipeline.run Pipeline.Cgcm_optimized src in
+  let _, uni = Pipeline.run (Pipeline.Unified_oracle Pipeline.Optimized) src in
+  check Alcotest.string "kernel result" "2048\n" opt.Interp.output;
+  check Alcotest.string "unified agrees" opt.Interp.output uni.Interp.output;
+  check Alcotest.int "one launch" 1
+    opt.Interp.dev_stats.Cgcm_gpusim.Device.launches
+
+let test_zero_trip_launch () =
+  let src =
+    "global float data[8];\n\
+     kernel void fill(int tid) { data[tid] = 1.0; }\n\
+     int main() { launch fill<0>(); print(data[0]); return 0; }"
+  in
+  let _, r = Pipeline.run Pipeline.Cgcm_optimized src in
+  check Alcotest.string "no threads ran" "0\n" r.Interp.output
+
+let test_async_overlap () =
+  (* after an async launch the CPU keeps running; a dependent unmap
+     synchronises. The wall clock must be less than the sum of CPU and
+     GPU time when they overlap. *)
+  let src =
+    "global float data[256];\n\
+     kernel void fill(int tid) { \n\
+    \  float acc = 0.0;\n\
+    \  for (int r = 0; r < 50; r++) { acc = acc + r * 0.5; }\n\
+    \  data[tid] = acc; }\n\
+     int main() {\n\
+    \  launch fill<256>();\n\
+    \  int burn = 0;\n\
+    \  for (int i = 0; i < 5000; i++) { burn += i; }\n\
+    \  print(burn);\n\
+    \  print(data[0]);\n\
+    \  return 0;\n\
+     }"
+  in
+  let _, r = Pipeline.run Pipeline.Cgcm_optimized src in
+  check Alcotest.bool "gpu busy" true (r.Interp.gpu > 0.0);
+  (* the CPU burn loop and the kernel overlap *)
+  check Alcotest.bool "overlap" true
+    (r.Interp.wall < r.Interp.cpu_compute +. r.Interp.gpu +. r.Interp.comm +. 100000.0)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons + logic" `Quick test_comparisons_logic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions + recursion" `Quick test_functions_recursion;
+    Alcotest.test_case "arrays + pointers" `Quick test_arrays_pointers;
+    Alcotest.test_case "chars + strings" `Quick test_char_strings;
+    Alcotest.test_case "math intrinsics" `Quick test_math_intrinsics;
+    Alcotest.test_case "exit code" `Quick test_exit_code;
+    Alcotest.test_case "faults" `Quick test_faults;
+    Alcotest.test_case "infinite loop guard" `Quick test_infinite_loop_guard;
+    Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+    Alcotest.test_case "launch semantics" `Quick test_launch_semantics;
+    Alcotest.test_case "zero-trip launch" `Quick test_zero_trip_launch;
+    Alcotest.test_case "async overlap" `Quick test_async_overlap;
+  ]

@@ -1,0 +1,169 @@
+(* Tests for the simulated memory spaces: allocation units, bounds
+   checking, interior-pointer resolution, transfer blits. *)
+
+module Memspace = Cgcm_memory.Memspace
+
+let check = Alcotest.check
+
+let mk () = Memspace.create ~name:"test" ~range_lo:0x1000 ~range_hi:0x100000
+
+let test_alloc_rw () =
+  let m = mk () in
+  let a = Memspace.alloc m 64 in
+  Memspace.store_i64 m a 42L;
+  Memspace.store_i64 m (a + 8) (-7L);
+  check Alcotest.int64 "load" 42L (Memspace.load_i64 m a);
+  check Alcotest.int64 "load2" (-7L) (Memspace.load_i64 m (a + 8));
+  Memspace.store_f64 m (a + 16) 3.25;
+  check (Alcotest.float 0.0) "float" 3.25 (Memspace.load_f64 m (a + 16))
+
+let test_zero_init () =
+  let m = mk () in
+  let a = Memspace.alloc m 32 in
+  for i = 0 to 3 do
+    check Alcotest.int64 "zeroed" 0L (Memspace.load_i64 m (a + (8 * i)))
+  done
+
+let test_bytes () =
+  let m = mk () in
+  let a = Memspace.alloc m 16 in
+  Memspace.store_u8 m a 200;
+  Memspace.store_u8 m (a + 1) 0x341;  (* truncated to one byte *)
+  check Alcotest.int "byte" 200 (Memspace.load_u8 m a);
+  check Alcotest.int "truncated" 0x41 (Memspace.load_u8 m (a + 1))
+
+let test_strings () =
+  let m = mk () in
+  let a = Memspace.alloc m 64 in
+  Memspace.store_string m a "hello world";
+  check Alcotest.string "string" "hello world" (Memspace.load_string m a);
+  check Alcotest.string "interior" "world" (Memspace.load_string m (a + 6))
+
+let expect_fault f =
+  match f () with
+  | exception Memspace.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a memory fault"
+
+let test_out_of_bounds () =
+  let m = mk () in
+  let a = Memspace.alloc m 16 in
+  expect_fault (fun () -> Memspace.load_i64 m (a + 9));  (* spans the end *)
+  expect_fault (fun () -> Memspace.load_i64 m (a + 16));
+  expect_fault (fun () -> Memspace.store_i64 m (a - 1) 0L)
+
+let test_wild_pointer () =
+  let m = mk () in
+  ignore (Memspace.alloc m 16);
+  expect_fault (fun () -> Memspace.load_i64 m 0x999999)
+
+let test_guard_gap () =
+  (* consecutive allocations must not be adjacent: off-by-one arithmetic
+     faults instead of touching the neighbour *)
+  let m = mk () in
+  let a = Memspace.alloc m 16 in
+  let b = Memspace.alloc m 16 in
+  check Alcotest.bool "gap" true (b - (a + 16) >= 16);
+  expect_fault (fun () -> Memspace.load_u8 m (a + 16))
+
+let test_free () =
+  let m = mk () in
+  let a = Memspace.alloc m 16 in
+  Memspace.free m a;
+  expect_fault (fun () -> Memspace.load_i64 m a);
+  (* double free faults *)
+  expect_fault (fun () -> Memspace.free m a)
+
+let test_free_interior () =
+  let m = mk () in
+  let a = Memspace.alloc m 32 in
+  expect_fault (fun () -> Memspace.free m (a + 8))
+
+let test_unit_bounds () =
+  let m = mk () in
+  let a = Memspace.alloc m 100 in
+  let base, size = Memspace.unit_bounds m (a + 57) in
+  check Alcotest.int "base" a base;
+  check Alcotest.int "size" 100 size
+
+let test_blit () =
+  let src = mk () in
+  let dst = Memspace.create ~name:"dst" ~range_lo:0x200000 ~range_hi:0x300000 in
+  let a = Memspace.alloc src 64 in
+  let b = Memspace.alloc dst 64 in
+  for i = 0 to 7 do
+    Memspace.store_i64 src (a + (8 * i)) (Int64.of_int (i * 11))
+  done;
+  Memspace.blit ~src ~src_addr:a ~dst ~dst_addr:b ~len:64;
+  for i = 0 to 7 do
+    check Alcotest.int64 "copied" (Int64.of_int (i * 11))
+      (Memspace.load_i64 dst (b + (8 * i)))
+  done
+
+let test_accounting () =
+  let m = mk () in
+  let a = Memspace.alloc m 100 in
+  let _b = Memspace.alloc m 50 in
+  check Alcotest.int "live" 150 (Memspace.live_bytes m);
+  check Alcotest.int "units" 2 (Memspace.live_units m);
+  Memspace.free m a;
+  check Alcotest.int "after free" 50 (Memspace.live_bytes m);
+  check Alcotest.int "peak" 150 (Memspace.peak_bytes m)
+
+let test_zero_size_alloc () =
+  let m = mk () in
+  let a = Memspace.alloc m 0 in
+  (* clamped to one byte: the unit exists and is addressable *)
+  Memspace.store_u8 m a 7;
+  check Alcotest.int "one byte" 7 (Memspace.load_u8 m a)
+
+(* Property: after arbitrary allocs/frees, live units never overlap and
+   every live unit is fully readable. *)
+let prop_no_overlap =
+  QCheck2.Test.make ~name:"allocations never overlap" ~count:100
+    QCheck2.Gen.(list (pair (int_bound 200) bool))
+    (fun ops ->
+      let m = mk () in
+      let live = ref [] in
+      List.iter
+        (fun (size, do_free) ->
+          if do_free && !live <> [] then begin
+            match !live with
+            | a :: rest ->
+              Memspace.free m a;
+              live := rest
+            | [] -> ()
+          end
+          else begin
+            let a = Memspace.alloc m (size + 1) in
+            live := !live @ [ (a) ]
+          end)
+        ops;
+      (* all live units readable and pairwise disjoint *)
+      let bounds =
+        List.map (fun a -> Memspace.unit_bounds m a) !live
+      in
+      List.for_all
+        (fun (b1, s1) ->
+          List.for_all
+            (fun (b2, s2) ->
+              b1 = b2 || b1 + s1 <= b2 || b2 + s2 <= b1)
+            bounds)
+        bounds)
+
+let tests =
+  [
+    Alcotest.test_case "alloc + read/write" `Quick test_alloc_rw;
+    Alcotest.test_case "zero initialised" `Quick test_zero_init;
+    Alcotest.test_case "byte access" `Quick test_bytes;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "out of bounds faults" `Quick test_out_of_bounds;
+    Alcotest.test_case "wild pointer faults" `Quick test_wild_pointer;
+    Alcotest.test_case "guard gap" `Quick test_guard_gap;
+    Alcotest.test_case "free semantics" `Quick test_free;
+    Alcotest.test_case "free of interior pointer" `Quick test_free_interior;
+    Alcotest.test_case "unit bounds" `Quick test_unit_bounds;
+    Alcotest.test_case "cross-space blit" `Quick test_blit;
+    Alcotest.test_case "accounting" `Quick test_accounting;
+    Alcotest.test_case "zero-size alloc" `Quick test_zero_size_alloc;
+    QCheck_alcotest.to_alcotest prop_no_overlap;
+  ]

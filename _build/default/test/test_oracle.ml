@@ -1,0 +1,136 @@
+(* Differential testing of the frontend + interpreter against an OCaml
+   oracle: random integer expression trees are pretty-printed as CGC,
+   compiled, executed — and must print exactly what direct evaluation
+   computes. This pins down lowering (precedence, conversions, division
+   semantics, short-circuit evaluation) end to end. *)
+
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+
+(* A small expression AST with its own evaluator. Division guards keep
+   the generated programs well-defined. *)
+type e =
+  | Lit of int
+  | Var of int  (* one of three pre-set variables *)
+  | Add of e * e
+  | Sub of e * e
+  | Mul of e * e
+  | Div_guarded of e * e  (* b == 0 ? a : a / b, as a C ternary *)
+  | Lt of e * e
+  | And of e * e
+  | Or of e * e
+  | Not of e
+  | Neg of e
+  | Cond of e * e * e
+
+let vars = [| 7L; -3L; 100L |]
+
+let rec eval = function
+  | Lit n -> Int64.of_int n
+  | Var i -> vars.(i)
+  | Add (a, b) -> Int64.add (eval a) (eval b)
+  | Sub (a, b) -> Int64.sub (eval a) (eval b)
+  | Mul (a, b) -> Int64.mul (eval a) (eval b)
+  | Div_guarded (a, b) ->
+    let bv = eval b in
+    if bv = 0L then eval a else Int64.div (eval a) bv
+  | Lt (a, b) -> if eval a < eval b then 1L else 0L
+  | And (a, b) -> if eval a <> 0L && eval b <> 0L then 1L else 0L
+  | Or (a, b) -> if eval a <> 0L || eval b <> 0L then 1L else 0L
+  | Not a -> if eval a = 0L then 1L else 0L
+  | Neg a -> Int64.neg (eval a)
+  | Cond (c, a, b) -> if eval c <> 0L then eval a else eval b
+
+(* Render with full parenthesisation on subexpressions — the point is to
+   exercise the evaluator, not the parser's precedence (test_frontend does
+   that); ternaries and short-circuits still stress control flow. *)
+let rec render = function
+  | Lit n -> string_of_int n
+  | Var i -> Printf.sprintf "v%d" i
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (render a) (render b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (render a) (render b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (render a) (render b)
+  | Div_guarded (a, b) ->
+    Printf.sprintf "((%s) == 0 ? (%s) : ((%s) / (%s)))" (render b) (render a)
+      (render a) (render b)
+  | Lt (a, b) -> Printf.sprintf "(%s < %s)" (render a) (render b)
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (render a) (render b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (render a) (render b)
+  | Not a -> Printf.sprintf "(!%s)" (render a)
+  | Neg a -> Printf.sprintf "(- %s)" (render a)  (* space: "--" would lex as decrement *)
+  | Cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (render c) (render a) (render b)
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized_size (int_bound 6)
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneof
+               [ map (fun l -> Lit (l - 8)) (int_bound 16); map (fun v -> Var v) (int_bound 2) ]
+           else
+             let sub = self (n / 2) in
+             oneof
+               [
+                 map2 (fun a b -> Add (a, b)) sub sub;
+                 map2 (fun a b -> Sub (a, b)) sub sub;
+                 map2 (fun a b -> Mul (a, b)) sub sub;
+                 map2 (fun a b -> Div_guarded (a, b)) sub sub;
+                 map2 (fun a b -> Lt (a, b)) sub sub;
+                 map2 (fun a b -> And (a, b)) sub sub;
+                 map2 (fun a b -> Or (a, b)) sub sub;
+                 map (fun a -> Not a) sub;
+                 map (fun a -> Neg a) sub;
+                 map3 (fun c a b -> Cond (c, a, b)) sub sub sub;
+               ]))
+
+let program_of e =
+  Printf.sprintf
+    "int main() {\n\
+    \  int v0 = 7;\n\
+    \  int v1 = -3;\n\
+    \  int v2 = 100;\n\
+    \  print(%s);\n\
+    \  return 0;\n\
+     }"
+    (render e)
+
+let prop_expression_oracle =
+  QCheck2.Test.make ~name:"CGC expressions agree with the OCaml oracle"
+    ~count:120
+    QCheck2.Gen.(map (fun e -> e) gen_expr)
+    (fun e ->
+      let src = program_of e in
+      let _, r = Pipeline.run Pipeline.Sequential src in
+      let expected = Printf.sprintf "%Ld\n" (eval e) in
+      if r.Interp.output <> expected then
+        QCheck2.Test.fail_reportf "src:\n%s\nexpected %s got %s" src expected
+          r.Interp.output
+      else true)
+
+(* The same expressions, evaluated inside a kernel of one thread, must
+   agree when run on the simulated device. *)
+let prop_kernel_oracle =
+  QCheck2.Test.make ~name:"kernel-side expressions agree with the oracle"
+    ~count:40 gen_expr (fun e ->
+      let src =
+        Printf.sprintf
+          "global int out[1];\n\
+           kernel void k(int tid, int v0, int v1, int v2) {\n\
+          \  out[tid] = %s;\n\
+           }\n\
+           int main() {\n\
+          \  launch k<1>(7, -3, 100);\n\
+          \  print(out[0]);\n\
+          \  return 0;\n\
+           }"
+          (render e)
+      in
+      let _, r = Pipeline.run Pipeline.Cgcm_optimized src in
+      r.Interp.output = Printf.sprintf "%Ld\n" (eval e))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_expression_oracle;
+    QCheck_alcotest.to_alcotest prop_kernel_oracle;
+  ]

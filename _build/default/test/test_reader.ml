@@ -1,0 +1,102 @@
+(* Serialization round-trip: every module printed by Printer must be
+   re-readable by Reader, verify, print identically, and execute
+   identically. Exercised over hand-written cases and the whole benchmark
+   suite at every optimization level. *)
+
+module Ir = Cgcm_ir.Ir
+module Printer = Cgcm_ir.Printer
+module Reader = Cgcm_ir.Reader
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+
+let check = Alcotest.check
+
+let roundtrip_text (m : Ir.modul) =
+  let s1 = Printer.modul_to_string m in
+  let m2 = Reader.parse_verified s1 in
+  let s2 = Printer.modul_to_string m2 in
+  if s1 <> s2 then
+    Alcotest.failf "round trip changed the module:\n--- first:\n%s\n--- second:\n%s" s1 s2;
+  m2
+
+let test_small_roundtrip () =
+  let src =
+    "readonly global int limit = 3;\n\
+     global float data[4] = {1.0, 2.5, -3.0, 0.25};\n\
+     global char msg[] = \"hi\\n\";\n\
+     global char* tbl[2] = {msg, 0};\n\
+     kernel void k(int tid, float* p) { p[tid] = p[tid] * 2.0; }\n\
+     int main() {\n\
+     launch k<4>((float*) data);\n\
+     float s = 0.0;\n\
+     for (int i = 0; i < 4; i++) { s = s + data[i]; }\n\
+     print(s); prints(msg); print(limit);\n\
+     return 0; }"
+  in
+  let c = Pipeline.compile ~level:Pipeline.Optimized src in
+  let m2 = roundtrip_text c.Pipeline.modul in
+  (* the re-read module executes identically *)
+  let r1 = Interp.run c.Pipeline.modul in
+  let r2 = Interp.run m2 in
+  check Alcotest.string "same output" r1.Interp.output r2.Interp.output;
+  check (Alcotest.float 1e-6) "same wall clock" r1.Interp.wall r2.Interp.wall
+
+let test_suite_roundtrip () =
+  (* all 24 programs at small sizes, at every pipeline level *)
+  List.iter
+    (fun (p : Cgcm_progs.Registry.program) ->
+      List.iter
+        (fun level ->
+          let c = Pipeline.compile ~level p.Cgcm_progs.Registry.source in
+          ignore (roundtrip_text c.Pipeline.modul))
+        [ Pipeline.Unmanaged; Pipeline.Managed; Pipeline.Optimized ])
+    Cgcm_progs.Registry.all
+
+let test_reader_errors () =
+  let expect_bad s =
+    match Reader.parse s with
+    | exception Reader.Bad_ir _ -> ()
+    | _ -> Alcotest.fail ("expected Bad_ir on: " ^ s)
+  in
+  expect_bad "nonsense at top level";
+  expect_bad "func f(2 args, 2 regs) {\nb0:\n  %r2 = frobnicate %r0\n  ret\n}";
+  expect_bad "func f(0 args, 0 regs) {\nb0:\n  jumpity b1\n}";
+  expect_bad "func f(0 args, 0 regs) {\nb0:\n  %r0 = add 1\n  ret\n}";
+  (* missing terminator before the close brace *)
+  expect_bad "func f(0 args, 1 regs) {\nb0:\n  %r0 = add 1, 2\n}"
+
+let test_verified_rejects_ill_formed () =
+  (* syntactically fine but semantically broken: branch out of range *)
+  let s = "func main(0 args, 0 regs) {\nb0:\n  br b7\n}" in
+  match Reader.parse_verified s with
+  | exception Cgcm_ir.Verifier.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "expected Ill_formed"
+
+let test_float_immediates_lossless () =
+  (* hex-float printing must preserve exact bit patterns *)
+  let values = [ 0.1; -3.25; 1e-300; Float.max_float; 0.0 ] in
+  List.iter
+    (fun v ->
+      let b = Cgcm_ir.Builder.create ~name:"main" ~nargs:0 ~kind:Ir.Cpu in
+      Cgcm_ir.Builder.call_void b "print_f64" [ Ir.Imm_float v ];
+      Cgcm_ir.Builder.ret b (Some (Ir.imm 0));
+      let m = { Ir.globals = []; funcs = [ Cgcm_ir.Builder.finish b ] } in
+      let m2 = roundtrip_text m in
+      match (List.hd m2.Ir.funcs).Ir.blocks.(0).Ir.instrs with
+      | [ Ir.Call (_, _, [ Ir.Imm_float v' ]) ] ->
+        if Int64.bits_of_float v <> Int64.bits_of_float v' then
+          Alcotest.failf "float %h round-tripped to %h" v v'
+      | _ -> Alcotest.fail "unexpected shape")
+    values
+
+let tests =
+  [
+    Alcotest.test_case "small module round trip" `Quick test_small_roundtrip;
+    Alcotest.test_case "24-program round trip (3 levels)" `Slow
+      test_suite_roundtrip;
+    Alcotest.test_case "reader errors" `Quick test_reader_errors;
+    Alcotest.test_case "verified reader rejects" `Quick
+      test_verified_rejects_ill_formed;
+    Alcotest.test_case "float immediates lossless" `Quick
+      test_float_immediates_lossless;
+  ]

@@ -1,0 +1,86 @@
+(* Tests for the report renderers and the benchmark-source templating. *)
+
+module Table = Cgcm_report.Table
+module Chart = Cgcm_report.Chart
+module Template = Cgcm_progs.Template
+
+let check = Alcotest.check
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let s =
+    Table.render
+      ~aligns:[ Table.Left; Table.Right ]
+      ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  (* header, separator, two rows, trailing newline *)
+  check Alcotest.int "line count" 5 (List.length lines);
+  (* all rows padded to the same width *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  check Alcotest.bool "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  (* right alignment puts the short number at the end of its column *)
+  let last_row = List.nth (String.split_on_char '\n' s) 3 in
+  check Alcotest.bool "right aligned" true
+    (String.length last_row > 2
+    && String.sub last_row (String.length last_row - 2) 2 = "22"
+    && String.length last_row
+       = String.length (List.hd (String.split_on_char '\n' s)))
+
+let test_table_ragged_rows () =
+  (* extra cells beyond the header are ignored, missing are fine *)
+  let s =
+    Table.render ~header:[ "a"; "b" ] [ [ "1" ]; [ "2"; "3"; "IGNORED" ] ]
+  in
+  check Alcotest.bool "renders" true (String.length s > 0);
+  check Alcotest.bool "ignores extras" false (contains_sub s "IGNORED")
+
+let test_chart_speedups () =
+  let s =
+    Chart.speedups
+      [
+        ("prog-a", [ ("mode1", 4.0); ("mode2", 0.5) ]);
+        ("prog-b", [ ("mode1", 1.0); ("mode2", 100.0) ]);
+      ]
+  in
+  check Alcotest.bool "program names" true (contains_sub s "prog-a");
+  check Alcotest.bool "values shown" true (contains_sub s "4.00x");
+  check Alcotest.bool "clamps at hi" true (contains_sub s "100.00x");
+  (* bars grow with the value *)
+  let bar_len v =
+    String.length (Chart.log_bar ~width:48 ~lo:0.01 ~hi:100.0 v)
+  in
+  check Alcotest.bool "monotone bars" true
+    (bar_len 0.5 < bar_len 4.0 && bar_len 4.0 < bar_len 50.0);
+  check Alcotest.int "hi clamp" (bar_len 100.0) (bar_len 1e9);
+  check Alcotest.int "lo clamp" (bar_len 0.01) (bar_len 1e-9)
+
+let test_template_subst () =
+  check Alcotest.string "basic" "for i < 64; x = 64"
+    (Template.subst [ ("N", 64) ] "for i < @N; x = @N");
+  (* longest key first: @NSTEPS must not be corrupted by @N *)
+  check Alcotest.string "longest first" "10 64"
+    (Template.subst [ ("N", 64); ("NSTEPS", 10) ] "@NSTEPS @N");
+  (* suffix characters block substitution *)
+  check Alcotest.string "word boundary" "@NX 7"
+    (Template.subst [ ("N", 7) ] "@NX @N");
+  check Alcotest.string "no placeholders" "plain"
+    (Template.subst [ ("N", 1) ] "plain")
+
+let tests =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
+    Alcotest.test_case "chart speedups" `Quick test_chart_speedups;
+    Alcotest.test_case "template subst" `Quick test_template_subst;
+  ]

@@ -1,0 +1,292 @@
+(* Tests for the CGCM run-time library: Algorithms 1-3 of the paper,
+   allocation-unit tracking, reference counting, epochs, the array
+   variants, and their failure modes. *)
+
+module Memspace = Cgcm_memory.Memspace
+module Device = Cgcm_gpusim.Device
+module Cost_model = Cgcm_gpusim.Cost_model
+module Runtime = Cgcm_runtime.Runtime
+
+let check = Alcotest.check
+
+let mk () =
+  let host =
+    Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000
+  in
+  let dev = Device.create Cost_model.default in
+  (host, dev, Runtime.create ~host ~dev)
+
+let test_map_translates () =
+  let host, dev, rt = mk () in
+  let base = Memspace.alloc host 64 in
+  Runtime.register_heap rt ~base ~size:64;
+  Memspace.store_i64 host base 7L;
+  Memspace.store_i64 host (base + 56) 9L;
+  let d = Runtime.map rt base in
+  check Alcotest.int64 "copied first" 7L (Memspace.load_i64 dev.Device.mem d);
+  check Alcotest.int64 "copied last" 9L
+    (Memspace.load_i64 dev.Device.mem (d + 56))
+
+let test_interior_pointer_translation () =
+  (* the paper: map(ptr) = devbase + (ptr - base), preserving interior
+     offsets and hence pointer arithmetic *)
+  let host, _, rt = mk () in
+  let base = Memspace.alloc host 64 in
+  Runtime.register_heap rt ~base ~size:64;
+  let d_base = Runtime.map rt base in
+  let d_mid = Runtime.map rt (base + 24) in
+  check Alcotest.int "offset preserved" 24 (d_mid - d_base)
+
+let test_aliases_share_unit () =
+  (* two maps of the same unit yield pointers into one device unit and a
+     reference count of 2 *)
+  let _, _, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  let d1 = Runtime.map rt base in
+  let d2 = Runtime.map rt (base + 8) in
+  check Alcotest.int "same unit" d1 (d2 - 8);
+  let info = Runtime.lookup_unit rt base in
+  check Alcotest.int "refcount 2" 2 info.Runtime.refcount;
+  check Alcotest.int "one resident unit" 1 (Runtime.resident_units rt)
+
+let test_map_skips_redundant_copy () =
+  let _, dev, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  ignore (Runtime.map rt base);
+  let before = (Device.stats dev).Device.htod_count in
+  ignore (Runtime.map rt base);
+  check Alcotest.int "no second copy" before (Device.stats dev).Device.htod_count;
+  check Alcotest.int "skip counted" 1 rt.Runtime.stats.Runtime.skipped_copies
+
+let test_release_frees_at_zero () =
+  let _, _, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  ignore (Runtime.map rt base);
+  ignore (Runtime.map rt base);
+  Runtime.release rt base;
+  check Alcotest.int "still resident" 1 (Runtime.resident_units rt);
+  Runtime.release rt base;
+  check Alcotest.int "freed" 0 (Runtime.resident_units rt);
+  (* release below zero is an error *)
+  (match Runtime.release rt base with
+  | exception Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected refcount underflow error")
+
+let test_remap_after_release_copies_again () =
+  let _, dev, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  ignore (Runtime.map rt base);
+  Runtime.release rt base;
+  Memspace.store_i64 host base 99L;
+  let d = Runtime.map rt base in
+  check Alcotest.int64 "fresh copy sees CPU write" 99L
+    (Memspace.load_i64 dev.Device.mem d)
+
+let test_unmap_epoch_semantics () =
+  (* unmap copies device-to-host at most once per epoch (Algorithm 2) *)
+  let _, dev, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  let d = Runtime.map rt base in
+  (* before any kernel launch, the epochs match: no copy back *)
+  Runtime.unmap rt base;
+  check Alcotest.int "no DtoH before a launch" 0
+    (Device.stats dev).Device.dtoh_count;
+  (* a launch bumps the epoch; the device copy is now authoritative *)
+  Runtime.bump_epoch rt;
+  Memspace.store_i64 dev.Device.mem d 123L;
+  Runtime.unmap rt base;
+  check Alcotest.int64 "copied back" 123L (Memspace.load_i64 host base);
+  check Alcotest.int "one DtoH" 1 (Device.stats dev).Device.dtoh_count;
+  (* second unmap in the same epoch is skipped *)
+  Runtime.unmap rt base;
+  check Alcotest.int "skipped" 1 (Device.stats dev).Device.dtoh_count;
+  check Alcotest.bool "skip recorded" true
+    (rt.Runtime.stats.Runtime.skipped_unmaps >= 1)
+
+let test_unmap_respects_readonly () =
+  let _, dev, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 16 in
+  Runtime.declare_global rt ~name:"ro" ~base ~size:16 ~read_only:true;
+  ignore (Runtime.map rt base);
+  Runtime.bump_epoch rt;
+  Runtime.unmap rt base;
+  check Alcotest.int "read-only never copied back" 0
+    (Device.stats dev).Device.dtoh_count
+
+let test_globals_persistent () =
+  (* globals map into the named module region and survive refcount zero *)
+  let _, dev, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 16 in
+  Runtime.declare_global rt ~name:"g" ~base ~size:16 ~read_only:false;
+  let d1 = Runtime.map rt base in
+  let expected, _ = Device.module_get_global dev ~now:0.0 "g" in
+  check Alcotest.int "named region" expected d1;
+  Runtime.release rt base;
+  (* still resident: release never cuMemFrees a global *)
+  check Alcotest.int "resident" 1 (Runtime.resident_units rt);
+  let d2 = Runtime.map rt base in
+  check Alcotest.int "stable address" d1 d2
+
+let test_wild_pointer_map () =
+  let _, _, rt = mk () in
+  match Runtime.map rt 0xDEAD with
+  | exception Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown-unit error"
+
+let test_free_while_mapped () =
+  let _, _, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  ignore (Runtime.map rt base);
+  match Runtime.unregister_heap rt ~base with
+  | exception Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected free-while-mapped error"
+
+let test_alloca_expiry () =
+  let _, _, rt = mk () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.declare_alloca rt ~base ~size:32;
+  check Alcotest.int "registered" 1 (Runtime.unit_count rt);
+  Runtime.expire_alloca rt ~base;
+  check Alcotest.int "expired" 0 (Runtime.unit_count rt);
+  (* leaving scope while mapped is an error *)
+  let base2 = Memspace.alloc host 32 in
+  Runtime.declare_alloca rt ~base:base2 ~size:32;
+  ignore (Runtime.map rt base2);
+  match Runtime.expire_alloca rt ~base:base2 with
+  | exception Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected expiry-while-mapped error"
+
+(* ------------------------------------------------------------------ *)
+(* Array variants                                                      *)
+
+let test_map_array () =
+  let _, dev, rt = mk () in
+  let host = rt.Runtime.host in
+  (* two element buffers and an array of pointers to them *)
+  let e1 = Memspace.alloc host 16 in
+  let e2 = Memspace.alloc host 16 in
+  Runtime.register_heap rt ~base:e1 ~size:16;
+  Runtime.register_heap rt ~base:e2 ~size:16;
+  Memspace.store_i64 host e1 11L;
+  Memspace.store_i64 host e2 22L;
+  let arr = Memspace.alloc host 24 in
+  Runtime.register_heap rt ~base:arr ~size:24;
+  Memspace.store_i64 host arr (Int64.of_int e1);
+  Memspace.store_i64 host (arr + 8) (Int64.of_int e2);
+  (* a null element must survive translation *)
+  Memspace.store_i64 host (arr + 16) 0L;
+  let d_arr = Runtime.map_array rt arr in
+  let d_e1 = Int64.to_int (Memspace.load_i64 dev.Device.mem d_arr) in
+  let d_e2 = Int64.to_int (Memspace.load_i64 dev.Device.mem (d_arr + 8)) in
+  check Alcotest.int64 "null preserved" 0L
+    (Memspace.load_i64 dev.Device.mem (d_arr + 16));
+  check Alcotest.int64 "element 1 data" 11L
+    (Memspace.load_i64 dev.Device.mem d_e1);
+  check Alcotest.int64 "element 2 data" 22L
+    (Memspace.load_i64 dev.Device.mem d_e2);
+  (* modify on device, unmapArray copies the element units back *)
+  Memspace.store_i64 dev.Device.mem d_e1 111L;
+  Runtime.bump_epoch rt;
+  Runtime.unmap_array rt arr;
+  check Alcotest.int64 "element copied back" 111L (Memspace.load_i64 host e1);
+  (* host pointer array itself is untouched *)
+  check Alcotest.int64 "host array intact" (Int64.of_int e1)
+    (Memspace.load_i64 host arr);
+  Runtime.release_array rt arr;
+  check Alcotest.int "all freed" 0 (Runtime.resident_units rt)
+
+let test_map_array_balanced_refcounts () =
+  (* nested mapArray / releaseArray pairs (as map promotion creates) *)
+  let _, _, rt = mk () in
+  let host = rt.Runtime.host in
+  let e1 = Memspace.alloc host 16 in
+  Runtime.register_heap rt ~base:e1 ~size:16;
+  let arr = Memspace.alloc host 8 in
+  Runtime.register_heap rt ~base:arr ~size:8;
+  Memspace.store_i64 host arr (Int64.of_int e1);
+  let d1 = Runtime.map_array rt arr in
+  let d2 = Runtime.map_array rt arr in
+  check Alcotest.int "same shadow" d1 d2;
+  Runtime.release_array rt arr;
+  Runtime.release_array rt arr;
+  check Alcotest.int "everything freed" 0 (Runtime.resident_units rt);
+  match Runtime.release_array rt arr with
+  | exception Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected array refcount underflow"
+
+(* Property: any balanced sequence of map/release keeps refcounts exact
+   and ends with no resident units. *)
+let prop_refcount_balance =
+  QCheck2.Test.make ~name:"balanced map/release leaves nothing resident"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (int_bound 3))
+    (fun choices ->
+      let _, _, rt = mk () in
+      let host = rt.Runtime.host in
+      let units =
+        Array.init 4 (fun _ ->
+            let b = Memspace.alloc host 32 in
+            Runtime.register_heap rt ~base:b ~size:32;
+            b)
+      in
+      let depth = Array.make 4 0 in
+      List.iter
+        (fun u ->
+          ignore (Runtime.map rt units.(u));
+          depth.(u) <- depth.(u) + 1)
+        choices;
+      List.iter
+        (fun u ->
+          if depth.(u) > 0 then begin
+            Runtime.release rt units.(u);
+            depth.(u) <- depth.(u) - 1
+          end)
+        (choices @ choices);
+      (* drain the rest *)
+      Array.iteri
+        (fun u d ->
+          for _ = 1 to d do
+            Runtime.release rt units.(u)
+          done)
+        depth;
+      Runtime.resident_units rt = 0 && Runtime.total_refcount rt = 0)
+
+let tests =
+  [
+    Alcotest.test_case "map translates and copies" `Quick test_map_translates;
+    Alcotest.test_case "interior pointer translation" `Quick
+      test_interior_pointer_translation;
+    Alcotest.test_case "aliases share the unit" `Quick test_aliases_share_unit;
+    Alcotest.test_case "redundant copies skipped" `Quick
+      test_map_skips_redundant_copy;
+    Alcotest.test_case "release frees at zero" `Quick test_release_frees_at_zero;
+    Alcotest.test_case "remap after release copies" `Quick
+      test_remap_after_release_copies_again;
+    Alcotest.test_case "unmap epoch semantics" `Quick test_unmap_epoch_semantics;
+    Alcotest.test_case "unmap respects read-only" `Quick
+      test_unmap_respects_readonly;
+    Alcotest.test_case "globals are persistent named regions" `Quick
+      test_globals_persistent;
+    Alcotest.test_case "wild pointer map fails" `Quick test_wild_pointer_map;
+    Alcotest.test_case "free while mapped fails" `Quick test_free_while_mapped;
+    Alcotest.test_case "declareAlloca expiry" `Quick test_alloca_expiry;
+    Alcotest.test_case "mapArray translates elements" `Quick test_map_array;
+    Alcotest.test_case "mapArray refcount balance" `Quick
+      test_map_array_balanced_refcounts;
+    QCheck_alcotest.to_alcotest prop_refcount_balance;
+  ]

@@ -1,0 +1,178 @@
+(* Tests for the support library: the AVL map (the paper's allocation-map
+   structure) and the numeric helpers. *)
+
+module Avl = Cgcm_support.Avl_map.Int
+module Stats = Cgcm_support.Stats
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  check Alcotest.bool "empty" true (Avl.is_empty Avl.empty);
+  check Alcotest.int "cardinal" 0 (Avl.cardinal Avl.empty);
+  check Alcotest.bool "find" true (Avl.find_opt 3 Avl.empty = None);
+  check Alcotest.bool "greatest_leq" true (Avl.greatest_leq 3 Avl.empty = None)
+
+let test_add_find () =
+  let t = Avl.of_list [ (10, "a"); (20, "b"); (30, "c") ] in
+  check Alcotest.(option string) "find 20" (Some "b") (Avl.find_opt 20 t);
+  check Alcotest.(option string) "find 25" None (Avl.find_opt 25 t);
+  check Alcotest.int "cardinal" 3 (Avl.cardinal t)
+
+let test_replace () =
+  let t = Avl.of_list [ (1, "x"); (1, "y") ] in
+  check Alcotest.(option string) "replaced" (Some "y") (Avl.find_opt 1 t);
+  check Alcotest.int "cardinal" 1 (Avl.cardinal t)
+
+let test_greatest_leq () =
+  let t = Avl.of_list [ (10, "a"); (20, "b"); (30, "c") ] in
+  let key k = Option.map fst (Avl.greatest_leq k t) in
+  check Alcotest.(option int) "exact" (Some 20) (key 20);
+  check Alcotest.(option int) "between" (Some 20) (key 25);
+  check Alcotest.(option int) "below all" None (key 5);
+  check Alcotest.(option int) "above all" (Some 30) (key 99)
+
+let test_least_geq () =
+  let t = Avl.of_list [ (10, "a"); (20, "b") ] in
+  let key k = Option.map fst (Avl.least_geq k t) in
+  check Alcotest.(option int) "exact" (Some 10) (key 10);
+  check Alcotest.(option int) "between" (Some 20) (key 11);
+  check Alcotest.(option int) "above" None (key 21)
+
+let test_remove () =
+  let t = Avl.of_list [ (1, "a"); (2, "b"); (3, "c") ] in
+  let t = Avl.remove 2 t in
+  check Alcotest.(option string) "removed" None (Avl.find_opt 2 t);
+  check Alcotest.(option string) "kept" (Some "c") (Avl.find_opt 3 t);
+  check Alcotest.bool "invariant" true (Avl.invariant t);
+  (* removing a missing key is a no-op *)
+  let t' = Avl.remove 42 t in
+  check Alcotest.int "cardinal" (Avl.cardinal t) (Avl.cardinal t')
+
+let test_bindings_sorted () =
+  let t = Avl.of_list [ (3, ()); (1, ()); (2, ()); (5, ()); (4, ()) ] in
+  check
+    Alcotest.(list int)
+    "sorted" [ 1; 2; 3; 4; 5 ]
+    (List.map fst (Avl.bindings t))
+
+let test_min_max () =
+  let t = Avl.of_list [ (7, "a"); (3, "b"); (9, "c") ] in
+  check Alcotest.(option int) "min" (Some 3) (Option.map fst (Avl.min_binding t));
+  check Alcotest.(option int) "max" (Some 9) (Option.map fst (Avl.max_binding t))
+
+let test_large_sequential () =
+  let t = ref Avl.empty in
+  for i = 1 to 1000 do
+    t := Avl.add (i * 2) i !t
+  done;
+  check Alcotest.bool "invariant after 1000 inserts" true (Avl.invariant !t);
+  check Alcotest.int "cardinal" 1000 (Avl.cardinal !t);
+  (* interior queries *)
+  check Alcotest.(option int) "greatest_leq odd" (Some 250)
+    (Option.map snd (Avl.greatest_leq 501 !t))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: the AVL map agrees with a sorted association list.   *)
+
+let ops_gen =
+  QCheck2.Gen.(
+    list
+      (oneof
+         [
+           map (fun k -> `Add (k mod 64)) nat;
+           map (fun k -> `Remove (k mod 64)) nat;
+         ]))
+
+let apply_ops ops =
+  List.fold_left
+    (fun (t, model) op ->
+      match op with
+      | `Add k -> (Avl.add k k t, (k, k) :: List.remove_assoc k model)
+      | `Remove k -> (Avl.remove k t, List.remove_assoc k model))
+    (Avl.empty, []) ops
+
+let prop_model =
+  QCheck2.Test.make ~name:"avl agrees with assoc-list model" ~count:300
+    ops_gen (fun ops ->
+      let t, model = apply_ops ops in
+      Avl.invariant t
+      && Avl.cardinal t = List.length model
+      && List.for_all (fun (k, v) -> Avl.find_opt k t = Some v) model
+      && List.for_all
+           (fun k ->
+             (Avl.find_opt k t <> None) = List.mem_assoc k model)
+           (List.init 64 Fun.id))
+
+let prop_greatest_leq =
+  QCheck2.Test.make ~name:"greatest_leq agrees with model" ~count:300
+    QCheck2.Gen.(pair ops_gen (int_bound 80))
+    (fun (ops, q) ->
+      let t, model = apply_ops ops in
+      let expect =
+        List.filter (fun (k, _) -> k <= q) model
+        |> List.sort (fun (a, _) (b, _) -> compare b a)
+        |> function
+        | [] -> None
+        | (k, v) :: _ -> Some (k, v)
+      in
+      Avl.greatest_leq q t = expect)
+
+(* ------------------------------------------------------------------ *)
+
+let test_geomean () =
+  check (Alcotest.float 1e-9) "geomean of equal" 2.0
+    (Stats.geomean [ 2.0; 2.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "geomean 1,4" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  Alcotest.check_raises "non-positive" (Invalid_argument
+    "Stats.geomean: non-positive input") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_mean_percent () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "percent" 25.0 (Stats.percent 1.0 4.0);
+  check (Alcotest.float 1e-9) "percent zero total" 0.0 (Stats.percent 1.0 0.0)
+
+let test_rng_deterministic () =
+  let a = Cgcm_support.Rng.create 42 in
+  let b = Cgcm_support.Rng.create 42 in
+  for _ = 1 to 50 do
+    check Alcotest.int "same stream" (Cgcm_support.Rng.int a 1000)
+      (Cgcm_support.Rng.int b 1000)
+  done;
+  let c = Cgcm_support.Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Cgcm_support.Rng.int a 1000 <> Cgcm_support.Rng.int c 1000 then
+      differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_rng_range () =
+  let r = Cgcm_support.Rng.create 7 in
+  for _ = 1 to 500 do
+    let v = Cgcm_support.Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of range";
+    let f = Cgcm_support.Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range"
+  done
+
+let tests =
+  [
+    Alcotest.test_case "avl empty" `Quick test_empty;
+    Alcotest.test_case "avl add/find" `Quick test_add_find;
+    Alcotest.test_case "avl replace" `Quick test_replace;
+    Alcotest.test_case "avl greatest_leq" `Quick test_greatest_leq;
+    Alcotest.test_case "avl least_geq" `Quick test_least_geq;
+    Alcotest.test_case "avl remove" `Quick test_remove;
+    Alcotest.test_case "avl bindings sorted" `Quick test_bindings_sorted;
+    Alcotest.test_case "avl min/max" `Quick test_min_max;
+    Alcotest.test_case "avl 1000 inserts" `Quick test_large_sequential;
+    QCheck_alcotest.to_alcotest prop_model;
+    QCheck_alcotest.to_alcotest prop_greatest_leq;
+    Alcotest.test_case "stats geomean" `Quick test_geomean;
+    Alcotest.test_case "stats mean/percent" `Quick test_mean_percent;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng range" `Quick test_rng_range;
+  ]
