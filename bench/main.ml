@@ -116,7 +116,7 @@ let mk_runtime () =
     Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000_00
   in
   let dev = Device.create Cost_model.default in
-  let rt = Runtime.create ~host ~dev in
+  let rt = Runtime.create ~host ~dev () in
   let base = Memspace.alloc host 4096 in
   Runtime.register_heap rt ~base ~size:4096;
   (rt, base)
@@ -157,8 +157,17 @@ let bench_interp =
      Bechamel.Test.make ~name:"interp-run-gemm-n6"
        (Bechamel.Staged.stage (fun () -> Interp.run c.Pipeline.modul)))
 
-let micro () =
-  section "Bechamel micro-benchmarks (ns per operation)";
+(* The same program under the tree-walking engine: the micro table's
+   interp-dispatch A/B. *)
+let bench_interp_tree =
+  let src = Cgcm_progs.Polybench.gemm ~n:6 () in
+  lazy
+    (let c = Pipeline.compile ~level:Pipeline.Optimized src in
+     let cfg = { Interp.default_config with Interp.engine = Interp.Tree_walk } in
+     Bechamel.Test.make ~name:"interp-run-gemm-n6-tree"
+       (Bechamel.Staged.stage (fun () -> Interp.run ~config:cfg c.Pipeline.modul)))
+
+let micro_rows () =
   let open Bechamel in
   let open Toolkit in
   let tests =
@@ -170,6 +179,7 @@ let micro () =
         bench_map_resident;
         bench_compile;
         Lazy.force bench_interp;
+        Lazy.force bench_interp_tree;
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -179,22 +189,119 @@ let micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with Some [ e ] -> Some e | _ -> None
+      in
+      (name, est) :: acc)
+    results []
+  |> List.sort compare
+
+let micro () =
+  section "Bechamel micro-benchmarks (ns per operation)";
   let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let est =
-          match Analyze.OLS.estimates ols with
-          | Some [ e ] -> Printf.sprintf "%.1f" e
-          | _ -> "n/a"
-        in
-        [ name; est ] :: acc)
-      results []
-    |> List.sort compare
+    List.map
+      (fun (name, est) ->
+        [
+          name;
+          (match est with Some e -> Printf.sprintf "%.1f" e | None -> "n/a");
+        ])
+      (micro_rows ())
   in
   print_string
     (Cgcm_report.Table.render
        ~aligns:[ Cgcm_report.Table.Left; Cgcm_report.Table.Right ]
        ~header:[ "benchmark"; "ns/op" ] rows)
+
+(* ------------------------------------------------------------------ *)
+(* micro --json: the machine-readable performance baseline             *)
+
+(* Emits BENCH_1.json: the micro table, an honest A/B of the two
+   interpreter engines over the whole 24-program suite (same binary, the
+   tree-walker is the pre-optimisation interpreter kept behind the
+   engine flag), and the dirty-span transfer volumes against whole-unit
+   copies. *)
+let micro_json () =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"cgcm-bench-1\",\n";
+  (* 1. micro-benchmarks *)
+  add "  \"micro_ns_per_op\": {\n";
+  let rows = micro_rows () in
+  List.iteri
+    (fun i (name, est) ->
+      add "    %S: %s%s\n" name
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  },\n";
+  (* 2. suite wall-clock, both engines *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Fmt.epr "  timing suite under the closure engine...@.";
+  let closures_res, closures_s =
+    time (fun () -> E.run_suite ~engine:Interp.Closures ())
+  in
+  Fmt.epr "  timing suite under the tree-walk engine...@.";
+  let tree_res, tree_s = time (fun () -> E.run_suite ~engine:Interp.Tree_walk ()) in
+  let engines_agree =
+    List.for_all2
+      (fun a b ->
+        a.E.outputs_match && b.E.outputs_match
+        && a.E.opt.Interp.output = b.E.opt.Interp.output
+        && a.E.opt.Interp.wall = b.E.opt.Interp.wall
+        && a.E.ie.Interp.wall = b.E.ie.Interp.wall
+        && a.E.unopt.Interp.wall = b.E.unopt.Interp.wall)
+      closures_res tree_res
+  in
+  add "  \"suite\": {\n";
+  add "    \"programs\": %d,\n" (List.length closures_res);
+  add "    \"closures_wall_s\": %.3f,\n" closures_s;
+  add "    \"tree_walk_wall_s\": %.3f,\n" tree_s;
+  add "    \"speedup\": %.2f,\n" (tree_s /. closures_s);
+  add "    \"engines_agree\": %b\n" engines_agree;
+  add "  },\n";
+  (* 3. dirty-span transfer volumes: optimized runs with the span
+     tracker on (default) vs forced whole-unit copies *)
+  let bytes_of (r : Interp.result) =
+    r.Interp.dev_stats.Device.htod_bytes + r.Interp.dev_stats.Device.dtoh_bytes
+  in
+  let dirty_on, saved, partial =
+    List.fold_left
+      (fun (b, s, p) r ->
+        ( b + bytes_of r.E.opt,
+          s + r.E.opt.Interp.rt_stats.Runtime.bytes_saved,
+          p + r.E.opt.Interp.rt_stats.Runtime.partial_copies ))
+      (0, 0, 0) closures_res
+  in
+  Fmt.epr "  re-running optimized configs with dirty spans off...@.";
+  let dirty_off =
+    List.fold_left
+      (fun b (p : Cgcm_progs.Registry.program) ->
+        let _, r =
+          Pipeline.run ~dirty_spans:false Pipeline.Cgcm_optimized p.source
+        in
+        b + bytes_of r)
+      0 Cgcm_progs.Registry.all
+  in
+  add "  \"dirty_spans\": {\n";
+  add "    \"opt_bytes_with_spans\": %d,\n" dirty_on;
+  add "    \"opt_bytes_whole_unit\": %d,\n" dirty_off;
+  add "    \"bytes_saved\": %d,\n" saved;
+  add "    \"partial_copies\": %d\n" partial;
+  add "  }\n";
+  add "}\n";
+  let path = "BENCH_1.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Fmt.pr "wrote %s@." path
 
 let all () =
   figure1 ();
@@ -216,8 +323,11 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: [] | [] -> all ()
   | _ :: args ->
+    let json = List.mem "--json" args in
     List.iter
       (function
+        | "--json" -> ()
+        | "micro" when json -> micro_json ()
         | "figure4" -> figure4 ()
         | "table3" -> table3 ()
         | "table1" -> table1 ()

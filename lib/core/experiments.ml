@@ -23,10 +23,10 @@ type prog_result = {
 let speedup ~(seq : Interp.result) (r : Interp.result) =
   seq.Interp.wall /. r.Interp.wall
 
-let run_program ?(cost = Cgcm_gpusim.Cost_model.default)
+let run_program ?(cost = Cgcm_gpusim.Cost_model.default) ?engine ?dirty_spans
     (prog : Registry.program) : prog_result =
   let src = prog.Registry.source in
-  let run exec = Pipeline.run ~cost exec src in
+  let run exec = Pipeline.run ~cost ?engine ?dirty_spans exec src in
   let cseq, seq = run Pipeline.Sequential in
   let _, ie = run Pipeline.Inspector_executor_exec in
   let _, unopt = run Pipeline.Cgcm_unoptimized in
@@ -46,11 +46,12 @@ let run_program ?(cost = Cgcm_gpusim.Cost_model.default)
   in
   { prog; seq; ie; unopt; opt; kernels; baseline_applicable; outputs_match }
 
-let run_suite ?cost ?(progress = fun _ -> ()) () : prog_result list =
+let run_suite ?cost ?engine ?dirty_spans ?(progress = fun _ -> ()) () :
+    prog_result list =
   List.map
     (fun p ->
       progress p.Registry.name;
-      run_program ?cost p)
+      run_program ?cost ?engine ?dirty_spans p)
     Registry.all
 
 (* ------------------------------------------------------------------ *)

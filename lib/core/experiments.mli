@@ -20,15 +20,23 @@ type prog_result = {
 val speedup : seq:Interp.result -> Interp.result -> float
 
 val run_program :
-  ?cost:Cgcm_gpusim.Cost_model.t -> Registry.program -> prog_result
-(** Run one program under all four configurations. *)
+  ?cost:Cgcm_gpusim.Cost_model.t ->
+  ?engine:Interp.engine ->
+  ?dirty_spans:bool ->
+  Registry.program ->
+  prog_result
+(** Run one program under all four configurations. [engine] and
+    [dirty_spans] pass through to {!Pipeline.run} (the latter defaults
+    per configuration there). *)
 
 val run_suite :
   ?cost:Cgcm_gpusim.Cost_model.t ->
+  ?engine:Interp.engine ->
+  ?dirty_spans:bool ->
   ?progress:(string -> unit) ->
   unit ->
   prog_result list
-(** All 24 programs (a couple of minutes at default sizes). *)
+(** All 24 programs. *)
 
 val geomeans :
   prog_result list -> (float * float * float) * (float * float * float)

@@ -57,10 +57,20 @@ let execution_to_string = function
   | Unified_oracle _ -> "unified-oracle"
 
 let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
-    ?(trace = false) (execution : execution) (source : string) :
+    ?(trace = false) ?(engine = Interp.default_config.Interp.engine)
+    ?dirty_spans (execution : execution) (source : string) :
     compiled * Interp.result =
+  (* Dirty-span transfers are part of the optimized run-time; the
+     unoptimized configuration keeps the paper's whole-unit protocol so
+     the Figure 4 contrast measures what the paper measures. An explicit
+     [dirty_spans] overrides for A/B experiments. *)
+  let dirty_spans =
+    match dirty_spans with
+    | Some b -> b
+    | None -> ( match execution with Cgcm_optimized -> true | _ -> false)
+  in
   let config mode =
-    { Interp.default_config with mode; cost; trace }
+    { Interp.default_config with mode; cost; trace; engine; dirty_spans }
   in
   match execution with
   | Sequential ->

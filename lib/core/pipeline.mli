@@ -44,7 +44,17 @@ val run :
   ?parallel:Doall.mode ->
   ?cost:Cgcm_gpusim.Cost_model.t ->
   ?trace:bool ->
+  ?engine:Interp.engine ->
+  ?dirty_spans:bool ->
   execution ->
   string ->
   compiled * Interp.result
-(** Compile and execute CGC source under the given configuration. *)
+(** Compile and execute CGC source under the given configuration.
+
+    [engine] selects the interpreter engine (default
+    {!Interp.default_config}'s, i.e. the closure-compiled one).
+    [dirty_spans] overrides the run-time's dirty-span transfer
+    optimisation; by default it is on for {!Cgcm_optimized} and off
+    elsewhere, so {!Cgcm_unoptimized} keeps the paper's whole-unit
+    protocol and the Figure 4 contrast measures what the paper
+    measures. *)

@@ -92,7 +92,7 @@ let sync t ~now =
 
 (* Synchronous transfers: like cudaMemcpy on the default stream, they wait
    for outstanding kernels, then occupy the bus. *)
-let memcpy_h_to_d t ~now ~host ~host_addr ~dev_addr ~len =
+let memcpy_h_to_d ?(label = "HtoD") t ~now ~host ~host_addr ~dev_addr ~len =
   let start = sync t ~now in
   Memspace.blit ~src:host ~src_addr:host_addr ~dst:t.mem ~dst_addr:dev_addr
     ~len;
@@ -102,10 +102,10 @@ let memcpy_h_to_d t ~now ~host ~host_addr ~dev_addr ~len =
   t.stats.htod_bytes <- t.stats.htod_bytes + len;
   t.stats.htod_count <- t.stats.htod_count + 1;
   t.stats.comm_cycles <- t.stats.comm_cycles +. dur;
-  Trace.record t.trace Trace.Htod ~start ~finish ~label:"HtoD" ~bytes:len;
+  Trace.record t.trace Trace.Htod ~start ~finish ~label ~bytes:len;
   finish
 
-let memcpy_d_to_h t ~now ~host ~host_addr ~dev_addr ~len =
+let memcpy_d_to_h ?(label = "DtoH") t ~now ~host ~host_addr ~dev_addr ~len =
   let start = sync t ~now in
   Memspace.blit ~src:t.mem ~src_addr:dev_addr ~dst:host ~dst_addr:host_addr
     ~len;
@@ -115,7 +115,7 @@ let memcpy_d_to_h t ~now ~host ~host_addr ~dev_addr ~len =
   t.stats.dtoh_bytes <- t.stats.dtoh_bytes + len;
   t.stats.dtoh_count <- t.stats.dtoh_count + 1;
   t.stats.comm_cycles <- t.stats.comm_cycles +. dur;
-  Trace.record t.trace Trace.Dtoh ~start ~finish ~label:"DtoH" ~bytes:len;
+  Trace.record t.trace Trace.Dtoh ~start ~finish ~label ~bytes:len;
   finish
 
 (* Account for an (already functionally executed) kernel launch. The

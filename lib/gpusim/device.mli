@@ -53,6 +53,7 @@ val sync : t -> now:float -> float
 (** Wait for all outstanding device work; records the stall. *)
 
 val memcpy_h_to_d :
+  ?label:string ->
   t ->
   now:float ->
   host:Cgcm_memory.Memspace.t ->
@@ -61,9 +62,12 @@ val memcpy_h_to_d :
   len:int ->
   float
 (** Synchronous transfer: waits for outstanding kernels (default-stream
-    semantics), then occupies the bus. *)
+    semantics), then occupies the bus. [label] names the trace event
+    (default ["HtoD"]; the run-time uses ["HtoD-dirty"] for dirty-span
+    transfers). *)
 
 val memcpy_d_to_h :
+  ?label:string ->
   t ->
   now:float ->
   host:Cgcm_memory.Memspace.t ->

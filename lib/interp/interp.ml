@@ -9,7 +9,19 @@
                memory directly, cgcm.* intrinsics are identity/no-ops.
                Every transformed program must produce the same observable
                output under [Unified] as the untransformed program — the
-               differential tests lean on this. *)
+               differential tests lean on this.
+
+   Two execution engines:
+   - [Closures]  the default: each function is pre-decoded once per run
+                 into an array of closures (threaded-code style) with the
+                 operand shapes, the binop/unop dispatch, and the callee
+                 lookups resolved at decode time. Loads and stores hold a
+                 per-site block handle so repeated accesses to the same
+                 allocation unit skip the greatest-leq lookup and the span
+                 check entirely (Memspace.handle_valid).
+   - [Tree_walk] the original AST interpreter, kept for differential
+                 testing: both engines must produce bit-identical outputs,
+                 stats, and traces on every program. *)
 
 module Ir = Cgcm_ir.Ir
 module Memspace = Cgcm_memory.Memspace
@@ -29,6 +41,8 @@ let error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
      DOALL-parallelized module, with no CGCM management. *)
 type mode = Split | Unified | Inspector_executor
 
+type engine = Closures | Tree_walk
+
 type config = {
   mode : mode;
   cost : Cost_model.t;
@@ -39,6 +53,9 @@ type config = {
   fuel : int;
   (* per-function dynamic instruction counts in the result *)
   profile : bool;
+  engine : engine;
+  (* run-time transfers only dirty spans instead of whole units *)
+  dirty_spans : bool;
 }
 
 let default_config =
@@ -49,9 +66,23 @@ let default_config =
     inspector_fraction = 0.25;
     fuel = 4_000_000_000;
     profile = false;
+    engine = Closures;
+    dirty_spans = true;
   }
 
 type rtval = VI of int64 | VF of float
+
+(* Shared boxes for the two boolean results: comparisons are a large
+   fraction of executed instructions (every loop back-edge), and the
+   shared values save an allocation each. *)
+let vtrue = VI 1L
+let vfalse = VI 0L
+
+(* Pre-box an immediate operand at decode time. *)
+let imm_val = function
+  | Ir.Imm_int i -> VI i
+  | Ir.Imm_float x -> VF x
+  | Ir.Reg _ | Ir.Global _ -> assert false
 
 let as_int = function
   | VI i -> i
@@ -79,14 +110,48 @@ type result = {
          config.profile *)
 }
 
+(* Per-call state threaded through compiled closures. *)
+type ctx = {
+  fr : rtval array;  (* the register frame *)
+  lv : float array;
+  (* promoted alloca slots, stored as raw IEEE bits (int64 accesses
+     reinterpret via Int64.bits_of_float, which is exact) *)
+  sp : Memspace.t;  (* memory space of the executing context *)
+  mutable ret : rtval option;
+  mutable allocas : int list;  (* frame allocation units, freed on exit *)
+  mutable registered : int list;  (* declareAlloca registrations to expire *)
+}
+
+type cinstr = ctx -> unit
+
+(* A run of instructions whose ticks are batched into one accounting call:
+   pure instructions (arithmetic, loads, stores) cannot observe the
+   machine's counters, so only call-like instructions — which can flush
+   the clock, print, or recurse — bound a run. Each run holds the pure
+   prefix plus at most one trailing call-like instruction; [ticks] is the
+   instruction count (the last run also carries the terminator's tick).
+   Every observation point (flush_time, output, traces) sees counter
+   values identical to the per-instruction schedule. *)
+type crun = { ticks : int; ops : cinstr array }
+
+type cblock = {
+  runs : crun array;
+  (* returns the next block index, or -1 after storing into ctx.ret *)
+  ct : ctx -> int;
+}
+
+type cfunc = { cfn : Ir.func; cblocks : cblock array; nlocals : int }
+
 type machine = {
   m : Ir.modul;
   host : Memspace.t;
   dev : Device.t;
   rt : Runtime.t;
   mode : mode;
+  engine : engine;
   cost : Cost_model.t;
   funcs : (string, Ir.func) Hashtbl.t;
+  decoded : (string, cfunc) Hashtbl.t;
   globals_host : (string, int) Hashtbl.t;
   out : Buffer.t;
   mutable now : float;
@@ -129,6 +194,24 @@ let tick mc =
   else begin
     mc.cpu_insts <- mc.cpu_insts + 1;
     mc.pending_insts <- mc.pending_insts + 1
+  end
+
+(* Batched tick for a run of [n] instructions (closure engine). The
+   context (kernel vs CPU) cannot change inside a run, so one test
+   covers all [n]. *)
+let seg_tick mc n =
+  mc.fuel <- mc.fuel - n;
+  if mc.fuel <= 0 then error "instruction budget exhausted (infinite loop?)";
+  if mc.profile_on then begin
+    match Hashtbl.find_opt mc.profile_counts mc.cur_fn with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace mc.profile_counts mc.cur_fn (ref n)
+  end;
+  if mc.in_kernel && mc.mode <> Unified then
+    mc.kernel_insts <- mc.kernel_insts + n
+  else begin
+    mc.cpu_insts <- mc.cpu_insts + n;
+    mc.pending_insts <- mc.pending_insts + n
   end
 
 (* Memory space for the executing context. *)
@@ -186,7 +269,7 @@ let load_globals mc =
     mc.m.Ir.globals
 
 (* ------------------------------------------------------------------ *)
-(* Instruction evaluation                                              *)
+(* Instruction evaluation (tree-walking engine)                         *)
 
 let eval_binop op a b =
   let open Ir in
@@ -251,6 +334,144 @@ let math1 name =
   | "tan" -> Some tan
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Decode-time operator specialisation (closure engine). Each function
+   matches its constructor exactly once, at decode; the returned closure
+   performs only the arithmetic. Operand evaluation order mirrors the
+   tree engine (right-to-left, as in OCaml application), so type-
+   confusion faults surface identically in both engines. *)
+
+let bin_fn (op : Ir.binop) : rtval -> rtval -> rtval =
+  let open Ir in
+  match op with
+  | Add -> fun a b -> let y = as_int b in let x = as_int a in VI (Int64.add x y)
+  | Sub -> fun a b -> let y = as_int b in let x = as_int a in VI (Int64.sub x y)
+  | Mul -> fun a b -> let y = as_int b in let x = as_int a in VI (Int64.mul x y)
+  | Div ->
+    fun a b ->
+      if as_int b = 0L then error "integer division by zero";
+      let y = as_int b in let x = as_int a in VI (Int64.div x y)
+  | Rem ->
+    fun a b ->
+      if as_int b = 0L then error "integer remainder by zero";
+      let y = as_int b in let x = as_int a in VI (Int64.rem x y)
+  | And -> fun a b -> let y = as_int b in let x = as_int a in VI (Int64.logand x y)
+  | Or -> fun a b -> let y = as_int b in let x = as_int a in VI (Int64.logor x y)
+  | Xor -> fun a b -> let y = as_int b in let x = as_int a in VI (Int64.logxor x y)
+  | Shl ->
+    fun a b ->
+      let s = Int64.to_int (as_int b) land 63 in
+      VI (Int64.shift_left (as_int a) s)
+  | Shr ->
+    fun a b ->
+      let s = Int64.to_int (as_int b) land 63 in
+      VI (Int64.shift_right_logical (as_int a) s)
+  | Fadd -> fun a b -> let y = as_float b in let x = as_float a in VF (x +. y)
+  | Fsub -> fun a b -> let y = as_float b in let x = as_float a in VF (x -. y)
+  | Fmul -> fun a b -> let y = as_float b in let x = as_float a in VF (x *. y)
+  | Fdiv -> fun a b -> let y = as_float b in let x = as_float a in VF (x /. y)
+  | Eq -> fun a b -> let y = as_int b in let x = as_int a in if Int64.equal x y then vtrue else vfalse
+  | Ne -> fun a b -> let y = as_int b in let x = as_int a in if Int64.equal x y then vfalse else vtrue
+  | Lt -> fun a b -> let y = as_int b in let x = as_int a in if Int64.compare x y < 0 then vtrue else vfalse
+  | Le -> fun a b -> let y = as_int b in let x = as_int a in if Int64.compare x y <= 0 then vtrue else vfalse
+  | Gt -> fun a b -> let y = as_int b in let x = as_int a in if Int64.compare x y > 0 then vtrue else vfalse
+  | Ge -> fun a b -> let y = as_int b in let x = as_int a in if Int64.compare x y >= 0 then vtrue else vfalse
+  | Feq -> fun a b -> let y = as_float b in let x = as_float a in if x = y then vtrue else vfalse
+  | Fne -> fun a b -> let y = as_float b in let x = as_float a in if x <> y then vtrue else vfalse
+  | Flt -> fun a b -> let y = as_float b in let x = as_float a in if x < y then vtrue else vfalse
+  | Fle -> fun a b -> let y = as_float b in let x = as_float a in if x <= y then vtrue else vfalse
+  | Fgt -> fun a b -> let y = as_float b in let x = as_float a in if x > y then vtrue else vfalse
+  | Fge -> fun a b -> let y = as_float b in let x = as_float a in if x >= y then vtrue else vfalse
+
+let un_fn (op : Ir.unop) : rtval -> rtval =
+  let open Ir in
+  match op with
+  | Neg -> fun a -> VI (Int64.neg (as_int a))
+  | Not -> fun a -> VI (Int64.lognot (as_int a))
+  | Fneg -> fun a -> VF (-.as_float a)
+  | Int_to_float -> fun a -> VF (Int64.to_float (as_int a))
+  | Float_to_int -> fun a -> VI (Int64.of_float (as_float a))
+
+(* Operator classification for the expression folder: operand and result
+   types are a function of the operator alone, so the folder can build
+   unboxed int64/float expression chains at decode time. Div and Rem keep
+   their own kinds because their zero check sits between the two operand
+   unboxings in [bin_fn] and the fault order must not change. *)
+type bkind =
+  | KI of (int64 -> int64 -> int64)  (* int op int -> int *)
+  | KIC of (int64 -> int64 -> bool)  (* int comparison *)
+  | KF of (float -> float -> float)  (* float op float -> float *)
+  | KFC of (float -> float -> bool)  (* float comparison *)
+  | KDiv
+  | KRem
+
+let bin_kind (op : Ir.binop) : bkind =
+  let open Ir in
+  match op with
+  | Add -> KI Int64.add
+  | Sub -> KI Int64.sub
+  | Mul -> KI Int64.mul
+  | Div -> KDiv
+  | Rem -> KRem
+  | And -> KI Int64.logand
+  | Or -> KI Int64.logor
+  | Xor -> KI Int64.logxor
+  | Shl -> KI (fun x y -> Int64.shift_left x (Int64.to_int y land 63))
+  | Shr -> KI (fun x y -> Int64.shift_right_logical x (Int64.to_int y land 63))
+  | Fadd -> KF ( +. )
+  | Fsub -> KF ( -. )
+  | Fmul -> KF ( *. )
+  | Fdiv -> KF ( /. )
+  | Eq -> KIC Int64.equal
+  | Ne -> KIC (fun x y -> not (Int64.equal x y))
+  | Lt -> KIC (fun x y -> Int64.compare x y < 0)
+  | Le -> KIC (fun x y -> Int64.compare x y <= 0)
+  | Gt -> KIC (fun x y -> Int64.compare x y > 0)
+  | Ge -> KIC (fun x y -> Int64.compare x y >= 0)
+  | Feq -> KFC (fun x y -> x = y)
+  | Fne -> KFC (fun x y -> x <> y)
+  | Flt -> KFC (fun x y -> x < y)
+  | Fle -> KFC (fun x y -> x <= y)
+  | Fgt -> KFC (fun x y -> x > y)
+  | Fge -> KFC (fun x y -> x >= y)
+
+(* Names the run-time resolves before user functions (dispatch_call's
+   match order): a call to one of these never binds to a user function
+   of the same name. *)
+let builtin_names =
+  [
+    "malloc"; "calloc"; "realloc"; "free";
+    "gpu_malloc"; "gpu_free"; "gpu_memcpy_h2d"; "gpu_memcpy_d2h";
+    "strlen"; "print_i64"; "print_f64"; "prints"; "pow";
+  ]
+
+let is_builtin name =
+  List.mem name builtin_names || math1 name <> None
+  || Ir.Intrinsic.is_cgcm name
+
+(* Inspector-executor access tracking, shared by both engines. *)
+let track_load mc sp tbl addr =
+  let base, _ = Memspace.unit_bounds sp addr in
+  if base < mc.track_threshold && not (Hashtbl.mem tbl base) then
+    Hashtbl.replace tbl base false
+
+let track_store mc sp tbl addr =
+  let base, _ = Memspace.unit_bounds sp addr in
+  if base < mc.track_threshold then Hashtbl.replace tbl base true
+
+(* Handle-based variants (closure engine): the access already resolved
+   its unit, so tracking reuses the handle's base instead of a second
+   index lookup. *)
+let track_load_h mc tbl base =
+  if base < mc.track_threshold && not (Hashtbl.mem tbl base) then
+    Hashtbl.replace tbl base false
+
+let track_store_h mc tbl base =
+  if base < mc.track_threshold then Hashtbl.replace tbl base true
+
+(* ------------------------------------------------------------------ *)
+(* Execution: the two engines plus the shared call/launch machinery     *)
+
 let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
   if Array.length args <> f.Ir.nargs then
     error "%s called with %d args, expected %d" f.Ir.fname (Array.length args)
@@ -275,7 +496,7 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
       (fun base ->
         if mc.mode = Split then Runtime.expire_alloca mc.rt ~base)
       !registered;
-    List.iter (fun base -> Memspace.free sp base) !frame_allocas
+    List.iter (fun base -> Memspace.free_local sp base) !frame_allocas
   in
   let rec run_block b =
     let block = f.Ir.blocks.(b) in
@@ -298,10 +519,7 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
     | Ir.Load (d, ty, a) -> begin
       let addr = Int64.to_int (as_int (eval a)) in
       (match mc.track_units with
-      | Some tbl ->
-        let base, _ = Memspace.unit_bounds sp addr in
-        if base < mc.track_threshold && not (Hashtbl.mem tbl base) then
-          Hashtbl.replace tbl base false
+      | Some tbl -> track_load mc sp tbl addr
       | None -> ());
       frame.(d) <-
         (match ty with
@@ -312,9 +530,7 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
     | Ir.Store (ty, a, v) -> begin
       let addr = Int64.to_int (as_int (eval a)) in
       (match mc.track_units with
-      | Some tbl ->
-        let base, _ = Memspace.unit_bounds sp addr in
-        if base < mc.track_threshold then Hashtbl.replace tbl base true
+      | Some tbl -> track_store mc sp tbl addr
       | None -> ());
       match ty with
       | Ir.I8 -> Memspace.store_u8 sp addr (Int64.to_int (as_int (eval v)) land 0xff)
@@ -470,7 +686,7 @@ and dispatch_call mc name argv : rtval option =
     match Hashtbl.find_opt mc.funcs name with
     | Some f ->
       if f.Ir.fkind = Ir.Kernel then error "direct call to kernel %s" name;
-      exec_func mc f (Array.of_list argv)
+      call_func mc f (Array.of_list argv)
     | None -> error "call to unknown function '%s'" name)
 
 and dispatch_cgcm mc name argv : rtval option =
@@ -536,17 +752,24 @@ and exec_launch mc ~kernel ~trip ~args =
       if mc.mode = Inspector_executor then begin
         let tbl = Hashtbl.create 16 in
         mc.track_units <- Some tbl;
+        Memspace.pool_flush mc.host;
         mc.track_threshold <- mc.host.Memspace.next;
         Some tbl
       end
       else None
     in
     mc.in_kernel <- true;
+    (* Resolve the kernel body once, not once per thread. *)
+    let invoke =
+      match mc.engine with
+      | Tree_walk -> fun args -> ignore (exec_func mc f args)
+      | Closures ->
+        let cf = decode mc f in
+        fun args -> ignore (exec_compiled mc cf args)
+    in
     (try
        for tid = 0 to trip - 1 do
-         ignore
-           (exec_func mc f
-              (Array.of_list (VI (Int64.of_int tid) :: args)))
+         invoke (Array.of_list (VI (Int64.of_int tid) :: args))
        done
      with e ->
        mc.in_kernel <- saved_in_kernel;
@@ -601,6 +824,977 @@ and exec_launch mc ~kernel ~trip ~args =
       mc.now <- Device.sync mc.dev ~now:mc.now
   end
 
+(* Engine dispatch for an internal (non-kernel) function call. *)
+and call_func mc (f : Ir.func) (args : rtval array) : rtval option =
+  match mc.engine with
+  | Tree_walk -> exec_func mc f args
+  | Closures -> exec_compiled mc (decode mc f) args
+
+(* ------------------------------------------------------------------ *)
+(* The closure engine: decode once, dispatch via closure call           *)
+
+and decode mc (f : Ir.func) : cfunc =
+  match Hashtbl.find_opt mc.decoded f.Ir.fname with
+  | Some cf -> cf
+  | None ->
+    (* Per-register use counts over the whole function drive the
+       expression folder: a pure def read exactly once can evaluate at
+       its use site instead of through the frame. Folding relies on
+       registers being single-assignment; the verifier enforces that for
+       compiled modules, but hand-written .ir files reach the interpreter
+       unverified, so re-check here and fold only when it holds. *)
+    let nregs = max f.Ir.nregs 1 in
+    let uses = Array.make nregs 0 in
+    let defs = Array.make nregs 0 in
+    let single_assign = ref true in
+    for i = 0 to min f.Ir.nargs nregs - 1 do
+      defs.(i) <- 1
+    done;
+    Array.iter
+      (fun (b : Ir.block) ->
+        let see = function
+          | Ir.Reg r when r >= 0 && r < nregs -> uses.(r) <- uses.(r) + 1
+          | _ -> ()
+        in
+        List.iter
+          (fun i ->
+            (match Ir.def_of_instr i with
+            | Some d when d >= 0 && d < nregs ->
+              defs.(d) <- defs.(d) + 1;
+              if defs.(d) > 1 then single_assign := false
+            | Some _ -> single_assign := false
+            | None -> ());
+            List.iter see (Ir.uses_of_instr i))
+          b.Ir.instrs;
+        List.iter see (Ir.uses_of_term b.Ir.term))
+      f.Ir.blocks;
+    let fold_ok = !single_assign in
+    (* Scalar alloca promotion: an 8-byte-or-larger unregistered alloca
+       whose address register is used only as the address of whole-word
+       (I64/F64) loads and stores never escapes, never faults, and is
+       indistinguishable from a frame slot — so it gets one, skipping the
+       memory space entirely. The verifier's def-dominates-use rule means
+       the alloca always executes (and zeroes the slot) before any
+       access; ticks still count every source instruction, so timing and
+       instruction counts are unchanged. Like folding, this needs
+       single-assignment registers. *)
+    let promo : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let nlocals = ref 0 in
+    if fold_ok then begin
+      let cand = Hashtbl.create 8 in
+      Array.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Alloca (d, Ir.Imm_int s, info)
+                when (not info.Ir.aregistered) && s >= 8L ->
+                Hashtbl.replace cand d ()
+              | _ -> ())
+            b.Ir.instrs)
+        f.Ir.blocks;
+      let disq = function Ir.Reg r -> Hashtbl.remove cand r | _ -> () in
+      Array.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Load (_, (Ir.I64 | Ir.F64), Ir.Reg _) -> ()
+              | Ir.Store ((Ir.I64 | Ir.F64), Ir.Reg _, v) -> disq v
+              | _ -> List.iter disq (Ir.uses_of_instr i))
+            b.Ir.instrs;
+          List.iter disq (Ir.uses_of_term b.Ir.term))
+        f.Ir.blocks;
+      Array.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Alloca (d, _, _) when Hashtbl.mem cand d ->
+                Hashtbl.replace promo d !nlocals;
+                incr nlocals
+              | _ -> ())
+            b.Ir.instrs)
+        f.Ir.blocks
+    end;
+    let cf =
+      {
+        cfn = f;
+        cblocks = Array.map (decode_block mc ~uses ~fold_ok ~promo) f.Ir.blocks;
+        nlocals = !nlocals;
+      }
+    in
+    Hashtbl.replace mc.decoded f.Ir.fname cf;
+    cf
+
+and decode_block mc ~uses ~fold_ok ~promo (b : Ir.block) : cblock =
+  (* Call-like instructions bound a tick run: they can flush the clock,
+     print, or recurse, so counters must be exact when they execute.
+     Everything else is invisible to the counters. *)
+  let call_like = function
+    | Ir.Call _ | Ir.Launch _ -> true
+    | Ir.Alloca (_, _, info) -> info.Ir.aregistered
+    | _ -> false
+  in
+  let instrs = Array.of_list b.Ir.instrs in
+  let n = Array.length instrs in
+  (* The folder: a Binop/Unop whose single use sits later in the same
+     run (no call-like instruction strictly between def and use; the
+     block terminator belongs to the trailing run) is not emitted — its
+     consumer rebuilds the expression inline. Folded expressions read
+     only registers (single-assignment, so stable) and global addresses
+     (fixed after first resolution), so evaluating them at the use site
+     is observationally identical on non-faulting programs; staying
+     inside one run keeps prints and clock flushes out of the def-to-use
+     window. Ticks count source instructions, folded or not. *)
+  let folded = Array.make n false in
+  if fold_ok then begin
+    let uses_reg r vs =
+      List.exists (function Ir.Reg x -> x = r | _ -> false) vs
+    in
+    for idx = 0 to n - 1 do
+      match instrs.(idx) with
+      | (Ir.Binop (d, _, _, _) | Ir.Unop (d, _, _))
+        when d < Array.length uses && uses.(d) = 1 ->
+        let rec scan j =
+          if j >= n then uses_reg d (Ir.uses_of_term b.Ir.term)
+          else if uses_reg d (Ir.uses_of_instr instrs.(j)) then true
+          else if call_like instrs.(j) then false
+          else scan (j + 1)
+        in
+        folded.(idx) <- scan (idx + 1)
+      | _ -> ()
+    done
+  end;
+  let avail : (int, Ir.instr) Hashtbl.t = Hashtbl.create 8 in
+  let runs = ref [] and cur = ref [] and nticks = ref 0 in
+  let close extra =
+    runs :=
+      { ticks = !nticks + extra; ops = Array.of_list (List.rev !cur) } :: !runs;
+    cur := [];
+    nticks := 0
+  in
+  Array.iteri
+    (fun idx i ->
+      incr nticks;
+      if folded.(idx) then (
+        match Ir.def_of_instr i with
+        | Some d -> Hashtbl.replace avail d i
+        | None -> ())
+      else cur := decode_instr mc avail promo i :: !cur;
+      if call_like i then close 0)
+    instrs;
+  (* the trailing run also accounts the terminator's tick *)
+  close 1;
+  { runs = Array.of_list (List.rev !runs); ct = decode_term mc avail b.Ir.term }
+
+(* Cached global-address resolution. Host addresses are fixed after
+   load_globals. Device addresses are allocated by the driver on first
+   touch (which charges alloc_overhead, exactly once — the first call
+   here is the first touch, as in the tree engine) and never move, so
+   both sides cache after one resolution. *)
+and gaddr mc g : ctx -> int =
+  let haddr = ref (-1) and daddr = ref (-1) in
+  fun _ ->
+    if mc.in_kernel && mc.mode = Split then begin
+      let a = !daddr in
+      if a >= 0 then a
+      else begin
+        let a = global_addr mc g in
+        daddr := a;
+        a
+      end
+    end
+    else begin
+      let a = !haddr in
+      if a >= 0 then a
+      else begin
+        let a = global_addr mc g in
+        haddr := a;
+        a
+      end
+    end
+
+(* ---- Typed operand folding --------------------------------------- *)
+(* fold_* resolve an operand in the representation its consumer wants,
+   looking through the avail table to inline folded single-use defs.
+   expr_* rebuild a folded defining instruction as a typed expression.
+   A type mismatch (e.g. a float expression consumed as an integer)
+   evaluates the expression and then faults with the same message the
+   tree engine's as_int/as_float would produce. *)
+
+and fold_i mc avail (v : Ir.value) : ctx -> int64 =
+  match v with
+  | Ir.Reg r -> (
+    match Hashtbl.find_opt avail r with
+    | Some i -> expr_i mc avail i
+    | None -> fun c -> as_int (Array.unsafe_get c.fr r))
+  | Ir.Imm_int i -> fun _ -> i
+  | Ir.Imm_float _ ->
+    fun _ -> error "type confusion: float used as integer/pointer"
+  | Ir.Global g ->
+    let ga = gaddr mc g in
+    fun c -> Int64.of_int (ga c)
+
+and fold_f mc avail (v : Ir.value) : ctx -> float =
+  match v with
+  | Ir.Reg r -> (
+    match Hashtbl.find_opt avail r with
+    | Some i -> expr_f mc avail i
+    | None -> fun c -> as_float (Array.unsafe_get c.fr r))
+  | Ir.Imm_float x -> fun _ -> x
+  | Ir.Imm_int _ | Ir.Global _ ->
+    fun _ -> error "type confusion: integer used as float"
+
+(* Native-int variant for address arithmetic. Add/Sub/Mul chains compute
+   in native ints: truncation to 63 bits commutes with +,-,* (modular
+   arithmetic), and the tree engine truncates the final int64 with
+   Int64.to_int anyway, so the resulting address is bit-identical. *)
+and fold_addr mc avail (v : Ir.value) : ctx -> int =
+  match v with
+  | Ir.Reg r -> (
+    match Hashtbl.find_opt avail r with
+    | Some i -> expr_addr mc avail i
+    | None -> fun c -> Int64.to_int (as_int (Array.unsafe_get c.fr r)))
+  | Ir.Imm_int i ->
+    let a = Int64.to_int i in
+    fun _ -> a
+  | Ir.Imm_float _ ->
+    fun _ -> error "type confusion: float used as integer/pointer"
+  | Ir.Global g -> gaddr mc g
+
+(* Boxed variant, for call/launch arguments and returns. *)
+and fold_rt mc avail (v : Ir.value) : ctx -> rtval =
+  match v with
+  | Ir.Reg r -> (
+    match Hashtbl.find_opt avail r with
+    | Some i -> expr_rt mc avail i
+    | None -> fun c -> Array.unsafe_get c.fr r)
+  | _ -> cval mc v
+
+and expr_i mc avail (i : Ir.instr) : ctx -> int64 =
+  match i with
+  | Ir.Binop (_, op, a, b) -> (
+    match bin_kind op with
+    | KI f ->
+      let fb = fold_i mc avail b in
+      let fa = fold_i mc avail a in
+      fun c ->
+        let y = fb c in
+        let x = fa c in
+        f x y
+    | KDiv ->
+      let fb = fold_i mc avail b in
+      let fa = fold_i mc avail a in
+      fun c ->
+        let y = fb c in
+        if y = 0L then error "integer division by zero";
+        let x = fa c in
+        Int64.div x y
+    | KRem ->
+      let fb = fold_i mc avail b in
+      let fa = fold_i mc avail a in
+      fun c ->
+        let y = fb c in
+        if y = 0L then error "integer remainder by zero";
+        let x = fa c in
+        Int64.rem x y
+    | KIC f ->
+      let fb = fold_i mc avail b in
+      let fa = fold_i mc avail a in
+      fun c ->
+        let y = fb c in
+        let x = fa c in
+        if f x y then 1L else 0L
+    | KFC f ->
+      let fb = fold_f mc avail b in
+      let fa = fold_f mc avail a in
+      fun c ->
+        let y = fb c in
+        let x = fa c in
+        if f x y then 1L else 0L
+    | KF _ ->
+      let ff = expr_f mc avail i in
+      fun c -> as_int (VF (ff c)))
+  | Ir.Unop (_, op, a) -> (
+    match op with
+    | Ir.Neg ->
+      let fa = fold_i mc avail a in
+      fun c -> Int64.neg (fa c)
+    | Ir.Not ->
+      let fa = fold_i mc avail a in
+      fun c -> Int64.lognot (fa c)
+    | Ir.Float_to_int ->
+      let fa = fold_f mc avail a in
+      fun c -> Int64.of_float (fa c)
+    | Ir.Fneg | Ir.Int_to_float ->
+      let ff = expr_f mc avail i in
+      fun c -> as_int (VF (ff c)))
+  | _ -> assert false (* only pure Binop/Unop defs are folded *)
+
+and expr_f mc avail (i : Ir.instr) : ctx -> float =
+  match i with
+  | Ir.Binop (_, op, a, b) -> (
+    match bin_kind op with
+    | KF f ->
+      let fb = fold_f mc avail b in
+      let fa = fold_f mc avail a in
+      fun c ->
+        let y = fb c in
+        let x = fa c in
+        f x y
+    | _ ->
+      let fi = expr_i mc avail i in
+      fun c -> as_float (VI (fi c)))
+  | Ir.Unop (_, op, a) -> (
+    match op with
+    | Ir.Fneg ->
+      let fa = fold_f mc avail a in
+      fun c -> -.fa c
+    | Ir.Int_to_float ->
+      let fa = fold_i mc avail a in
+      fun c -> Int64.to_float (fa c)
+    | Ir.Neg | Ir.Not | Ir.Float_to_int ->
+      let fi = expr_i mc avail i in
+      fun c -> as_float (VI (fi c)))
+  | _ -> assert false
+
+and expr_addr mc avail (i : Ir.instr) : ctx -> int =
+  match i with
+  | Ir.Binop (_, Ir.Add, a, b) ->
+    let fb = fold_addr mc avail b in
+    let fa = fold_addr mc avail a in
+    fun c ->
+      let y = fb c in
+      let x = fa c in
+      x + y
+  | Ir.Binop (_, Ir.Sub, a, b) ->
+    let fb = fold_addr mc avail b in
+    let fa = fold_addr mc avail a in
+    fun c ->
+      let y = fb c in
+      let x = fa c in
+      x - y
+  | Ir.Binop (_, Ir.Mul, a, b) ->
+    let fb = fold_addr mc avail b in
+    let fa = fold_addr mc avail a in
+    fun c ->
+      let y = fb c in
+      let x = fa c in
+      x * y
+  | _ ->
+    let fi = expr_i mc avail i in
+    fun c -> Int64.to_int (fi c)
+
+and expr_rt mc avail (i : Ir.instr) : ctx -> rtval =
+  match i with
+  | Ir.Binop (_, op, _, _) -> (
+    match bin_kind op with
+    | KF _ ->
+      let ff = expr_f mc avail i in
+      fun c -> VF (ff c)
+    | KIC _ | KFC _ ->
+      let fi = expr_i mc avail i in
+      fun c -> if fi c <> 0L then vtrue else vfalse
+    | KI _ | KDiv | KRem ->
+      let fi = expr_i mc avail i in
+      fun c -> VI (fi c))
+  | Ir.Unop (_, (Ir.Fneg | Ir.Int_to_float), _) ->
+    let ff = expr_f mc avail i in
+    fun c -> VF (ff c)
+  | Ir.Unop _ ->
+    let fi = expr_i mc avail i in
+    fun c -> VI (fi c)
+  | _ -> assert false
+
+(* Compiled operand: resolved to a closure over the frame. *)
+and cval mc (v : Ir.value) : ctx -> rtval =
+  match v with
+  | Ir.Reg r -> fun c -> Array.unsafe_get c.fr r
+  | Ir.Imm_int i ->
+    let v = VI i in
+    fun _ -> v
+  | Ir.Imm_float x ->
+    let v = VF x in
+    fun _ -> v
+  | Ir.Global g ->
+    let ga = gaddr mc g in
+    fun c -> VI (Int64.of_int (ga c))
+
+(* Instruction decode. Ticks are accounted by the enclosing run
+   (decode_block), not by the closures. Operand shapes are resolved here:
+   the register/register and register/immediate forms of the hot
+   operators compile to closures with no inner indirect calls. Reordering
+   a Reg/Imm operand fetch is safe (they are pure); only Global operands
+   can have effects, and those take the generic right-to-left path. *)
+and decode_instr mc avail promo (i : Ir.instr) : cinstr =
+  match i with
+  | Ir.Binop (d, op, a, b) -> decode_binop mc avail d op a b
+  | Ir.Unop (d, op, a) -> (
+    let f = un_fn op in
+    match a with
+    | Ir.Reg r when not (Hashtbl.mem avail r) ->
+      fun c -> c.fr.(d) <- f (Array.unsafe_get c.fr r)
+    | _ ->
+      let fa = fold_rt mc avail a in
+      fun c -> c.fr.(d) <- f (fa c))
+  (* Promoted alloca slots: the access is a frame-array move. I64
+     accesses reinterpret the slot's IEEE bits, exactly as the byte store
+     in the memory space would. *)
+  | Ir.Load (d, Ir.F64, Ir.Reg r) when Hashtbl.mem promo r ->
+    let ix = Hashtbl.find promo r in
+    fun c -> Array.unsafe_set c.fr d (VF (Array.unsafe_get c.lv ix))
+  | Ir.Load (d, Ir.I64, Ir.Reg r) when Hashtbl.mem promo r ->
+    let ix = Hashtbl.find promo r in
+    fun c ->
+      Array.unsafe_set c.fr d
+        (VI (Int64.bits_of_float (Array.unsafe_get c.lv ix)))
+  | Ir.Store (Ir.F64, Ir.Reg r, v) when Hashtbl.mem promo r ->
+    let ix = Hashtbl.find promo r in
+    let fv = fold_f mc avail v in
+    fun c -> Array.unsafe_set c.lv ix (fv c)
+  | Ir.Store (Ir.I64, Ir.Reg r, v) when Hashtbl.mem promo r ->
+    let ix = Hashtbl.find promo r in
+    let fv = fold_i mc avail v in
+    fun c -> Array.unsafe_set c.lv ix (Int64.float_of_bits (fv c))
+  | Ir.Alloca (d, _, _) when Hashtbl.mem promo d ->
+    let ix = Hashtbl.find promo d in
+    fun c -> Array.unsafe_set c.lv ix 0.0
+  | Ir.Load (d, ty, a) -> decode_load mc avail d ty a
+  | Ir.Store (ty, a, v) -> decode_store mc avail ty a v
+  | Ir.Alloca (d, size, info) ->
+    let fs = fold_rt mc avail size in
+    fun c ->
+      let size = Int64.to_int (as_int (fs c)) in
+      let base = Memspace.alloc ~tag:info.Ir.aname c.sp size in
+      c.allocas <- base :: c.allocas;
+      c.fr.(d) <- VI (Int64.of_int base);
+      if info.Ir.aregistered && (not mc.in_kernel) && mc.mode = Split then begin
+        flush_time mc;
+        mc.rt.Runtime.now <- mc.now;
+        Runtime.declare_alloca mc.rt ~base ~size;
+        mc.now <- mc.rt.Runtime.now;
+        c.registered <- base :: c.registered
+      end
+  | Ir.Call (d, name, args) ->
+    let fargs = List.map (fold_rt mc avail) args in
+    let set_res =
+      match d with
+      | Some d ->
+        fun c res ->
+          c.fr.(d) <- (match res with Some v -> v | None -> VI 0L)
+      | None -> fun _ _ -> ()
+    in
+    let generic () =
+      fun c ->
+        let argv = List.map (fun g -> g c) fargs in
+        set_res c (dispatch_call mc name argv)
+    in
+    if is_builtin name then begin
+      (* Pure math calls are the only builtins hot enough to specialise;
+         everything else keeps the tree engine's dispatch (which the
+         closure still reaches without re-matching the instruction). *)
+      match (math1 name, fargs) with
+      | Some g, [ fa ] -> fun c -> set_res c (Some (VF (g (as_float (fa c)))))
+      | _ -> (
+        match (name, fargs) with
+        | "pow", [ fa; fb ] ->
+          fun c ->
+            let va = fa c in
+            let vb = fb c in
+            set_res c (Some (VF (Float.pow (as_float va) (as_float vb))))
+        | _ -> generic ())
+    end
+    else begin
+      match Hashtbl.find_opt mc.funcs name with
+      | Some f when f.Ir.fkind = Ir.Cpu ->
+        (* Direct call to a user function: callee resolved at decode, its
+           body decoded lazily on first execution (handles recursion). *)
+        let fargs = Array.of_list fargs in
+        let n = Array.length fargs in
+        let resolved = ref None in
+        fun c ->
+          let argv = if n = 0 then [||] else Array.make n (VI 0L) in
+          for i = 0 to n - 1 do
+            argv.(i) <- (Array.unsafe_get fargs i) c
+          done;
+          let cf =
+            match !resolved with
+            | Some cf -> cf
+            | None ->
+              let cf = decode mc f in
+              resolved := Some cf;
+              cf
+          in
+          set_res c (exec_compiled mc cf argv)
+      | _ ->
+        (* kernels called directly, or unknown names: fault at execution
+           time with the tree engine's message *)
+        generic ()
+    end
+  | Ir.Launch { kernel; trip; args } ->
+    let ft = fold_rt mc avail trip in
+    let fargs = List.map (fold_rt mc avail) args in
+    fun c ->
+      let args = List.map (fun g -> g c) fargs in
+      let trip = Int64.to_int (as_int (ft c)) in
+      exec_launch mc ~kernel ~trip ~args
+
+and decode_binop mc avail d op a b : cinstr =
+  let is_folded = function Ir.Reg r -> Hashtbl.mem avail r | _ -> false in
+  if is_folded a || is_folded b then begin
+    (* An operand is a folded def: rebuild the whole expression inline
+       and write the (multi-use) result to the frame. *)
+    let g = expr_rt mc avail (Ir.Binop (d, op, a, b)) in
+    fun c -> c.fr.(d) <- g c
+  end
+  else begin
+  let open Ir in
+  match (op, a, b) with
+  (* fully inlined forms of the operators that dominate executed code:
+     address arithmetic, float kernels, loop conditions *)
+  | Add, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        VI (Int64.add (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb)))
+  | Add, Reg ra, Imm_int ib ->
+    fun c -> c.fr.(d) <- VI (Int64.add (as_int (Array.unsafe_get c.fr ra)) ib)
+  | Sub, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        VI (Int64.sub (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb)))
+  | Sub, Reg ra, Imm_int ib ->
+    fun c -> c.fr.(d) <- VI (Int64.sub (as_int (Array.unsafe_get c.fr ra)) ib)
+  | Mul, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        VI (Int64.mul (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb)))
+  | Mul, Reg ra, Imm_int ib ->
+    fun c -> c.fr.(d) <- VI (Int64.mul (as_int (Array.unsafe_get c.fr ra)) ib)
+  | Fadd, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        VF (as_float (Array.unsafe_get c.fr ra)
+            +. as_float (Array.unsafe_get c.fr rb))
+  | Fsub, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        VF (as_float (Array.unsafe_get c.fr ra)
+            -. as_float (Array.unsafe_get c.fr rb))
+  | Fmul, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        VF (as_float (Array.unsafe_get c.fr ra)
+            *. as_float (Array.unsafe_get c.fr rb))
+  | Fdiv, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        VF (as_float (Array.unsafe_get c.fr ra)
+            /. as_float (Array.unsafe_get c.fr rb))
+  | Lt, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.compare (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb)) < 0
+         then vtrue else vfalse)
+  | Lt, Reg ra, Imm_int ib ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.compare (as_int (Array.unsafe_get c.fr ra)) ib < 0 then vtrue
+         else vfalse)
+  | Le, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.compare (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb)) <= 0
+         then vtrue else vfalse)
+  | Le, Reg ra, Imm_int ib ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.compare (as_int (Array.unsafe_get c.fr ra)) ib <= 0 then vtrue
+         else vfalse)
+  | Gt, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.compare (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb)) > 0
+         then vtrue else vfalse)
+  | Ge, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.compare (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb)) >= 0
+         then vtrue else vfalse)
+  | Eq, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.equal (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb))
+         then vtrue else vfalse)
+  | Ne, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if Int64.equal (as_int (Array.unsafe_get c.fr ra))
+              (as_int (Array.unsafe_get c.fr rb))
+         then vfalse else vtrue)
+  | Flt, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if as_float (Array.unsafe_get c.fr ra)
+            < as_float (Array.unsafe_get c.fr rb)
+         then vtrue else vfalse)
+  | Fle, Reg ra, Reg rb ->
+    fun c ->
+      c.fr.(d) <-
+        (if as_float (Array.unsafe_get c.fr ra)
+            <= as_float (Array.unsafe_get c.fr rb)
+         then vtrue else vfalse)
+  (* everything else: shape-specialised operand fetch, operator via the
+     decode-time-resolved bin_fn closure *)
+  | _, Reg ra, Reg rb ->
+    let f = bin_fn op in
+    fun c -> c.fr.(d) <- f (Array.unsafe_get c.fr ra) (Array.unsafe_get c.fr rb)
+  | _, Reg ra, (Imm_int _ | Imm_float _) ->
+    let f = bin_fn op in
+    let vb = imm_val b in
+    fun c -> c.fr.(d) <- f (Array.unsafe_get c.fr ra) vb
+  | _, (Imm_int _ | Imm_float _), Reg rb ->
+    let f = bin_fn op in
+    let va = imm_val a in
+    fun c -> c.fr.(d) <- f va (Array.unsafe_get c.fr rb)
+  | _ ->
+    let f = bin_fn op in
+    let fb = cval mc b in
+    let fa = cval mc a in
+    fun c ->
+      let vb = fb c in
+      let va = fa c in
+      c.fr.(d) <- f va vb
+  end
+
+and decode_load mc avail d ty a : cinstr =
+  (* Access tracking only exists in inspector-executor mode, which is
+     known at decode time; every other mode skips the check entirely. *)
+  let track = mc.mode = Inspector_executor in
+  let cache = ref Memspace.null_handle in
+  match (ty, a) with
+  | Ir.I64, Ir.Reg r when (not track) && not (Hashtbl.mem avail r) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
+      let h = !cache in
+      let h =
+        if Memspace.handle_valid h c.sp addr 8 then h
+        else begin
+          let h = Memspace.acquire_handle c.sp addr 8 "load" in
+          cache := h;
+          h
+        end
+      in
+      c.fr.(d) <- VI (Memspace.h_load_i64 h addr)
+  | Ir.F64, Ir.Reg r when (not track) && not (Hashtbl.mem avail r) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
+      let h = !cache in
+      let h =
+        if Memspace.handle_valid h c.sp addr 8 then h
+        else begin
+          let h = Memspace.acquire_handle c.sp addr 8 "load" in
+          cache := h;
+          h
+        end
+      in
+      c.fr.(d) <- VF (Memspace.h_load_f64 h addr)
+  | Ir.I8, Ir.Reg r when (not track) && not (Hashtbl.mem avail r) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
+      let h = !cache in
+      let h =
+        if Memspace.handle_valid h c.sp addr 1 then h
+        else begin
+          let h = Memspace.acquire_handle c.sp addr 1 "load" in
+          cache := h;
+          h
+        end
+      in
+      c.fr.(d) <- VI (Int64.of_int (Memspace.h_load_u8 h addr))
+  | _ ->
+    let fa = fold_addr mc avail a in
+    let len = match ty with Ir.I8 -> 1 | _ -> 8 in
+    let finish : ctx -> Memspace.handle -> int -> unit =
+      match ty with
+      | Ir.I8 ->
+        fun c h addr -> c.fr.(d) <- VI (Int64.of_int (Memspace.h_load_u8 h addr))
+      | Ir.I64 -> fun c h addr -> c.fr.(d) <- VI (Memspace.h_load_i64 h addr)
+      | Ir.F64 -> fun c h addr -> c.fr.(d) <- VF (Memspace.h_load_f64 h addr)
+    in
+    if track then
+      (* Tracked (inspector-executor) path: the handle resolution already
+         found the unit, so tracking reuses its base. *)
+      fun c ->
+        let addr = fa c in
+        let h = !cache in
+        let h =
+          if Memspace.handle_valid h c.sp addr len then h
+          else begin
+            let h = Memspace.acquire_handle c.sp addr len "load" in
+            cache := h;
+            h
+          end
+        in
+        (match mc.track_units with
+        | Some tbl -> track_load_h mc tbl (Memspace.handle_base h)
+        | None -> ());
+        finish c h addr
+    else
+      fun c ->
+        let addr = fa c in
+        let h = !cache in
+        let h =
+          if Memspace.handle_valid h c.sp addr len then h
+          else begin
+            let h = Memspace.acquire_handle c.sp addr len "load" in
+            cache := h;
+            h
+          end
+        in
+        finish c h addr
+
+and decode_store mc avail ty a v : cinstr =
+  let track = mc.mode = Inspector_executor in
+  let cache = ref Memspace.null_handle in
+  match (ty, a, v) with
+  | Ir.F64, Ir.Reg ra, Ir.Reg rv
+    when (not track)
+         && (not (Hashtbl.mem avail ra))
+         && not (Hashtbl.mem avail rv) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
+      let x = as_float (Array.unsafe_get c.fr rv) in
+      let h = !cache in
+      let h =
+        if Memspace.handle_valid h c.sp addr 8 then h
+        else begin
+          let h = Memspace.acquire_handle c.sp addr 8 "store" in
+          cache := h;
+          h
+        end
+      in
+      Memspace.h_store_f64 h addr x
+  | Ir.I64, Ir.Reg ra, Ir.Reg rv
+    when (not track)
+         && (not (Hashtbl.mem avail ra))
+         && not (Hashtbl.mem avail rv) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
+      let x = as_int (Array.unsafe_get c.fr rv) in
+      let h = !cache in
+      let h =
+        if Memspace.handle_valid h c.sp addr 8 then h
+        else begin
+          let h = Memspace.acquire_handle c.sp addr 8 "store" in
+          cache := h;
+          h
+        end
+      in
+      Memspace.h_store_i64 h addr x
+  | Ir.I64, Ir.Reg ra, Ir.Imm_int iv
+    when (not track) && not (Hashtbl.mem avail ra) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
+      let h = !cache in
+      let h =
+        if Memspace.handle_valid h c.sp addr 8 then h
+        else begin
+          let h = Memspace.acquire_handle c.sp addr 8 "store" in
+          cache := h;
+          h
+        end
+      in
+      Memspace.h_store_i64 h addr iv
+  | _ -> (
+    let fa = fold_addr mc avail a in
+    let acquire c addr len =
+      let h = !cache in
+      if Memspace.handle_valid h c.sp addr len then h
+      else begin
+        let h = Memspace.acquire_handle c.sp addr len "store" in
+        cache := h;
+        h
+      end
+    in
+    (* Tracked (inspector-executor) path: when the cached handle is
+       valid, tracking reuses its base (no index lookup) and the only
+       possible fault is the value unboxing, in tree-engine order. On a
+       cache miss, fall back to the tree engine's checked store so the
+       fault order (track's wild-pointer fault, value confusion, span
+       overrun) is preserved exactly, then warm the cache. *)
+    let tracked_store (h_store : ctx -> Memspace.handle -> int -> unit)
+        (slow_store : ctx -> int -> unit) len : cinstr =
+      fun c ->
+        let addr = fa c in
+        let h = !cache in
+        if Memspace.handle_valid h c.sp addr len then begin
+          (match mc.track_units with
+          | Some tbl -> track_store_h mc tbl (Memspace.handle_base h)
+          | None -> ());
+          h_store c h addr
+        end
+        else begin
+          (match mc.track_units with
+          | Some tbl -> track_store mc c.sp tbl addr
+          | None -> ());
+          slow_store c addr;
+          cache := Memspace.acquire_handle c.sp addr len "store"
+        end
+    in
+    (* tree-engine order: address, track, value (with its unboxing
+       fault), then the store itself *)
+    match ty with
+    | Ir.I8 ->
+      let fv = fold_i mc avail v in
+      if track then
+        tracked_store
+          (fun c h addr -> Memspace.h_store_u8 h addr (Int64.to_int (fv c) land 0xff))
+          (fun c addr -> Memspace.store_u8 c.sp addr (Int64.to_int (fv c) land 0xff))
+          1
+      else
+        fun c ->
+          let addr = fa c in
+          let x = Int64.to_int (fv c) land 0xff in
+          Memspace.h_store_u8 (acquire c addr 1) addr x
+    | Ir.I64 ->
+      let fv = fold_i mc avail v in
+      if track then
+        tracked_store
+          (fun c h addr -> Memspace.h_store_i64 h addr (fv c))
+          (fun c addr -> Memspace.store_i64 c.sp addr (fv c))
+          8
+      else
+        fun c ->
+          let addr = fa c in
+          let x = fv c in
+          Memspace.h_store_i64 (acquire c addr 8) addr x
+    | Ir.F64 ->
+      let fv = fold_f mc avail v in
+      if track then
+        tracked_store
+          (fun c h addr -> Memspace.h_store_f64 h addr (fv c))
+          (fun c addr -> Memspace.store_f64 c.sp addr (fv c))
+          8
+      else
+        fun c ->
+          let addr = fa c in
+          let x = fv c in
+          Memspace.h_store_f64 (acquire c addr 8) addr x)
+
+and decode_term mc avail (t : Ir.terminator) : ctx -> int =
+  match t with
+  | Ir.Br b -> fun _ -> b
+  | Ir.Cbr (Ir.Reg r, b1, b2) when Hashtbl.mem avail r -> (
+    (* Fuse a folded comparison straight into the branch: no boolean
+       box, no frame traffic. *)
+    match Hashtbl.find avail r with
+    | Ir.Binop (_, op, a, b) as def -> (
+      match bin_kind op with
+      | KIC f ->
+        let fb = fold_i mc avail b in
+        let fa = fold_i mc avail a in
+        fun c ->
+          let y = fb c in
+          let x = fa c in
+          if f x y then b1 else b2
+      | KFC f ->
+        let fb = fold_f mc avail b in
+        let fa = fold_f mc avail a in
+        fun c ->
+          let y = fb c in
+          let x = fa c in
+          if f x y then b1 else b2
+      | _ ->
+        let fv = expr_i mc avail def in
+        fun c -> if fv c <> 0L then b1 else b2)
+    | def ->
+      let fv = expr_i mc avail def in
+      fun c -> if fv c <> 0L then b1 else b2)
+  | Ir.Cbr (Ir.Reg r, b1, b2) ->
+    fun c -> if as_int (Array.unsafe_get c.fr r) <> 0L then b1 else b2
+  | Ir.Cbr (v, b1, b2) ->
+    let fv = cval mc v in
+    fun c -> if as_int (fv c) <> 0L then b1 else b2
+  | Ir.Ret None ->
+    fun c ->
+      c.ret <- None;
+      -1
+  | Ir.Ret (Some (Ir.Reg r)) when Hashtbl.mem avail r ->
+    let fv = fold_rt mc avail (Ir.Reg r) in
+    fun c ->
+      c.ret <- Some (fv c);
+      -1
+  | Ir.Ret (Some (Ir.Reg r)) ->
+    fun c ->
+      c.ret <- Some (Array.unsafe_get c.fr r);
+      -1
+  | Ir.Ret (Some v) ->
+    let fv = cval mc v in
+    fun c ->
+      c.ret <- Some (fv c);
+      -1
+
+and exec_compiled mc (cf : cfunc) (args : rtval array) : rtval option =
+  let f = cf.cfn in
+  if Array.length args <> f.Ir.nargs then
+    error "%s called with %d args, expected %d" f.Ir.fname (Array.length args)
+      f.Ir.nargs;
+  let caller_fn = mc.cur_fn in
+  mc.cur_fn <- f.Ir.fname;
+  let frame = Array.make (max f.Ir.nregs 1) (VI 0L) in
+  Array.blit args 0 frame 0 (Array.length args);
+  let c =
+    {
+      fr = frame;
+      lv = (if cf.nlocals = 0 then [||] else Array.make cf.nlocals 0.0);
+      sp = space mc;
+      ret = None;
+      allocas = [];
+      registered = [];
+    }
+  in
+  let finish () =
+    List.iter
+      (fun base -> if mc.mode = Split then Runtime.expire_alloca mc.rt ~base)
+      c.registered;
+    List.iter (fun base -> Memspace.free_local c.sp base) c.allocas
+  in
+  let blocks = cf.cblocks in
+  let res =
+    try
+      let rec loop b =
+        let blk = Array.unsafe_get blocks b in
+        let runs = blk.runs in
+        for s = 0 to Array.length runs - 1 do
+          let r = Array.unsafe_get runs s in
+          seg_tick mc r.ticks;
+          let ops = r.ops in
+          for i = 0 to Array.length ops - 1 do
+            (Array.unsafe_get ops i) c
+          done
+        done;
+        let nxt = blk.ct c in
+        if nxt >= 0 then loop nxt else c.ret
+      in
+      loop 0
+    with e ->
+      finish ();
+      mc.cur_fn <- caller_fn;
+      raise e
+  in
+  finish ();
+  mc.cur_fn <- caller_fn;
+  res
+
 (* ------------------------------------------------------------------ *)
 
 let run ?(config = default_config) (m : Ir.modul) : result =
@@ -609,7 +1803,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   in
   let trace = Trace.create ~enabled:config.trace () in
   let dev = Device.create ~trace config.cost in
-  let rt = Runtime.create ~host ~dev in
+  let rt = Runtime.create ~dirty_spans:config.dirty_spans ~host ~dev () in
   let funcs = Hashtbl.create 32 in
   List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.fname f) m.Ir.funcs;
   let mc =
@@ -619,8 +1813,10 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       dev;
       rt;
       mode = config.mode;
+      engine = config.engine;
       cost = config.cost;
       funcs;
+      decoded = Hashtbl.create 32;
       globals_host = Hashtbl.create 16;
       out = Buffer.create 256;
       now = 0.0;
@@ -643,7 +1839,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     | Some f -> f
     | None -> error "module has no main function"
   in
-  let res = exec_func mc main [||] in
+  let res = call_func mc main [||] in
   flush_time mc;
   mc.now <- Device.sync mc.dev ~now:mc.now;
   let st = Device.stats dev in

@@ -31,6 +31,16 @@ exception Exec_error of string
 
 type mode = Split | Unified | Inspector_executor
 
+(** Execution engines:
+    - {!Closures} — the default: each function is pre-decoded once per
+      run into arrays of closures (threaded-code style) with operand
+      shapes, binop/unop dispatch, and callee lookups resolved at decode
+      time; loads and stores cache a validated block handle per site.
+    - {!Tree_walk} — the original AST interpreter, kept for differential
+      testing: both engines must produce bit-identical outputs, stats,
+      and traces on every program. *)
+type engine = Closures | Tree_walk
+
 type config = {
   mode : mode;
   cost : Cost_model.t;
@@ -39,6 +49,9 @@ type config = {
       (** fraction of kernel work the sequential inspector replays *)
   fuel : int;  (** dynamic instruction budget; guards infinite loops *)
   profile : bool;  (** collect per-function instruction counts *)
+  engine : engine;
+  dirty_spans : bool;
+      (** run-time transfers only dirty spans instead of whole units *)
 }
 
 val default_config : config

@@ -6,22 +6,56 @@
    contiguous region created as a single unit. Addresses are plain ints;
    resolution from an interior pointer back to its unit uses the same
    greatest-key-<= query the CGCM run-time uses, so valid pointer
-   arithmetic (within a unit, per C99) works and anything else faults. *)
+   arithmetic (within a unit, per C99) works and anything else faults.
+
+   Two performance features sit on top of the basic model:
+
+   - *Block handles*: [block_of_addr] plus the per-access span check is
+     the hot path of the interpreter. A caller that repeatedly touches
+     the same unit can hold the resolved block and revalidate it with a
+     single range-and-liveness test ([handle_valid]) instead of paying
+     the tree lookup and the separate span check every time. Handles
+     carry the id of their owning space, so a handle cached across a
+     CPU/GPU context switch can never alias a block of the other space.
+
+   - *Dirty spans*: every store records the written interval in a coarse
+     merged interval list on the block. The CGCM run-time reads and
+     clears these to transfer only the bytes written since the last copy
+     instead of whole allocation units. Spans may over-approximate
+     (nearby writes are coalesced) but never lose a written byte. *)
 
 exception Fault of string
 
 let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
 
+(* Writes closer than this are coalesced into one dirty span; keeps the
+   interval lists tiny under strided access patterns. *)
+let dirty_gap = 64
+
+(* At most this many retired spans per block before the closest pair is
+   merged: bounds the insert cost on pathological scatter patterns. *)
+let max_dirty_spans = 8
+
 type block = {
   base : int;
   size : int;
   data : Bytes.t;
-  tag : string;
+  mutable tag : string;  (* mutable so recycled frame slots re-label *)
+  space_id : int;  (* id of the owning space, for handle validation *)
   mutable freed : bool;
+  (* Dirty interval accumulator. The head interval [d_lo, d_hi) is held
+     in two mutable ints so the common case — sequential writes extending
+     the current span — allocates nothing. Older spans retire into
+     [d_rest], kept sorted by offset and pairwise non-adjacent. The empty
+     state is d_lo = max_int, d_hi = min_int. *)
+  mutable d_lo : int;
+  mutable d_hi : int;
+  mutable d_rest : (int * int) list;  (* (lo, hi) half-open, offsets *)
 }
 
 type t = {
   name : string;
+  id : int;
   range_lo : int;
   range_hi : int;
   mutable next : int;
@@ -30,13 +64,22 @@ type t = {
   mutable peak_bytes : int;
   (* one-entry cache: consecutive accesses usually hit the same unit *)
   mutable last : block option;
+  (* Recycling pool for frame-local slots (see [free_local]): size ->
+     freed blocks kept in the index for reuse. [pooled] counts them so
+     [live_units] stays accurate. *)
+  pool : (int, block list) Hashtbl.t;
+  mutable pooled : int;
 }
 
 let word_size = 8
 
+let next_space_id = ref 0
+
 let create ~name ~range_lo ~range_hi =
+  incr next_space_id;
   {
     name;
+    id = !next_space_id;
     range_lo;
     range_hi;
     next = range_lo;
@@ -44,6 +87,8 @@ let create ~name ~range_lo ~range_hi =
     live_bytes = 0;
     peak_bytes = 0;
     last = None;
+    pool = Hashtbl.create 8;
+    pooled = 0;
   }
 
 let in_range t addr = addr >= t.range_lo && addr < t.range_hi
@@ -53,18 +98,48 @@ let round_up n align = (n + align - 1) / align * align
 (* Allocate [size] bytes (zero-initialised). A 16-byte guard gap separates
    consecutive units so off-by-one pointer arithmetic faults instead of
    silently touching a neighbour. *)
-let alloc ?(tag = "heap") t size =
-  if size < 0 then fault "%s: negative allocation size %d" t.name size;
-  let size = max size 1 in
+let alloc_fresh ~tag t size =
   let base = t.next in
-  if base + size >= t.range_hi then
+  if base + size > t.range_hi then
     fault "%s: out of memory allocating %d bytes" t.name size;
   t.next <- base + round_up size 16 + 16;
-  let block = { base; size; data = Bytes.make size '\000'; tag; freed = false } in
+  let block =
+    {
+      base;
+      size;
+      data = Bytes.make size '\000';
+      tag;
+      space_id = t.id;
+      freed = false;
+      d_lo = max_int;
+      d_hi = min_int;
+      d_rest = [];
+    }
+  in
   t.blocks <- Cgcm_support.Avl_map.Int.add base block t.blocks;
   t.live_bytes <- t.live_bytes + size;
   t.peak_bytes <- max t.peak_bytes t.live_bytes;
   base
+
+let alloc ?(tag = "heap") t size =
+  if size < 0 then fault "%s: negative allocation size %d" t.name size;
+  let size = max size 1 in
+  match Hashtbl.find_opt t.pool size with
+  | Some (b :: rest) ->
+    (* Recycle a pooled slot of the same size: already in the index, so
+       no AVL traffic and no fresh Bytes; just zero and re-arm it. *)
+    Hashtbl.replace t.pool size rest;
+    t.pooled <- t.pooled - 1;
+    Bytes.fill b.data 0 size '\000';
+    b.freed <- false;
+    b.tag <- tag;
+    b.d_lo <- max_int;
+    b.d_hi <- min_int;
+    b.d_rest <- [];
+    t.live_bytes <- t.live_bytes + size;
+    t.peak_bytes <- max t.peak_bytes t.live_bytes;
+    b.base
+  | _ -> alloc_fresh ~tag t size
 
 let block_of_base t base =
   match Cgcm_support.Avl_map.Int.find_opt base t.blocks with
@@ -95,10 +170,190 @@ let free t base =
   t.live_bytes <- t.live_bytes - b.size;
   t.blocks <- Cgcm_support.Avl_map.Int.remove base t.blocks
 
+(* Blocks freed per size class held for recycling; beyond this the block
+   is really freed. Frame pops rarely outrun frame pushes by more. *)
+let max_pool = 1024
+
+(* Free a frame-local slot (interpreter stack frames popping their
+   allocas). The block stays in the index, marked freed — dangling
+   pointers still fault — and goes to the recycling pool, so the
+   alloca-per-kernel-thread pattern costs no index traffic. *)
+let free_local t base =
+  let b = block_of_base t base in
+  if b.base <> base then
+    fault "%s: free of interior pointer 0x%x (unit base 0x%x)" t.name base b.base;
+  b.freed <- true;
+  t.live_bytes <- t.live_bytes - b.size;
+  if t.pooled >= max_pool then
+    t.blocks <- Cgcm_support.Avl_map.Int.remove base t.blocks
+  else begin
+    let prev =
+      match Hashtbl.find_opt t.pool b.size with Some l -> l | None -> []
+    in
+    Hashtbl.replace t.pool b.size (b :: prev);
+    t.pooled <- t.pooled + 1
+  end
+
+(* Drop every pooled block from the index. Used at inspector-executor
+   launch boundaries: the tracker treats any unit below the pre-launch
+   high-water mark as communication, so kernel frames must not recycle
+   older (lower-addressed) blocks or their locals would be counted as
+   transferred units. *)
+let pool_flush t =
+  if t.pooled > 0 then begin
+    Hashtbl.iter
+      (fun _ bs ->
+        List.iter
+          (fun b -> t.blocks <- Cgcm_support.Avl_map.Int.remove b.base t.blocks)
+          bs)
+      t.pool;
+    Hashtbl.reset t.pool;
+    t.pooled <- 0
+  end
+
 let check_span t b addr len what =
   if addr < b.base || addr + len > b.base + b.size then
     fault "%s: %s of %d bytes at 0x%x overruns unit [0x%x, 0x%x)" t.name what len
       addr b.base (b.base + b.size)
+
+(* ------------------------------------------------------------------ *)
+(* Dirty-span tracking                                                 *)
+
+(* Insert a span into a sorted, merged list (offsets, half-open). *)
+let rec insert_span ((lo, hi) as s) = function
+  | [] -> [ s ]
+  | (a, z) :: rest when hi + dirty_gap < a -> s :: (a, z) :: rest
+  | (a, z) :: rest when z + dirty_gap < lo -> (a, z) :: insert_span s rest
+  | (a, z) :: rest ->
+    (* overlaps or nearly touches: merge, then keep absorbing *)
+    insert_span (min a lo, max z hi) rest
+
+(* Merge the closest pair of neighbours to bound the list length. *)
+let collapse_closest spans =
+  match spans with
+  | [] | [ _ ] -> spans
+  | _ ->
+    let best = ref max_int in
+    let rec find_gap = function
+      | (_, z1) :: (((l2, _) :: _) as rest) ->
+        if l2 - z1 < !best then best := l2 - z1;
+        find_gap rest
+      | _ -> ()
+    in
+    find_gap spans;
+    let rec merge = function
+      | (l1, z1) :: ((l2, z2) :: rest2 as rest) ->
+        if l2 - z1 = !best then (l1, max z1 z2) :: rest2
+        else (l1, z1) :: merge rest
+      | rest -> rest
+    in
+    merge spans
+
+let note_dirty b off len =
+  let lo = off and hi = off + len in
+  if b.d_hi < b.d_lo then begin
+    (* empty: start the head interval *)
+    b.d_lo <- lo;
+    b.d_hi <- hi
+  end
+  else if lo <= b.d_hi + dirty_gap && hi >= b.d_lo - dirty_gap then begin
+    (* extends (or lands near) the head interval: no allocation *)
+    if lo < b.d_lo then b.d_lo <- lo;
+    if hi > b.d_hi then b.d_hi <- hi
+  end
+  else begin
+    (* retire the head into the sorted list, restart the head *)
+    b.d_rest <- insert_span (b.d_lo, b.d_hi) b.d_rest;
+    if List.length b.d_rest > max_dirty_spans then
+      b.d_rest <- collapse_closest b.d_rest;
+    b.d_lo <- lo;
+    b.d_hi <- hi
+  end
+
+(* All dirty spans of the unit based at [base], as (offset, length) pairs
+   sorted by offset. Spans are disjoint and clipped to the unit. *)
+let dirty_spans t base =
+  let b = block_of_base t base in
+  let all =
+    if b.d_hi < b.d_lo then b.d_rest else insert_span (b.d_lo, b.d_hi) b.d_rest
+  in
+  List.map
+    (fun (lo, hi) ->
+      let lo = max 0 lo and hi = min b.size hi in
+      (lo, hi - lo))
+    all
+  |> List.filter (fun (_, len) -> len > 0)
+
+let clear_dirty t base =
+  let b = block_of_base t base in
+  b.d_lo <- max_int;
+  b.d_hi <- min_int;
+  b.d_rest <- []
+
+(* Total dirty bytes (over-approximate, as spans are). *)
+let dirty_bytes t base =
+  List.fold_left (fun n (_, len) -> n + len) 0 (dirty_spans t base)
+
+(* ------------------------------------------------------------------ *)
+(* Block handles: validated fast-path access                           *)
+
+type handle = block
+
+(* A handle that never validates: the initial value of handle caches. *)
+let null_handle =
+  {
+    base = 0;
+    size = 0;
+    data = Bytes.empty;
+    tag = "<null>";
+    space_id = -1;
+    freed = true;
+    d_lo = max_int;
+    d_hi = min_int;
+    d_rest = [];
+  }
+
+(* One combined test replacing block_of_addr + check_span: the handle is
+   live, belongs to [t], and [addr, addr+len) sits inside it. *)
+let[@inline] handle_valid (h : handle) (t : t) addr len =
+  h.space_id = t.id
+  && (not h.freed)
+  && addr >= h.base
+  && addr + len <= h.base + h.size
+
+(* Acquire a handle, paying the tree lookup and the span check once. *)
+let acquire_handle t addr len what : handle =
+  let b = block_of_addr t addr in
+  check_span t b addr len what;
+  b
+
+(* Unchecked accessors: the caller has validated [handle_valid h t addr len]
+   (or just acquired the handle) for the right width. *)
+let[@inline] h_load_u8 (h : handle) addr =
+  Char.code (Bytes.unsafe_get h.data (addr - h.base))
+
+let[@inline] h_store_u8 (h : handle) addr v =
+  Bytes.unsafe_set h.data (addr - h.base) (Char.unsafe_chr (v land 0xff));
+  note_dirty h (addr - h.base) 1
+
+let[@inline] h_load_i64 (h : handle) addr =
+  Bytes.get_int64_le h.data (addr - h.base)
+
+let[@inline] h_store_i64 (h : handle) addr v =
+  Bytes.set_int64_le h.data (addr - h.base) v;
+  note_dirty h (addr - h.base) 8
+
+let[@inline] h_load_f64 (h : handle) addr =
+  Int64.float_of_bits (Bytes.get_int64_le h.data (addr - h.base))
+
+let[@inline] h_store_f64 (h : handle) addr v =
+  Bytes.set_int64_le h.data (addr - h.base) (Int64.bits_of_float v);
+  note_dirty h (addr - h.base) 8
+
+let[@inline] handle_base (h : handle) = h.base
+
+(* ------------------------------------------------------------------ *)
+(* Checked accessors (the tree-walking interpreter's path)             *)
 
 let load_u8 t addr =
   let b = block_of_addr t addr in
@@ -108,7 +363,8 @@ let load_u8 t addr =
 let store_u8 t addr v =
   let b = block_of_addr t addr in
   check_span t b addr 1 "store";
-  Bytes.set b.data (addr - b.base) (Char.chr (v land 0xff))
+  Bytes.set b.data (addr - b.base) (Char.chr (v land 0xff));
+  note_dirty b (addr - b.base) 1
 
 let load_i64 t addr =
   let b = block_of_addr t addr in
@@ -118,7 +374,8 @@ let load_i64 t addr =
 let store_i64 t addr v =
   let b = block_of_addr t addr in
   check_span t b addr 8 "store";
-  Bytes.set_int64_le b.data (addr - b.base) v
+  Bytes.set_int64_le b.data (addr - b.base) v;
+  note_dirty b (addr - b.base) 8
 
 let load_f64 t addr = Int64.float_of_bits (load_i64 t addr)
 
@@ -134,11 +391,20 @@ let write_bytes t addr src =
   let len = Bytes.length src in
   let b = block_of_addr t addr in
   check_span t b addr len "write";
-  Bytes.blit src 0 b.data (addr - b.base) len
+  Bytes.blit src 0 b.data (addr - b.base) len;
+  note_dirty b (addr - b.base) len
 
-(* Copy [len] bytes across (or within) spaces. *)
+(* Copy [len] bytes across (or within) spaces, without the intermediate
+   buffer [read_bytes]+[write_bytes] would allocate. *)
 let blit ~src ~src_addr ~dst ~dst_addr ~len =
-  if len > 0 then write_bytes dst dst_addr (read_bytes src src_addr len)
+  if len > 0 then begin
+    let sb = block_of_addr src src_addr in
+    check_span src sb src_addr len "read";
+    let db = block_of_addr dst dst_addr in
+    check_span dst db dst_addr len "write";
+    Bytes.blit sb.data (src_addr - sb.base) db.data (dst_addr - db.base) len;
+    note_dirty db (dst_addr - db.base) len
+  end
 
 let unit_bounds t addr =
   let b = block_of_addr t addr in
@@ -148,21 +414,26 @@ let live_bytes t = t.live_bytes
 
 let peak_bytes t = t.peak_bytes
 
-let live_units t = Cgcm_support.Avl_map.Int.cardinal t.blocks
+let live_units t = Cgcm_support.Avl_map.Int.cardinal t.blocks - t.pooled
 
-(* Store an OCaml string as NUL-terminated bytes. *)
+(* Store an OCaml string as NUL-terminated bytes: one resolution and one
+   blit instead of a checked store per character. *)
 let store_string t addr s =
-  String.iteri (fun i c -> store_u8 t (addr + i) (Char.code c)) s;
-  store_u8 t (addr + String.length s) 0
+  let n = String.length s in
+  let b = block_of_addr t addr in
+  check_span t b addr (n + 1) "store";
+  Bytes.blit_string s 0 b.data (addr - b.base) n;
+  Bytes.set b.data (addr - b.base + n) '\000';
+  note_dirty b (addr - b.base) (n + 1)
 
+(* Scan for the NUL with Bytes.index_from instead of a checked load per
+   character. Running off the end of the unit faults, as before. *)
 let load_string t addr =
-  let buf = Buffer.create 16 in
-  let rec go a =
-    let c = load_u8 t a in
-    if c <> 0 then begin
-      Buffer.add_char buf (Char.chr c);
-      go (a + 1)
-    end
-  in
-  go addr;
-  Buffer.contents buf
+  let b = block_of_addr t addr in
+  check_span t b addr 1 "load";
+  let ofs = addr - b.base in
+  match Bytes.index_from_opt b.data ofs '\000' with
+  | Some i -> Bytes.sub_string b.data ofs (i - ofs)
+  | None ->
+    fault "%s: load of %d bytes at 0x%x overruns unit [0x%x, 0x%x)" t.name 1
+      (b.base + b.size) b.base (b.base + b.size)

@@ -19,12 +19,18 @@ type block = {
   base : int;
   size : int;
   data : Bytes.t;
-  tag : string;  (** provenance label, for diagnostics *)
+  mutable tag : string;  (** provenance label, for diagnostics *)
+  space_id : int;  (** id of the owning space, for handle validation *)
   mutable freed : bool;
+  mutable d_lo : int;  (** head dirty interval, [d_lo, d_hi) in offsets *)
+  mutable d_hi : int;
+  mutable d_rest : (int * int) list;
+      (** retired dirty spans, sorted, pairwise non-adjacent *)
 }
 
 type t = {
   name : string;
+  id : int;
   range_lo : int;
   range_hi : int;
   mutable next : int;  (** bump-allocation frontier *)
@@ -32,6 +38,8 @@ type t = {
   mutable live_bytes : int;
   mutable peak_bytes : int;
   mutable last : block option;  (** one-entry resolution cache *)
+  pool : (int, block list) Hashtbl.t;  (** recycling pool, by size *)
+  mutable pooled : int;
 }
 
 val word_size : int
@@ -52,6 +60,18 @@ val alloc : ?tag:string -> t -> int -> int
 val free : t -> int -> unit
 (** [free t base] retires the unit whose base address is [base]. Faults on
     interior pointers and double frees. *)
+
+val free_local : t -> int -> unit
+(** Like {!free}, but for frame-local slots (interpreter allocas): the
+    block is kept, marked freed, in a recycling pool so the next same-size
+    {!alloc} reuses it without index traffic. Dangling pointers to a
+    pooled block fault as use-after-free. *)
+
+val pool_flush : t -> unit
+(** Retire every block in the recycling pool for real. Called at
+    inspector-executor launch boundaries so kernel frames never recycle a
+    block allocated before the launch (the access tracker would count it
+    as a communicated unit). *)
 
 val block_of_addr : t -> int -> block
 (** Resolve an interior pointer to its allocation unit (the paper's
@@ -79,6 +99,56 @@ val blit : src:t -> src_addr:int -> dst:t -> dst_addr:int -> len:int -> unit
 
 val store_string : t -> int -> string -> unit
 val load_string : t -> int -> string
+
+(** {2 Block handles}
+
+    The fast path for code that repeatedly touches the same allocation
+    unit (the closure-compiled interpreter). A handle is the resolved
+    block; {!handle_valid} revalidates it with one combined
+    range-and-liveness test instead of the tree lookup plus span check,
+    and the [h_]-prefixed accessors read and write without further
+    checks. Handles carry their owning space's id, so a handle cached
+    across a CPU/GPU context switch never aliases the other space. *)
+
+type handle = block
+
+val null_handle : handle
+(** A handle that never validates — the initial value of handle caches. *)
+
+val handle_valid : handle -> t -> int -> int -> bool
+(** [handle_valid h t addr len] is true when [h] is live, belongs to [t],
+    and [\[addr, addr+len)] lies inside it. *)
+
+val acquire_handle : t -> int -> int -> string -> handle
+(** [acquire_handle t addr len what] resolves and span-checks once;
+    faults exactly as the checked accessors would. *)
+
+(** Unchecked accessors: the caller must have validated (or just
+    acquired) the handle for the given address and width. Stores record
+    dirty spans. *)
+
+val h_load_u8 : handle -> int -> int
+val h_store_u8 : handle -> int -> int -> unit
+val h_load_i64 : handle -> int -> int64
+val h_store_i64 : handle -> int -> int64 -> unit
+val h_load_f64 : handle -> int -> float
+val h_store_f64 : handle -> int -> float -> unit
+val handle_base : handle -> int
+
+(** {2 Dirty spans}
+
+    Every store records the written interval in a coarse merged interval
+    list on the block (nearby writes are coalesced, so spans
+    over-approximate but never lose a written byte). The CGCM run-time
+    reads and clears these to transfer only bytes written since the last
+    copy. *)
+
+val dirty_spans : t -> int -> (int * int) list
+(** [dirty_spans t base] is the dirty [(offset, length)] pairs of the
+    unit based at [base], sorted, disjoint, clipped to the unit. *)
+
+val clear_dirty : t -> int -> unit
+val dirty_bytes : t -> int -> int
 
 (** {2 Accounting} *)
 

@@ -50,6 +50,8 @@ type stats = {
   mutable map_array_calls : int;
   mutable skipped_unmaps : int;  (* epoch optimisation hits *)
   mutable skipped_copies : int;  (* map found the unit already resident *)
+  mutable partial_copies : int;  (* transfers narrowed to dirty spans *)
+  mutable bytes_saved : int;  (* unit bytes not moved thanks to dirty spans *)
 }
 
 type t = {
@@ -58,11 +60,15 @@ type t = {
   mutable info : alloc_info Avl.t;
   mutable global_epoch : int;
   stats : stats;
+  (* Transfer only dirty spans instead of whole allocation units. Off
+     reproduces the paper's whole-unit protocol; the differential tests
+     assert the dirty path never moves more bytes than that baseline. *)
+  dirty_spans : bool;
   (* wall-clock hook: the interpreter threads its clock through us *)
   mutable now : float;
 }
 
-let create ~host ~dev =
+let create ?(dirty_spans = true) ~host ~dev () =
   {
     host;
     dev;
@@ -76,7 +82,10 @@ let create ~host ~dev =
         map_array_calls = 0;
         skipped_unmaps = 0;
         skipped_copies = 0;
+        partial_copies = 0;
+        bytes_saved = 0;
       };
+    dirty_spans;
     now = 0.0;
   }
 
@@ -170,9 +179,11 @@ let bump_epoch t = t.global_epoch <- t.global_epoch + 1
 (* ------------------------------------------------------------------ *)
 (* map / unmap / release (Algorithms 1-3)                              *)
 
+(* Device-resident base of the unit; [fresh] is true when this call
+   allocated it (a fresh, zero-filled copy with no valid data yet). *)
 let device_base_of t info =
   match info.devptr with
-  | Some d -> d
+  | Some d -> (d, false)
   | None ->
     let d, now =
       if info.is_global then
@@ -181,17 +192,79 @@ let device_base_of t info =
     in
     t.now <- now;
     info.devptr <- Some d;
-    d
+    (d, true)
+
+(* ---- dirty-span transfer planning ----------------------------------
+
+   Given the dirty spans of the source copy, either issue one DMA per
+   span or a single DMA over their bounding interval, whichever the cost
+   model says is cheaper (per-transfer latency vs extra clean bytes).
+   Both plans move no more bytes than the whole-unit copy did, so the
+   communication volume results can only improve. *)
+
+type direction = Htod | Dtoh
+
+let transfer_spans t ~dir ~dev_base ~host_base ~size spans =
+  let cost = t.dev.Device.cost in
+  let per_span_cycles =
+    List.fold_left
+      (fun c (_, len) -> c +. Cgcm_gpusim.Cost_model.transfer_cycles cost len)
+      0.0 spans
+  in
+  let lo = List.fold_left (fun m (off, _) -> min m off) max_int spans in
+  let hi = List.fold_left (fun m (off, len) -> max m (off + len)) 0 spans in
+  let bounding_cycles = Cgcm_gpusim.Cost_model.transfer_cycles cost (hi - lo) in
+  let plan =
+    if per_span_cycles <= bounding_cycles then spans else [ (lo, hi - lo) ]
+  in
+  let moved = ref 0 in
+  List.iter
+    (fun (off, len) ->
+      moved := !moved + len;
+      let label = match dir with Htod -> "HtoD-dirty" | Dtoh -> "DtoH-dirty" in
+      t.now <-
+        (match dir with
+        | Htod ->
+          Device.memcpy_h_to_d t.dev ~now:t.now ~host:t.host
+            ~host_addr:(host_base + off) ~dev_addr:(dev_base + off) ~len ~label
+        | Dtoh ->
+          Device.memcpy_d_to_h t.dev ~now:t.now ~host:t.host
+            ~host_addr:(host_base + off) ~dev_addr:(dev_base + off) ~len ~label))
+    plan;
+  t.stats.partial_copies <- t.stats.partial_copies + 1;
+  t.stats.bytes_saved <- t.stats.bytes_saved + (size - !moved)
 
 let map t ptr =
   t.stats.map_calls <- t.stats.map_calls + 1;
   runtime_call_cost t;
   let info = find_info t ptr in
-  let d = device_base_of t info in
-  if info.refcount = 0 then
-    t.now <-
-      Device.memcpy_h_to_d t.dev ~now:t.now ~host:t.host ~host_addr:info.base
-        ~dev_addr:d ~len:info.size
+  let d, fresh = device_base_of t info in
+  if info.refcount = 0 then begin
+    if fresh || not t.dirty_spans then
+      (* No valid device copy exists (or the optimisation is off): move
+         the whole unit, exactly as Algorithm 1 writes it. *)
+      t.now <-
+        Device.memcpy_h_to_d t.dev ~now:t.now ~host:t.host ~host_addr:info.base
+          ~dev_addr:d ~len:info.size
+    else begin
+      (* The device copy survived an earlier map/release cycle (globals
+         keep their module-resident storage): refresh only the bytes the
+         host has written since the last synchronisation. *)
+      match Memspace.dirty_spans t.host info.base with
+      | [] ->
+        t.stats.skipped_copies <- t.stats.skipped_copies + 1;
+        t.stats.bytes_saved <- t.stats.bytes_saved + info.size
+      | spans ->
+        transfer_spans t ~dir:Htod ~dev_base:d ~host_base:info.base
+          ~size:info.size spans
+    end;
+    if t.dirty_spans then begin
+      (* Host and device now agree: reset both dirty accumulators so the
+         next unmap sees only bytes the kernels actually write. *)
+      Memspace.clear_dirty t.host info.base;
+      Memspace.clear_dirty t.dev.Device.mem d
+    end
+  end
   else t.stats.skipped_copies <- t.stats.skipped_copies + 1;
   info.refcount <- info.refcount + 1;
   d + (ptr - info.base)
@@ -202,9 +275,21 @@ let unmap t ptr =
   let info = find_info t ptr in
   match info.devptr with
   | Some d when info.epoch <> t.global_epoch && not info.read_only ->
-    t.now <-
-      Device.memcpy_d_to_h t.dev ~now:t.now ~host:t.host ~host_addr:info.base
-        ~dev_addr:d ~len:info.size;
+    if not t.dirty_spans then
+      t.now <-
+        Device.memcpy_d_to_h t.dev ~now:t.now ~host:t.host ~host_addr:info.base
+          ~dev_addr:d ~len:info.size
+    else begin
+      (match Memspace.dirty_spans t.dev.Device.mem d with
+      | [] ->
+        (* The kernels never wrote the unit: nothing to copy back. *)
+        t.stats.skipped_unmaps <- t.stats.skipped_unmaps + 1;
+        t.stats.bytes_saved <- t.stats.bytes_saved + info.size
+      | spans ->
+        transfer_spans t ~dir:Dtoh ~dev_base:d ~host_base:info.base
+          ~size:info.size spans);
+      Memspace.clear_dirty t.dev.Device.mem d
+    end;
     info.epoch <- t.global_epoch
   | _ -> t.stats.skipped_unmaps <- t.stats.skipped_unmaps + 1
 

@@ -47,6 +47,9 @@ type stats = {
   mutable map_array_calls : int;
   mutable skipped_unmaps : int;  (** epoch-optimisation hits *)
   mutable skipped_copies : int;  (** map found the unit already resident *)
+  mutable partial_copies : int;  (** transfers narrowed to dirty spans *)
+  mutable bytes_saved : int;
+      (** unit bytes not moved thanks to dirty-span tracking *)
 }
 
 type t = {
@@ -55,12 +58,21 @@ type t = {
   mutable info : alloc_info Cgcm_support.Avl_map.Int.t;
   mutable global_epoch : int;
   stats : stats;
+  dirty_spans : bool;
+      (** transfer only dirty spans instead of whole allocation units;
+          off reproduces the paper's whole-unit protocol exactly *)
   mutable now : float;
       (** wall-clock hook: the interpreter threads its clock through the
           run-time so transfers and driver calls are costed *)
 }
 
-val create : host:Cgcm_memory.Memspace.t -> dev:Cgcm_gpusim.Device.t -> t
+val create :
+  ?dirty_spans:bool ->
+  host:Cgcm_memory.Memspace.t ->
+  dev:Cgcm_gpusim.Device.t ->
+  unit ->
+  t
+(** [dirty_spans] defaults to [true]. *)
 
 (** {2 Registration} *)
 

@@ -17,6 +17,7 @@ let () =
       ("simplify", Test_simplify.tests);
       ("bench-progs", Test_bench_progs.tests);
       ("edge", Test_edge.tests);
+      ("fastpath", Test_fastpath.tests);
       ("reader", Test_reader.tests);
       ("infra", Test_infra.tests);
     ]

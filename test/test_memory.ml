@@ -116,6 +116,42 @@ let test_zero_size_alloc () =
   Memspace.store_u8 m a 7;
   check Alcotest.int "one byte" 7 (Memspace.load_u8 m a)
 
+(* Regression: an allocation that exactly fills the remaining range must
+   succeed — the bound is [base + size > range_hi], not [>=]. *)
+let test_exact_fit () =
+  let m = Memspace.create ~name:"tight" ~range_lo:0x1000 ~range_hi:0x1100 in
+  (* range holds exactly 0x100 bytes *)
+  let a = Memspace.alloc m 0x100 in
+  check Alcotest.int "base" 0x1000 a;
+  Memspace.store_u8 m (a + 0xff) 1;
+  check Alcotest.int "last byte" 1 (Memspace.load_u8 m (a + 0xff));
+  (* one byte more than the range must still fault *)
+  let m2 = Memspace.create ~name:"tight2" ~range_lo:0x1000 ~range_hi:0x1100 in
+  match Memspace.alloc m2 0x101 with
+  | _ -> Alcotest.fail "oversized alloc must fault"
+  | exception Memspace.Fault _ -> ()
+
+let test_local_recycling () =
+  let m = mk () in
+  let a = Memspace.alloc m 64 in
+  Memspace.store_i64 m a 77L;
+  Memspace.free_local m a;
+  (* dangling pointers to a pooled block still fault *)
+  (match Memspace.load_i64 m a with
+  | _ -> Alcotest.fail "use after free_local must fault"
+  | exception Memspace.Fault _ -> ());
+  check Alcotest.int "pooled unit not live" 0 (Memspace.live_units m);
+  (* the next same-size alloc reuses the block, zeroed *)
+  let b = Memspace.alloc m 64 in
+  check Alcotest.int "recycled base" a b;
+  check Alcotest.int64 "recycled block zeroed" 0L (Memspace.load_i64 m b);
+  check Alcotest.int "live again" 1 (Memspace.live_units m);
+  (* pool_flush retires pooled blocks for real *)
+  Memspace.free_local m b;
+  Memspace.pool_flush m;
+  let c = Memspace.alloc m 64 in
+  check Alcotest.bool "fresh base after flush" true (c <> a)
+
 (* Property: after arbitrary allocs/frees, live units never overlap and
    every live unit is fully readable. *)
 let prop_no_overlap =
@@ -165,5 +201,7 @@ let tests =
     Alcotest.test_case "cross-space blit" `Quick test_blit;
     Alcotest.test_case "accounting" `Quick test_accounting;
     Alcotest.test_case "zero-size alloc" `Quick test_zero_size_alloc;
+    Alcotest.test_case "exact-fit alloc at range end" `Quick test_exact_fit;
+    Alcotest.test_case "frame-local recycling pool" `Quick test_local_recycling;
     QCheck_alcotest.to_alcotest prop_no_overlap;
   ]

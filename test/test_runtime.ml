@@ -14,7 +14,7 @@ let mk () =
     Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000
   in
   let dev = Device.create Cost_model.default in
-  (host, dev, Runtime.create ~host ~dev)
+  (host, dev, Runtime.create ~host ~dev ())
 
 let test_map_translates () =
   let host, dev, rt = mk () in
