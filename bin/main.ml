@@ -10,6 +10,9 @@ open Cmdliner
 module Pipeline = Cgcm_core.Pipeline
 module Interp = Cgcm_interp.Interp
 module Trace = Cgcm_gpusim.Trace
+module Faults = Cgcm_gpusim.Faults
+module Errors = Cgcm_support.Errors
+module Runtime = Cgcm_runtime.Runtime
 
 let read_file path =
   let ic = open_in_bin path in
@@ -17,6 +20,59 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* Distinct exit codes per failure class, with the rendered diagnostic on
+   stderr instead of an OCaml backtrace. *)
+let exit_usage = 2 (* bad input: parse/sema/doall errors, bad flags *)
+
+let exit_runtime = 3 (* CGCM run-time error (refcounts, residency, OOM) *)
+
+let exit_device = 4 (* unrecovered device fault *)
+
+let exit_exec = 5 (* dynamic execution error *)
+
+let exit_memory = 6 (* memory-model fault (bounds, use-after-free) *)
+
+let exit_internal = 7 (* IR verifier rejection: a compiler bug *)
+
+let guarded f =
+  try f () with
+  | Cgcm_frontend.Lexer.Lex_error (msg, pos) ->
+    Fmt.epr "cgcm: lex error at %d:%d: %s@." pos.Cgcm_frontend.Lexer.line
+      pos.Cgcm_frontend.Lexer.col msg;
+    exit exit_usage
+  | Cgcm_frontend.Parser.Parse_error (msg, pos) ->
+    Fmt.epr "cgcm: parse error at %d:%d: %s@." pos.Cgcm_frontend.Lexer.line
+      pos.Cgcm_frontend.Lexer.col msg;
+    exit exit_usage
+  | Cgcm_frontend.Lower.Sema_error msg ->
+    Fmt.epr "cgcm: semantic error: %s@." msg;
+    exit exit_usage
+  | Cgcm_frontend.Doall.Doall_error msg ->
+    Fmt.epr "cgcm: parallelization error: %s@." msg;
+    exit exit_usage
+  | Cgcm_ir.Reader.Bad_ir msg ->
+    Fmt.epr "cgcm: bad IR: %s@." msg;
+    exit exit_usage
+  | Failure msg ->
+    Fmt.epr "cgcm: %s@." msg;
+    exit exit_usage
+  | Runtime.Runtime_error e ->
+    Fmt.epr "%s@." (Errors.render_runtime e);
+    exit exit_runtime
+  | Errors.Device_error fault ->
+    Fmt.epr "cgcm: unrecovered device fault: %s@."
+      (Errors.render_device_fault fault);
+    exit exit_device
+  | Interp.Exec_error msg ->
+    Fmt.epr "cgcm: execution error: %s@." msg;
+    exit exit_exec
+  | Cgcm_memory.Memspace.Fault msg ->
+    Fmt.epr "cgcm: memory fault: %s@." msg;
+    exit exit_memory
+  | Cgcm_ir.Verifier.Ill_formed msg ->
+    Fmt.epr "cgcm: internal error (ill-formed IR): %s@." msg;
+    exit exit_internal
 
 let file_arg =
   Arg.(
@@ -48,6 +104,26 @@ let profile_arg =
     value & flag
     & info [ "profile" ] ~doc:"Print per-function dynamic instruction counts")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SEED[:SPEC]"
+        ~doc:
+          "Arm a deterministic driver fault plan. SPEC is comma-separated \
+           clauses op@N (fail the N-th call) or op%P (fail with probability \
+           P), op one of alloc|htod|dtoh|launch; without SPEC every \
+           operation fails with probability 0.05.")
+
+let device_mem_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "device-mem" ] ~docv:"BYTES"
+        ~doc:"Cap the simulated device memory (default: unbounded)")
+
+let parse_faults = Option.map Faults.parse
+
 let print_result (r : Interp.result) ~trace =
   print_string r.Interp.output;
   Fmt.pr "--- exit code   : %Ld@." r.Interp.exit_code;
@@ -60,12 +136,27 @@ let print_result (r : Interp.result) ~trace =
     r.Interp.dev_stats.Cgcm_gpusim.Device.htod_count
     r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_bytes
     r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_count;
+  let rs = r.Interp.rt_stats in
+  if
+    rs.Runtime.evictions > 0 || rs.Runtime.retries > 0
+    || rs.Runtime.cpu_fallbacks > 0
+  then
+    Fmt.pr "--- recovery    : %d evictions, %d retries, %d cpu fallbacks@."
+      rs.Runtime.evictions rs.Runtime.retries rs.Runtime.cpu_fallbacks;
+  let leaks = r.Interp.leaks in
+  if leaks.Runtime.resident_nonglobal > 0 || leaks.Runtime.leaked_dev_blocks > 0
+  then
+    Fmt.pr "--- LEAKS       : %d resident units, %d device blocks (%d B)@."
+      leaks.Runtime.resident_nonglobal leaks.Runtime.leaked_dev_blocks
+      leaks.Runtime.leaked_dev_bytes;
   if trace then print_string (Trace.render r.Interp.trace)
 
 let run_cmd =
   let doc = "Compile and run a CGC program under a given execution mode" in
-  let f file mode trace profile =
+  let f file mode trace profile faults device_mem =
+    guarded @@ fun () ->
     let src = read_file file in
+    let faults = parse_faults faults in
     let r =
       if profile then begin
         (* re-run through the pipeline with profiling enabled *)
@@ -83,14 +174,20 @@ let run_cmd =
           | Pipeline.Sequential -> Cgcm_frontend.Doall.Off
           | _ -> Cgcm_frontend.Doall.Auto
         in
+        let cost =
+          match device_mem with
+          | Some bytes ->
+            { Cgcm_gpusim.Cost_model.default with device_mem_bytes = bytes }
+          | None -> Cgcm_gpusim.Cost_model.default
+        in
         let c = Pipeline.compile ~parallel ~level src in
         Interp.run
           ~config:
-            { Interp.default_config with Interp.mode = imode; trace;
-              profile = true }
+            { Interp.default_config with Interp.mode = imode; cost; trace;
+              profile = true; faults }
           c.Pipeline.modul
       end
-      else snd (Pipeline.run ~trace mode src)
+      else snd (Pipeline.run ~trace ?faults ?device_mem mode src)
     in
     print_result r ~trace;
     if profile then begin
@@ -101,7 +198,9 @@ let run_cmd =
     end
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const f $ file_arg $ mode_arg $ trace_arg $ profile_arg)
+    Term.(
+      const f $ file_arg $ mode_arg $ trace_arg $ profile_arg $ faults_arg
+      $ device_mem_arg)
 
 let level_conv =
   Arg.enum
@@ -120,6 +219,7 @@ let level_arg =
 let ir_cmd =
   let doc = "Dump the IR after the selected pipeline level" in
   let f file level =
+    guarded @@ fun () ->
     let c = Pipeline.compile ~level (read_file file) in
     print_string (Cgcm_ir.Printer.modul_to_string c.Pipeline.modul)
   in
@@ -131,6 +231,7 @@ let ast_cmd =
     Arg.(value & flag & info [ "no-doall" ] ~doc:"Skip the DOALL outliner")
   in
   let f file no_doall =
+    guarded @@ fun () ->
     let ast = Cgcm_frontend.Parser.parse_string (read_file file) in
     let ast =
       if no_doall then ast
@@ -143,6 +244,7 @@ let ast_cmd =
 let fmt_cmd =
   let doc = "Pretty-print a CGC program (parse + print; output re-parses)" in
   let f file =
+    guarded @@ fun () ->
     print_string
       (Cgcm_frontend.Ast.program_to_string
          (Cgcm_frontend.Parser.parse_string (read_file file)))
@@ -151,8 +253,12 @@ let fmt_cmd =
 
 let report_cmd =
   let doc = "Run all execution modes and report speedups over sequential" in
-  let f file =
+  let f file faults device_mem =
+    guarded @@ fun () ->
     let src = read_file file in
+    let faults = parse_faults faults in
+    (* The sequential baseline never touches the device, so faults and
+       the memory cap only shape the managed configurations. *)
     let _, seq = Pipeline.run Pipeline.Sequential src in
     Fmt.pr "%-22s %14s %9s@." "mode" "wall cycles" "speedup";
     let show name (r : Interp.result) =
@@ -163,7 +269,7 @@ let report_cmd =
     let mismatched = ref false in
     List.iter
       (fun (name, mode) ->
-        let _, r = Pipeline.run mode src in
+        let _, r = Pipeline.run ?faults ?device_mem mode src in
         if r.Interp.output <> seq.Interp.output then begin
           mismatched := true;
           Fmt.pr "!! %s: OUTPUT MISMATCH vs sequential@." name
@@ -176,7 +282,8 @@ let report_cmd =
       ];
     if !mismatched then exit 1
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const f $ file_arg)
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const f $ file_arg $ faults_arg $ device_mem_arg)
 
 let suite_cmd =
   let doc = "Run the 24-program suite and print the paper's artifacts" in
@@ -193,6 +300,7 @@ let suite_cmd =
       & info [ "dump" ] ~doc:"With --only: dump the program source or optimized IR")
   in
   let f only dump =
+    guarded @@ fun () ->
     let module E = Cgcm_core.Experiments in
     match only with
     | Some name -> begin
@@ -237,6 +345,7 @@ let run_ir_cmd =
     Arg.(value & flag & info [ "unified" ] ~doc:"Run in unified memory")
   in
   let f file unified trace =
+    guarded @@ fun () ->
     let m = Cgcm_ir.Reader.parse_verified (read_file file) in
     let config =
       {

@@ -58,8 +58,8 @@ let execution_to_string = function
 
 let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
     ?(trace = false) ?(engine = Interp.default_config.Interp.engine)
-    ?dirty_spans (execution : execution) (source : string) :
-    compiled * Interp.result =
+    ?dirty_spans ?faults ?device_mem ?(paranoid = false)
+    (execution : execution) (source : string) : compiled * Interp.result =
   (* Dirty-span transfers are part of the optimized run-time; the
      unoptimized configuration keeps the paper's whole-unit protocol so
      the Figure 4 contrast measures what the paper measures. An explicit
@@ -69,8 +69,22 @@ let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
     | Some b -> b
     | None -> ( match execution with Cgcm_optimized -> true | _ -> false)
   in
+  let cost =
+    match device_mem with
+    | Some bytes -> { cost with Cgcm_gpusim.Cost_model.device_mem_bytes = bytes }
+    | None -> cost
+  in
   let config mode =
-    { Interp.default_config with mode; cost; trace; engine; dirty_spans }
+    {
+      Interp.default_config with
+      mode;
+      cost;
+      trace;
+      engine;
+      dirty_spans;
+      faults;
+      paranoid;
+    }
   in
   match execution with
   | Sequential ->

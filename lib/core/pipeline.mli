@@ -46,6 +46,9 @@ val run :
   ?trace:bool ->
   ?engine:Interp.engine ->
   ?dirty_spans:bool ->
+  ?faults:Cgcm_gpusim.Faults.spec ->
+  ?device_mem:int ->
+  ?paranoid:bool ->
   execution ->
   string ->
   compiled * Interp.result
@@ -57,4 +60,10 @@ val run :
     optimisation; by default it is on for {!Cgcm_optimized} and off
     elsewhere, so {!Cgcm_unoptimized} keeps the paper's whole-unit
     protocol and the Figure 4 contrast measures what the paper
-    measures. *)
+    measures.
+
+    [faults] arms a deterministic driver fault plan and [device_mem]
+    caps device memory (see {!Cgcm_gpusim.Faults}); the run-time then
+    recovers via eviction, retry and CPU fallback without changing
+    program output. [paranoid] re-checks every run-time invariant after
+    every run-time call. *)

@@ -18,6 +18,7 @@ type t = {
   transfer_bytes_per_cycle : float;  (* PCIe bandwidth *)
   alloc_overhead : float;  (* cuMemAlloc / cuMemFree *)
   runtime_call_overhead : float;  (* one CGCM run-time library call *)
+  device_mem_bytes : int;  (* device global-memory capacity *)
 }
 
 let default =
@@ -32,6 +33,9 @@ let default =
     transfer_bytes_per_cycle = 2.0;
     alloc_overhead = 2_000.0;
     runtime_call_overhead = 120.0;
+    (* Effectively unbounded by default; experiments that study memory
+       pressure cap it (the GTX 480 shipped with 1.5 GB). *)
+    device_mem_bytes = max_int;
   }
 
 let transfer_cycles t bytes =

@@ -20,6 +20,9 @@ type t = {
   transfer_bytes_per_cycle : float;  (** PCIe bandwidth *)
   alloc_overhead : float;  (** cuMemAlloc / cuMemFree *)
   runtime_call_overhead : float;  (** one CGCM run-time library call *)
+  device_mem_bytes : int;
+      (** device global-memory capacity; [max_int] (the default) is
+          effectively unbounded *)
 }
 
 val default : t

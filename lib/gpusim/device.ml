@@ -7,6 +7,7 @@
    acyclic communication patterns overlap CPU and GPU work (Figure 2). *)
 
 module Memspace = Cgcm_memory.Memspace
+module Errors = Cgcm_support.Errors
 
 type stats = {
   mutable htod_bytes : int;
@@ -28,9 +29,14 @@ type t = {
   globals : (string, int) Hashtbl.t;  (* named module globals *)
   global_sizes : (string, int) Hashtbl.t;
   stats : stats;
+  faults : Faults.t option;  (* active fault-injection plan, if any *)
+  (* Bumped whenever a module global's device residence is revoked
+     (memory-pressure eviction). Cached cuModuleGetGlobal results are
+     valid only while this generation is unchanged. *)
+  mutable globals_gen : int;
 }
 
-let create ?(trace = Trace.create ()) cost =
+let create ?(trace = Trace.create ()) ?faults cost =
   {
     mem =
       Memspace.create ~name:"device" ~range_lo:0x4000_0000_00
@@ -52,12 +58,37 @@ let create ?(trace = Trace.create ()) cost =
         comm_cycles = 0.0;
         sync_cycles = 0.0;
       };
+    faults;
+    globals_gen = 0;
   }
 
 let stats t = t.stats
 
+let capacity t = t.cost.Cost_model.device_mem_bytes
+
+let injected t op =
+  match t.faults with Some f -> Faults.fires f op | None -> false
+
+(* Shared admission control for every device allocation: an injected
+   fault fails the call outright (as a flaky driver would); otherwise the
+   request must fit the remaining capacity. Both failure modes raise the
+   same typed error, so recovery code upstream has one path. *)
+let check_alloc t ~op size =
+  let live = Memspace.live_bytes t.mem in
+  if injected t Faults.Alloc then
+    raise
+      (Errors.Device_error
+         (Errors.Oom
+            { op; requested = size; live; capacity = capacity t; injected = true }));
+  if live + size > capacity t then
+    raise
+      (Errors.Device_error
+         (Errors.Oom
+            { op; requested = size; live; capacity = capacity t; injected = false }))
+
 (* cuMemAlloc: synchronous host-side allocation. Returns (devptr, now'). *)
 let mem_alloc t ~now size =
+  check_alloc t ~op:"cuMemAlloc" size;
   let addr = Memspace.alloc ~tag:"dev" t.mem size in
   (addr, now +. t.cost.Cost_model.alloc_overhead)
 
@@ -74,9 +105,22 @@ let module_get_global t ~now name =
     match Hashtbl.find_opt t.global_sizes name with
     | None -> Memspace.fault "device: unknown module global %s" name
     | Some size ->
+      check_alloc t ~op:"cuModuleGetGlobal" size;
       let addr = Memspace.alloc ~tag:("g:" ^ name) t.mem size in
       Hashtbl.replace t.globals name addr;
       (addr, now +. t.cost.Cost_model.alloc_overhead))
+
+(* Revoke a global's device residence (memory-pressure eviction). Any
+   data must already be written back; cached cuModuleGetGlobal results
+   are invalidated via [globals_gen]. The next access re-allocates. *)
+let forget_global t ~now name =
+  match Hashtbl.find_opt t.globals name with
+  | None -> now
+  | Some addr ->
+    Hashtbl.remove t.globals name;
+    t.globals_gen <- t.globals_gen + 1;
+    Memspace.free t.mem addr;
+    now +. t.cost.Cost_model.alloc_overhead
 
 let declare_module_global t ~name ~size = Hashtbl.replace t.global_sizes name size
 
@@ -93,6 +137,13 @@ let sync t ~now =
 (* Synchronous transfers: like cudaMemcpy on the default stream, they wait
    for outstanding kernels, then occupy the bus. *)
 let memcpy_h_to_d ?(label = "HtoD") t ~now ~host ~host_addr ~dev_addr ~len =
+  (* Fault check before any side effect: a failed DMA moves no bytes,
+     advances no clock, and records no trace event, so a retry is clean. *)
+  if injected t Faults.Htod then
+    raise
+      (Errors.Device_error
+         (Errors.Transfer_failed
+            { dir = Errors.Host_to_device; bytes = len; injected = true }));
   let start = sync t ~now in
   Memspace.blit ~src:host ~src_addr:host_addr ~dst:t.mem ~dst_addr:dev_addr
     ~len;
@@ -106,6 +157,11 @@ let memcpy_h_to_d ?(label = "HtoD") t ~now ~host ~host_addr ~dev_addr ~len =
   finish
 
 let memcpy_d_to_h ?(label = "DtoH") t ~now ~host ~host_addr ~dev_addr ~len =
+  if injected t Faults.Dtoh then
+    raise
+      (Errors.Device_error
+         (Errors.Transfer_failed
+            { dir = Errors.Device_to_host; bytes = len; injected = true }));
   let start = sync t ~now in
   Memspace.blit ~src:t.mem ~src_addr:dev_addr ~dst:host ~dst_addr:host_addr
     ~len;
@@ -122,6 +178,11 @@ let memcpy_d_to_h ?(label = "DtoH") t ~now ~host ~host_addr ~dev_addr ~len =
    launch is asynchronous: the device timeline advances, the CPU only pays
    the driver overhead. *)
 let launch t ~now ~name ~insts ~trip =
+  (* Fault check first: a failed launch must leave the timeline, stats
+     and trace untouched so the caller can fall back to CPU execution. *)
+  if injected t Faults.Launch then
+    raise
+      (Errors.Device_error (Errors.Launch_failed { kernel = name; injected = true }));
   let start = max now t.busy_until in
   let dur = Cost_model.kernel_cycles t.cost ~insts ~trip in
   t.busy_until <- start +. dur;

@@ -28,14 +28,24 @@ type t = {
   globals : (string, int) Hashtbl.t;  (** resolved named module globals *)
   global_sizes : (string, int) Hashtbl.t;
   stats : stats;
+  faults : Faults.t option;  (** active fault-injection plan *)
+  mutable globals_gen : int;
+      (** bumped when a module global's residence is revoked; cached
+          {!module_get_global} results are valid only while unchanged *)
 }
 
-val create : ?trace:Trace.t -> Cost_model.t -> t
+val create : ?trace:Trace.t -> ?faults:Faults.t -> Cost_model.t -> t
 
 val stats : t -> stats
 
 (** All timing functions take the CPU clock [now] and return its new
-    value. *)
+    value.
+
+    Fallible calls ({!mem_alloc}, {!module_get_global}, the transfers,
+    {!launch}) raise {!Cgcm_support.Errors.Device_error} — on capacity
+    exhaustion ({!Cost_model.device_mem_bytes}) or when the active fault
+    plan fires — strictly before any side effect, so a retry observes a
+    clean device. *)
 
 val mem_alloc : t -> now:float -> int -> int * float
 (** cuMemAlloc: synchronous device allocation; returns (devptr, now'). *)
@@ -48,6 +58,11 @@ val declare_module_global : t -> name:string -> size:int -> unit
 val module_get_global : t -> now:float -> string -> int * float
 (** cuModuleGetGlobal: device-resident copy of a named global, allocated
     lazily without copying data (that is map's job). *)
+
+val forget_global : t -> now:float -> string -> float
+(** Revoke a global's device residence (memory-pressure eviction): frees
+    the device block, bumps [globals_gen]. The caller must have written
+    back any dirty data; the next {!module_get_global} re-allocates. *)
 
 val sync : t -> now:float -> float
 (** Wait for all outstanding device work; records the stall. *)

@@ -28,7 +28,9 @@ module Memspace = Cgcm_memory.Memspace
 module Device = Cgcm_gpusim.Device
 module Trace = Cgcm_gpusim.Trace
 module Cost_model = Cgcm_gpusim.Cost_model
+module Faults = Cgcm_gpusim.Faults
 module Runtime = Cgcm_runtime.Runtime
+module Errors = Cgcm_support.Errors
 
 exception Exec_error of string
 
@@ -56,6 +58,10 @@ type config = {
   engine : engine;
   (* run-time transfers only dirty spans instead of whole units *)
   dirty_spans : bool;
+  (* deterministic driver fault plan (None = infallible driver) *)
+  faults : Faults.spec option;
+  (* re-check all run-time invariants after every run-time call *)
+  paranoid : bool;
 }
 
 let default_config =
@@ -68,6 +74,8 @@ let default_config =
     profile = false;
     engine = Closures;
     dirty_spans = true;
+    faults = None;
+    paranoid = false;
   }
 
 type rtval = VI of int64 | VF of float
@@ -104,6 +112,8 @@ type result = {
   kernel_insts : int;
   dev_stats : Device.stats;
   rt_stats : Runtime.stats;
+  leaks : Runtime.leak_report;  (* device residency at program exit *)
+  dev_peak_bytes : int;  (* high-water mark of device memory *)
   trace : Trace.t;
   profile : (string * int) list;
       (* per-function dynamic instruction counts, descending; empty unless
@@ -220,8 +230,12 @@ let space mc =
 
 let global_addr mc g =
   if mc.in_kernel && mc.mode = Split then begin
-    let addr, now = Device.module_get_global mc.dev ~now:mc.now g in
-    mc.now <- now;
+    (* Resolve through the run-time so a first touch (or a re-touch after
+       an eviction) gets the same OOM recovery as map, and an evicted
+       global is refilled from its written-back host copy. *)
+    mc.rt.Runtime.now <- mc.now;
+    let addr = Runtime.device_global_addr mc.rt g in
+    mc.now <- mc.rt.Runtime.now;
     addr
   end
   else begin
@@ -778,9 +792,28 @@ and exec_launch mc ~kernel ~trip ~args =
     mc.in_kernel <- saved_in_kernel;
     mc.track_units <- None;
     let insts = mc.kernel_insts - insts_before in
+    (* Graceful degradation: if the driver refuses the launch, the kernel
+       body (already executed functionally against device memory — the
+       data outcome is identical) is re-attributed to the CPU timeline as
+       synchronous CPU work: the instructions move from the kernel to the
+       CPU account, the clock advances at CPU speed, and the device
+       timeline, launch stats and trace stay untouched. *)
+    let cpu_fallback () =
+      Runtime.note_cpu_fallback mc.rt;
+      mc.kernel_insts <- mc.kernel_insts - insts;
+      mc.cpu_insts <- mc.cpu_insts + insts;
+      let start = mc.now in
+      mc.now <-
+        mc.now +. (float_of_int insts *. mc.cost.Cost_model.cpu_cycle);
+      Trace.record mc.dev.Device.trace Trace.Kernel ~start ~finish:mc.now
+        ~label:(kernel ^ "+cpu-fallback") ~bytes:0
+    in
     match mc.mode with
-    | Split ->
-      mc.now <- Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip
+    | Split -> (
+      match Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip with
+      | now -> mc.now <- now
+      | exception Errors.Device_error (Errors.Launch_failed _) ->
+        cpu_fallback ())
     | Unified -> ()
     | Inspector_executor ->
       (* 1. sequential inspection on the CPU: replay the loop's address
@@ -820,7 +853,10 @@ and exec_launch mc ~kernel ~trip ~args =
         st.Device.dtoh_count <- st.Device.dtoh_count + 1
       end;
       (* 3. the kernel itself, fully synchronous (cyclic schedule) *)
-      mc.now <- Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip;
+      (match Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip with
+      | now -> mc.now <- now
+      | exception Errors.Device_error (Errors.Launch_failed _) ->
+        cpu_fallback ());
       mc.now <- Device.sync mc.dev ~now:mc.now
   end
 
@@ -991,17 +1027,21 @@ and decode_block mc ~uses ~fold_ok ~promo (b : Ir.block) : cblock =
 (* Cached global-address resolution. Host addresses are fixed after
    load_globals. Device addresses are allocated by the driver on first
    touch (which charges alloc_overhead, exactly once — the first call
-   here is the first touch, as in the tree engine) and never move, so
-   both sides cache after one resolution. *)
+   here is the first touch, as in the tree engine) and stay put while no
+   global is evicted, so the device side caches the address together
+   with the globals generation it was resolved under: an eviction bumps
+   [Device.globals_gen] and invalidates every cached address at the cost
+   of one integer compare per access. *)
 and gaddr mc g : ctx -> int =
-  let haddr = ref (-1) and daddr = ref (-1) in
+  let haddr = ref (-1) and daddr = ref (-1) and dgen = ref (-1) in
   fun _ ->
     if mc.in_kernel && mc.mode = Split then begin
       let a = !daddr in
-      if a >= 0 then a
+      if a >= 0 && !dgen = mc.dev.Device.globals_gen then a
       else begin
         let a = global_addr mc g in
         daddr := a;
+        dgen := mc.dev.Device.globals_gen;
         a
       end
     end
@@ -1802,8 +1842,15 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000_00
   in
   let trace = Trace.create ~enabled:config.trace () in
-  let dev = Device.create ~trace config.cost in
-  let rt = Runtime.create ~dirty_spans:config.dirty_spans ~host ~dev () in
+  let dev =
+    Device.create ~trace
+      ?faults:(Option.map Faults.make config.faults)
+      config.cost
+  in
+  let rt =
+    Runtime.create ~dirty_spans:config.dirty_spans ~paranoid:config.paranoid
+      ~host ~dev ()
+  in
   let funcs = Hashtbl.create 32 in
   List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.fname f) m.Ir.funcs;
   let mc =
@@ -1856,6 +1903,8 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     kernel_insts = mc.kernel_insts;
     dev_stats = st;
     rt_stats = rt.Runtime.stats;
+    leaks = Runtime.leak_report rt;
+    dev_peak_bytes = Memspace.peak_bytes dev.Device.mem;
     trace;
     profile =
       Hashtbl.fold (fun k r acc -> (k, !r) :: acc) mc.profile_counts []

@@ -22,6 +22,7 @@ module Memspace = Cgcm_memory.Memspace
 module Device = Cgcm_gpusim.Device
 module Trace = Cgcm_gpusim.Trace
 module Cost_model = Cgcm_gpusim.Cost_model
+module Faults = Cgcm_gpusim.Faults
 module Runtime = Cgcm_runtime.Runtime
 
 exception Exec_error of string
@@ -52,6 +53,11 @@ type config = {
   engine : engine;
   dirty_spans : bool;
       (** run-time transfers only dirty spans instead of whole units *)
+  faults : Faults.spec option;
+      (** deterministic driver fault plan ([None] = infallible driver);
+          the run-time recovers via eviction, retry and CPU fallback *)
+  paranoid : bool;
+      (** re-run {!Runtime.check_invariants} after every run-time call *)
 }
 
 val default_config : config
@@ -68,6 +74,10 @@ type result = {
   kernel_insts : int;
   dev_stats : Device.stats;
   rt_stats : Runtime.stats;
+  leaks : Runtime.leak_report;
+      (** device residency at program exit: non-global resident units and
+          live driver-heap blocks must both be zero for a leak-free run *)
+  dev_peak_bytes : int;  (** high-water mark of device memory use *)
   trace : Trace.t;
   profile : (string * int) list;
       (** per-function dynamic instruction counts, descending; empty

@@ -416,6 +416,15 @@ let peak_bytes t = t.peak_bytes
 
 let live_units t = Cgcm_support.Avl_map.Int.cardinal t.blocks - t.pooled
 
+(* Live blocks as (base, size, tag), ascending by base. Pooled (freed)
+   blocks kept in the index for recycling are excluded: they hold no
+   live data and dangle on purpose. *)
+let blocks_snapshot t =
+  List.rev
+    (Cgcm_support.Avl_map.Int.fold
+       (fun base b acc -> if b.freed then acc else (base, b.size, b.tag) :: acc)
+       t.blocks [])
+
 (* Store an OCaml string as NUL-terminated bytes: one resolution and one
    blit instead of a checked store per character. *)
 let store_string t addr s =

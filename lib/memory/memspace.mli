@@ -155,3 +155,8 @@ val dirty_bytes : t -> int -> int
 val live_bytes : t -> int
 val peak_bytes : t -> int
 val live_units : t -> int
+
+val blocks_snapshot : t -> (int * int * string) list
+(** Live blocks as [(base, size, tag)] in ascending base order, pooled
+    blocks excluded — the raw material for leak checks and the
+    allocation-map dump of error diagnostics. *)

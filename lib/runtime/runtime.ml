@@ -17,15 +17,23 @@
    which is what the kernel receives.
 
    An epoch counter increments at every kernel launch; unmap copies a unit
-   at most once per epoch, because only kernels mutate device memory. *)
+   at most once per epoch, because only kernels mutate device memory.
+
+   The run-time is also the recovery layer for a fallible driver
+   (Cgcm_gpusim.Faults / Cost_model.device_mem_bytes): on OOM it evicts
+   zero-refcount resident units (writing dirty ones back first) and
+   retries; on transfer failure it retries with backoff accounted on the
+   device timeline. Failures that survive recovery raise {!Runtime_error}
+   carrying the structured taxonomy of [Cgcm_support.Errors]. *)
 
 module Memspace = Cgcm_memory.Memspace
 module Avl = Cgcm_support.Avl_map.Int
+module Errors = Cgcm_support.Errors
 module Device = Cgcm_gpusim.Device
+module Cost_model = Cgcm_gpusim.Cost_model
+module Trace = Cgcm_gpusim.Trace
 
-exception Runtime_error of string
-
-let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+exception Runtime_error of Errors.runtime_error
 
 type alloc_info = {
   base : int;
@@ -41,6 +49,7 @@ type alloc_info = {
   mutable arr_shadow : int option;  (* device array of translated pointers *)
   mutable arr_refcount : int;
   mutable arr_elems : int list;  (* host pointers translated by map_array *)
+  mutable evicted : bool;  (* lost its device copy to memory pressure *)
 }
 
 type stats = {
@@ -52,6 +61,9 @@ type stats = {
   mutable skipped_copies : int;  (* map found the unit already resident *)
   mutable partial_copies : int;  (* transfers narrowed to dirty spans *)
   mutable bytes_saved : int;  (* unit bytes not moved thanks to dirty spans *)
+  mutable evictions : int;  (* units whose device copy was revoked on OOM *)
+  mutable retries : int;  (* device calls re-attempted after a fault *)
+  mutable cpu_fallbacks : int;  (* kernels degraded to CPU execution *)
 }
 
 type t = {
@@ -64,11 +76,14 @@ type t = {
      reproduces the paper's whole-unit protocol; the differential tests
      assert the dirty path never moves more bytes than that baseline. *)
   dirty_spans : bool;
+  (* Re-run check_invariants after every run-time call (tests). *)
+  paranoid : bool;
+  globals_by_name : (string, int) Hashtbl.t;  (* global name -> host base *)
   (* wall-clock hook: the interpreter threads its clock through us *)
   mutable now : float;
 }
 
-let create ?(dirty_spans = true) ~host ~dev () =
+let create ?(dirty_spans = true) ?(paranoid = false) ~host ~dev () =
   {
     host;
     dev;
@@ -84,15 +99,59 @@ let create ?(dirty_spans = true) ~host ~dev () =
         skipped_copies = 0;
         partial_copies = 0;
         bytes_saved = 0;
+        evictions = 0;
+        retries = 0;
+        cpu_fallbacks = 0;
       };
     dirty_spans;
+    paranoid;
+    globals_by_name = Hashtbl.create 16;
     now = 0.0;
   }
 
 let charge t cycles = t.now <- t.now +. cycles
 
 let runtime_call_cost t =
-  charge t t.dev.Device.cost.Cgcm_gpusim.Cost_model.runtime_call_overhead
+  charge t t.dev.Device.cost.Cost_model.runtime_call_overhead
+
+(* ------------------------------------------------------------------ *)
+(* Structured failure                                                  *)
+
+let snapshot (i : alloc_info) : Errors.unit_snapshot =
+  {
+    Errors.u_base = i.base;
+    u_size = i.size;
+    u_refcount = i.refcount;
+    u_arr_refcount = i.arr_refcount;
+    u_epoch = i.epoch;
+    u_devptr = i.devptr;
+    u_global = i.global_name;
+  }
+
+let alloc_map_snapshot t =
+  List.rev (Avl.fold (fun _ i acc -> snapshot i :: acc) t.info [])
+
+let fail t ~op ?addr ?unit_ ?device reason =
+  raise
+    (Runtime_error
+       {
+         Errors.op;
+         addr;
+         reason;
+         unit_;
+         device;
+         alloc_map = alloc_map_snapshot t;
+       })
+
+let find_info t ~op ptr =
+  match Avl.greatest_leq ptr t.info with
+  | Some (_, info) when ptr >= info.base && ptr < info.base + info.size ->
+    info
+  | _ ->
+    fail t ~op ~addr:ptr
+      "no allocation unit contains this pointer (missing registration?)"
+
+let lookup_unit t ptr = find_info t ~op:"lookup" ptr
 
 (* ------------------------------------------------------------------ *)
 (* Registration: heap, globals, escaping allocas                       *)
@@ -114,7 +173,184 @@ let mk_info ?(is_global = false) ?(global_name = None) ?(read_only = false)
     arr_shadow = None;
     arr_refcount = 0;
     arr_elems = [];
+    evicted = false;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: transfer retry with backoff                               *)
+
+(* A flaky DMA engine is retried a bounded number of times; each failed
+   attempt charges an escalating backoff to the device timeline before
+   the next try (the paper's driver never fails; production ones do). *)
+let max_transfer_retries = 8
+
+type direction = Htod | Dtoh
+
+let rec memcpy t ~dir ~label ~host_addr ~dev_addr ~len ~attempt =
+  let call () =
+    match dir with
+    | Htod ->
+      Device.memcpy_h_to_d ~label t.dev ~now:t.now ~host:t.host ~host_addr
+        ~dev_addr ~len
+    | Dtoh ->
+      Device.memcpy_d_to_h ~label t.dev ~now:t.now ~host:t.host ~host_addr
+        ~dev_addr ~len
+  in
+  match call () with
+  | now -> t.now <- now
+  | exception Errors.Device_error (Errors.Transfer_failed _ as fault) ->
+    if attempt >= max_transfer_retries then
+      fail t
+        ~op:(match dir with Htod -> "memcpyHtoD" | Dtoh -> "memcpyDtoH")
+        ~addr:host_addr ~device:fault
+        (Printf.sprintf "transfer of %d bytes failed %d times; giving up" len
+           attempt)
+    else begin
+      t.stats.retries <- t.stats.retries + 1;
+      (* Backoff accounted on the device timeline: the bus is considered
+         busy recovering, and the CPU waits it out. *)
+      let backoff =
+        t.dev.Device.cost.Cost_model.transfer_latency *. float_of_int attempt
+      in
+      let start = t.now in
+      t.now <- t.now +. backoff;
+      t.dev.Device.busy_until <- Float.max t.dev.Device.busy_until t.now;
+      Trace.record t.dev.Device.trace Trace.Sync ~start ~finish:t.now
+        ~label:"xfer-retry" ~bytes:0;
+      memcpy t ~dir ~label ~host_addr ~dev_addr ~len ~attempt:(attempt + 1)
+    end
+
+let memcpy t ~dir ~label ~host_addr ~dev_addr ~len =
+  memcpy t ~dir ~label ~host_addr ~dev_addr ~len ~attempt:1
+
+(* ---- dirty-span transfer planning ----------------------------------
+
+   Given the dirty spans of the source copy, either issue one DMA per
+   span or a single DMA over their bounding interval, whichever the cost
+   model says is cheaper (per-transfer latency vs extra clean bytes).
+   Both plans move no more bytes than the whole-unit copy did, so the
+   communication volume results can only improve. *)
+
+let transfer_spans t ~dir ~dev_base ~host_base ~size spans =
+  let cost = t.dev.Device.cost in
+  let per_span_cycles =
+    List.fold_left
+      (fun c (_, len) -> c +. Cost_model.transfer_cycles cost len)
+      0.0 spans
+  in
+  let lo = List.fold_left (fun m (off, _) -> min m off) max_int spans in
+  let hi = List.fold_left (fun m (off, len) -> max m (off + len)) 0 spans in
+  let bounding_cycles = Cost_model.transfer_cycles cost (hi - lo) in
+  let plan =
+    if per_span_cycles <= bounding_cycles then spans else [ (lo, hi - lo) ]
+  in
+  let moved = ref 0 in
+  List.iter
+    (fun (off, len) ->
+      moved := !moved + len;
+      let label = match dir with Htod -> "HtoD-dirty" | Dtoh -> "DtoH-dirty" in
+      memcpy t ~dir ~label ~host_addr:(host_base + off)
+        ~dev_addr:(dev_base + off) ~len)
+    plan;
+  t.stats.partial_copies <- t.stats.partial_copies + 1;
+  t.stats.bytes_saved <- t.stats.bytes_saved + (size - !moved)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: eviction of resident units under memory pressure          *)
+
+(* Forced write-back before an eviction — exactly unmap's protocol, so
+   the host copy is current before the device copy is destroyed. *)
+let write_back t info =
+  match info.devptr with
+  | Some d when info.epoch <> t.global_epoch && not info.read_only ->
+    if not t.dirty_spans then
+      memcpy t ~dir:Dtoh ~label:"DtoH-evict" ~host_addr:info.base ~dev_addr:d
+        ~len:info.size
+    else begin
+      (match Memspace.dirty_spans t.dev.Device.mem d with
+      | [] -> ()
+      | spans ->
+        transfer_spans t ~dir:Dtoh ~dev_base:d ~host_base:info.base
+          ~size:info.size spans);
+      Memspace.clear_dirty t.dev.Device.mem d
+    end;
+    info.epoch <- t.global_epoch
+  | _ -> ()
+
+(* Evict one zero-refcount resident unit (lowest base first — the choice
+   only needs to be deterministic). Module globals give their module
+   residence back via forget_global, which invalidates cached
+   cuModuleGetGlobal addresses; non-globals are simply freed. Returns
+   false when nothing is evictable. *)
+let evict_one t =
+  let victim =
+    Avl.fold
+      (fun _ i acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if i.refcount = 0 && i.arr_refcount = 0 && i.devptr <> None then
+            Some i
+          else None)
+      t.info None
+  in
+  match victim with
+  | None -> false
+  | Some info ->
+    write_back t info;
+    (match info.devptr with
+    | Some d ->
+      if info.is_global then
+        t.now <-
+          Device.forget_global t.dev ~now:t.now (Option.get info.global_name)
+      else t.now <- Device.mem_free t.dev ~now:t.now d;
+      info.devptr <- None
+    | None -> ());
+    info.evicted <- true;
+    t.stats.evictions <- t.stats.evictions + 1;
+    Trace.record t.dev.Device.trace Trace.Sync ~start:t.now ~finish:t.now
+      ~label:"evict" ~bytes:info.size;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: device allocation with evict-and-retry                    *)
+
+(* A genuine capacity OOM is only retried after an eviction made room; an
+   injected (transient) OOM is also retried blind a few times, because
+   the next attempt draws a fresh fate from the fault plan. *)
+let max_blind_oom_retries = 4
+
+let dev_alloc t ~op ~addr ~size ~global_name =
+  let attempt () =
+    match global_name with
+    | Some g -> Device.module_get_global t.dev ~now:t.now g
+    | None -> Device.mem_alloc t.dev ~now:t.now size
+  in
+  let rec go blind =
+    match attempt () with
+    | d, now ->
+      t.now <- now;
+      d
+    | exception Errors.Device_error (Errors.Oom { injected; _ } as fault) ->
+      if evict_one t then begin
+        t.stats.retries <- t.stats.retries + 1;
+        go blind
+      end
+      else if injected && blind < max_blind_oom_retries then begin
+        t.stats.retries <- t.stats.retries + 1;
+        charge t t.dev.Device.cost.Cost_model.alloc_overhead;
+        go (blind + 1)
+      end
+      else
+        fail t ~op ~addr ~device:fault
+          (Printf.sprintf
+             "device allocation of %d bytes failed and nothing is evictable"
+             size)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Registration (continued)                                            *)
 
 (* Wrapper around malloc/calloc: the interpreter calls this for every heap
    allocation so the run-time knows the dynamic state of the heap. *)
@@ -125,28 +361,24 @@ let register_heap t ~base ~size = register t (mk_info ~base ~size ())
    independent-code and ASLR issues, as the paper notes. *)
 let declare_global t ~name ~base ~size ~read_only =
   Device.declare_module_global t.dev ~name ~size;
-  register t (mk_info ~is_global:true ~global_name:(Some name) ~read_only ~base ~size ())
+  Hashtbl.replace t.globals_by_name name base;
+  register t
+    (mk_info ~is_global:true ~global_name:(Some name) ~read_only ~base ~size ())
 
 (* declareAlloca: registration of an escaping stack variable. *)
 let declare_alloca t ~base ~size =
   register t (mk_info ~from_alloca:true ~base ~size ())
-
-let find_info t ptr =
-  match Avl.greatest_leq ptr t.info with
-  | Some (_, info) when ptr >= info.base && ptr < info.base + info.size ->
-    info
-  | _ ->
-    error "no allocation unit contains pointer 0x%x (missing registration?)"
-      ptr
-
-let lookup_unit t ptr = find_info t ptr
 
 (* The wrapper around free: heap units must not leave the map while still
    mapped on the device. *)
 let unregister_heap t ~base =
   (match Avl.find_opt base t.info with
   | Some info when info.refcount > 0 || info.arr_refcount > 0 ->
-    error "free of allocation unit 0x%x while mapped on the device" base
+    fail t ~op:"free" ~addr:base ~unit_:(snapshot info)
+      (Printf.sprintf
+         "allocation unit freed while still mapped on the device \
+          (refcount=%d, arrayRefcount=%d)"
+         info.refcount info.arr_refcount)
   | Some info ->
     (match info.devptr with
     | Some d when not info.is_global ->
@@ -161,7 +393,11 @@ let expire_alloca t ~base =
   match Avl.find_opt base t.info with
   | Some info ->
     if info.refcount > 0 || info.arr_refcount > 0 then
-      error "stack allocation unit 0x%x left scope while mapped" base;
+      fail t ~op:"expireAlloca" ~addr:base ~unit_:(snapshot info)
+        (Printf.sprintf
+           "stack allocation unit left scope while still mapped — its device \
+            copy would dangle (refcount=%d, arrayRefcount=%d)"
+           info.refcount info.arr_refcount);
     (match info.devptr with
     | Some d when not info.is_global ->
       t.now <- Device.mem_free t.dev ~now:t.now d;
@@ -169,6 +405,92 @@ let expire_alloca t ~base =
     | _ -> ());
     t.info <- Avl.remove base t.info
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (paranoid mode)                                  *)
+
+(* Whole-state consistency check, run after every run-time call when
+   [paranoid] is set: refcounts non-negative, epochs monotone, every
+   devptr/shadow backed by a live device block, and every live "dev"
+   block owned by some unit (no orphaned device memory). *)
+let check_invariants t =
+  let dev_mem = t.dev.Device.mem in
+  let fail_inv info msg =
+    fail t ~op:"checkInvariants" ~addr:info.base ~unit_:(snapshot info) msg
+  in
+  let live_bounds addr =
+    match Memspace.unit_bounds dev_mem addr with
+    | bounds -> Some bounds
+    | exception Memspace.Fault _ -> None
+  in
+  Avl.iter
+    (fun base info ->
+      if base <> info.base then fail_inv info "map key differs from unit base";
+      if info.refcount < 0 then fail_inv info "negative reference count";
+      if info.arr_refcount < 0 then
+        fail_inv info "negative array reference count";
+      if info.epoch < 0 || info.epoch > t.global_epoch then
+        fail_inv info
+          (Printf.sprintf "unit epoch %d outside [0, global epoch %d]"
+             info.epoch t.global_epoch);
+      (match info.devptr with
+      | Some d -> (
+        match live_bounds d with
+        | Some (b, sz) when b = d && sz >= info.size -> ()
+        | Some (b, sz) ->
+          fail_inv info
+            (Printf.sprintf
+               "devptr 0x%x does not cover the unit (device block 0x%x, %d \
+                bytes)"
+               d b sz)
+        | None -> fail_inv info "dangling devptr: no live device block")
+      | None -> ());
+      if info.arr_refcount > 0 && info.arr_shadow = None then
+        fail_inv info "positive array refcount without a shadow array";
+      match info.arr_shadow with
+      | None -> ()
+      | Some s ->
+        (match live_bounds s with
+        | Some (b, _) when b = s -> ()
+        | _ -> fail_inv info "dangling shadow array: no live device block");
+        (* While the shadow is live, every translated element must still
+           be a registered allocation unit — expiring or unregistering
+           one would leave the shadow pointing into recycled memory with
+           no unit to re-validate it against. (No refcount claims: map
+           promotion hoists the mapArray while the pointees' own
+           map/release pairs stay per-launch, so an element's count
+           legally touches zero between launches; the next launch's map
+           re-validates the translation.) *)
+        if info.arr_refcount > 0 then
+          List.iter
+            (fun p ->
+              match Avl.greatest_leq p t.info with
+              | Some (_, e) when p >= e.base && p < e.base + e.size -> ()
+              | _ ->
+                fail_inv info
+                  (Printf.sprintf
+                     "shadow-array element 0x%x outside every registered unit"
+                     p))
+            info.arr_elems)
+    t.info;
+  (* Reverse direction: every live device block the driver handed to the
+     run-time ("dev" tag) must still be reachable from some unit. *)
+  let owned = Hashtbl.create 32 in
+  Avl.iter
+    (fun _ i ->
+      (match i.devptr with Some d -> Hashtbl.replace owned d () | None -> ());
+      match i.arr_shadow with
+      | Some s -> Hashtbl.replace owned s ()
+      | None -> ())
+    t.info;
+  List.iter
+    (fun (base, size, tag) ->
+      if tag = "dev" && not (Hashtbl.mem owned base) then
+        fail t ~op:"checkInvariants" ~addr:base
+          (Printf.sprintf "orphaned device block (%d bytes): leak" size))
+    (Memspace.blocks_snapshot dev_mem)
+
+let post t = if t.paranoid then check_invariants t
 
 (* ------------------------------------------------------------------ *)
 (* Epochs                                                              *)
@@ -181,71 +503,28 @@ let bump_epoch t = t.global_epoch <- t.global_epoch + 1
 
 (* Device-resident base of the unit; [fresh] is true when this call
    allocated it (a fresh, zero-filled copy with no valid data yet). *)
-let device_base_of t info =
+let device_base_of t ~op info =
   match info.devptr with
   | Some d -> (d, false)
   | None ->
-    let d, now =
-      if info.is_global then
-        Device.module_get_global t.dev ~now:t.now (Option.get info.global_name)
-      else Device.mem_alloc t.dev ~now:t.now info.size
+    let d =
+      dev_alloc t ~op ~addr:info.base ~size:info.size
+        ~global_name:(if info.is_global then info.global_name else None)
     in
-    t.now <- now;
     info.devptr <- Some d;
     (d, true)
-
-(* ---- dirty-span transfer planning ----------------------------------
-
-   Given the dirty spans of the source copy, either issue one DMA per
-   span or a single DMA over their bounding interval, whichever the cost
-   model says is cheaper (per-transfer latency vs extra clean bytes).
-   Both plans move no more bytes than the whole-unit copy did, so the
-   communication volume results can only improve. *)
-
-type direction = Htod | Dtoh
-
-let transfer_spans t ~dir ~dev_base ~host_base ~size spans =
-  let cost = t.dev.Device.cost in
-  let per_span_cycles =
-    List.fold_left
-      (fun c (_, len) -> c +. Cgcm_gpusim.Cost_model.transfer_cycles cost len)
-      0.0 spans
-  in
-  let lo = List.fold_left (fun m (off, _) -> min m off) max_int spans in
-  let hi = List.fold_left (fun m (off, len) -> max m (off + len)) 0 spans in
-  let bounding_cycles = Cgcm_gpusim.Cost_model.transfer_cycles cost (hi - lo) in
-  let plan =
-    if per_span_cycles <= bounding_cycles then spans else [ (lo, hi - lo) ]
-  in
-  let moved = ref 0 in
-  List.iter
-    (fun (off, len) ->
-      moved := !moved + len;
-      let label = match dir with Htod -> "HtoD-dirty" | Dtoh -> "DtoH-dirty" in
-      t.now <-
-        (match dir with
-        | Htod ->
-          Device.memcpy_h_to_d t.dev ~now:t.now ~host:t.host
-            ~host_addr:(host_base + off) ~dev_addr:(dev_base + off) ~len ~label
-        | Dtoh ->
-          Device.memcpy_d_to_h t.dev ~now:t.now ~host:t.host
-            ~host_addr:(host_base + off) ~dev_addr:(dev_base + off) ~len ~label))
-    plan;
-  t.stats.partial_copies <- t.stats.partial_copies + 1;
-  t.stats.bytes_saved <- t.stats.bytes_saved + (size - !moved)
 
 let map t ptr =
   t.stats.map_calls <- t.stats.map_calls + 1;
   runtime_call_cost t;
-  let info = find_info t ptr in
-  let d, fresh = device_base_of t info in
+  let info = find_info t ~op:"map" ptr in
+  let d, fresh = device_base_of t ~op:"map" info in
   if info.refcount = 0 then begin
     if fresh || not t.dirty_spans then
       (* No valid device copy exists (or the optimisation is off): move
          the whole unit, exactly as Algorithm 1 writes it. *)
-      t.now <-
-        Device.memcpy_h_to_d t.dev ~now:t.now ~host:t.host ~host_addr:info.base
-          ~dev_addr:d ~len:info.size
+      memcpy t ~dir:Htod ~label:"HtoD" ~host_addr:info.base ~dev_addr:d
+        ~len:info.size
     else begin
       (* The device copy survived an earlier map/release cycle (globals
          keep their module-resident storage): refresh only the bytes the
@@ -267,18 +546,18 @@ let map t ptr =
   end
   else t.stats.skipped_copies <- t.stats.skipped_copies + 1;
   info.refcount <- info.refcount + 1;
+  post t;
   d + (ptr - info.base)
 
 let unmap t ptr =
   t.stats.unmap_calls <- t.stats.unmap_calls + 1;
   runtime_call_cost t;
-  let info = find_info t ptr in
-  match info.devptr with
+  let info = find_info t ~op:"unmap" ptr in
+  (match info.devptr with
   | Some d when info.epoch <> t.global_epoch && not info.read_only ->
     if not t.dirty_spans then
-      t.now <-
-        Device.memcpy_d_to_h t.dev ~now:t.now ~host:t.host ~host_addr:info.base
-          ~dev_addr:d ~len:info.size
+      memcpy t ~dir:Dtoh ~label:"DtoH" ~host_addr:info.base ~dev_addr:d
+        ~len:info.size
     else begin
       (match Memspace.dirty_spans t.dev.Device.mem d with
       | [] ->
@@ -291,14 +570,16 @@ let unmap t ptr =
       Memspace.clear_dirty t.dev.Device.mem d
     end;
     info.epoch <- t.global_epoch
-  | _ -> t.stats.skipped_unmaps <- t.stats.skipped_unmaps + 1
+  | _ -> t.stats.skipped_unmaps <- t.stats.skipped_unmaps + 1);
+  post t
 
 let release t ptr =
   t.stats.release_calls <- t.stats.release_calls + 1;
   runtime_call_cost t;
-  let info = find_info t ptr in
+  let info = find_info t ~op:"release" ptr in
   if info.refcount <= 0 then
-    error "release of allocation unit 0x%x with zero reference count" info.base;
+    fail t ~op:"release" ~addr:ptr ~unit_:(snapshot info)
+      "release of an allocation unit whose reference count is already zero";
   info.refcount <- info.refcount - 1;
   if info.refcount = 0 && not info.is_global then begin
     match info.devptr with
@@ -306,7 +587,8 @@ let release t ptr =
       t.now <- Device.mem_free t.dev ~now:t.now d;
       info.devptr <- None
     | None -> ()
-  end
+  end;
+  post t
 
 (* ------------------------------------------------------------------ *)
 (* Array variants: doubly indirect pointers                            *)
@@ -316,7 +598,7 @@ let word = 8
 let map_array t ptr =
   t.stats.map_array_calls <- t.stats.map_array_calls + 1;
   runtime_call_cost t;
-  let info = find_info t ptr in
+  let info = find_info t ~op:"mapArray" ptr in
   (match info.arr_shadow with
   | Some _ ->
     (* Already translated: take a reference on every element unit so the
@@ -338,18 +620,16 @@ let map_array t ptr =
     info.arr_elems <- List.rev !elems;
     (* For a global, the translated pointers must land in the device copy
        of the global itself: kernels reach it via cuModuleGetGlobal. *)
-    let shadow, now =
-      if info.is_global then
-        Device.module_get_global t.dev ~now:t.now (Option.get info.global_name)
-      else Device.mem_alloc t.dev ~now:t.now (n * word)
+    let shadow =
+      dev_alloc t ~op:"mapArray" ~addr:info.base ~size:(n * word)
+        ~global_name:(if info.is_global then info.global_name else None)
     in
-    t.now <- now;
     (* Write the translated array into device memory (costed as HtoD
        through a bounce buffer on the host). *)
     Array.iteri
       (fun i v -> Memspace.store_i64 t.dev.Device.mem (shadow + (i * word)) v)
       translated;
-    let dur = Cgcm_gpusim.Cost_model.transfer_cycles t.dev.Device.cost (n * word) in
+    let dur = Cost_model.transfer_cycles t.dev.Device.cost (n * word) in
     charge t dur;
     t.dev.Device.stats.Device.htod_bytes <-
       t.dev.Device.stats.Device.htod_bytes + (n * word);
@@ -359,19 +639,22 @@ let map_array t ptr =
       t.dev.Device.stats.Device.comm_cycles +. dur;
     info.arr_shadow <- Some shadow);
   info.arr_refcount <- info.arr_refcount + 1;
+  post t;
   (* The kernel receives the shadow array; interior offsets translate. *)
   Option.get info.arr_shadow + (ptr - info.base)
 
 let unmap_array t ptr =
   runtime_call_cost t;
-  let info = find_info t ptr in
+  let info = find_info t ~op:"unmapArray" ptr in
   List.iter (fun p -> unmap t p) info.arr_elems
 
 let release_array t ptr =
   runtime_call_cost t;
-  let info = find_info t ptr in
+  let info = find_info t ~op:"releaseArray" ptr in
   if info.arr_refcount <= 0 then
-    error "releaseArray on 0x%x with zero reference count" info.base;
+    fail t ~op:"releaseArray" ~addr:ptr ~unit_:(snapshot info)
+      "releaseArray on an allocation unit whose array reference count is \
+       already zero";
   List.iter (fun p -> release t p) info.arr_elems;
   info.arr_refcount <- info.arr_refcount - 1;
   if info.arr_refcount = 0 then begin
@@ -381,7 +664,54 @@ let release_array t ptr =
     | _ -> ());
     info.arr_shadow <- None;
     info.arr_elems <- []
-  end
+  end;
+  post t
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-side global resolution                                       *)
+
+(* The interpreter resolves a module global touched inside a kernel
+   through here so that a first-touch allocation enjoys the same
+   OOM recovery as map. If the global had been evicted, the fresh device
+   block is refilled from the (written-back) host copy, making eviction
+   invisible to the kernel. *)
+let device_global_addr t name =
+  let already = Hashtbl.mem t.dev.Device.globals name in
+  let info =
+    match Hashtbl.find_opt t.globals_by_name name with
+    | Some base -> Avl.find_opt base t.info
+    | None -> None
+  in
+  let size =
+    match info with
+    | Some i -> i.size
+    | None -> (
+      match Hashtbl.find_opt t.dev.Device.global_sizes name with
+      | Some s -> s
+      | None -> 0)
+  in
+  let d =
+    dev_alloc t ~op:"moduleGetGlobal" ~addr:0 ~size ~global_name:(Some name)
+  in
+  (if not already then
+     match info with
+     | Some i ->
+       i.devptr <- Some d;
+       if i.evicted then begin
+         (* Restore the state the global held before it was evicted. *)
+         memcpy t ~dir:Htod ~label:"HtoD-restore" ~host_addr:i.base ~dev_addr:d
+           ~len:i.size;
+         if t.dirty_spans then begin
+           Memspace.clear_dirty t.host i.base;
+           Memspace.clear_dirty t.dev.Device.mem d
+         end
+       end
+     | None -> ());
+  d
+
+(* Kernel launch degraded to CPU execution: the interpreter accounts the
+   work on the CPU timeline and reports it here. *)
+let note_cpu_fallback t = t.stats.cpu_fallbacks <- t.stats.cpu_fallbacks + 1
 
 (* ------------------------------------------------------------------ *)
 (* Introspection for tests and reports                                 *)
@@ -392,3 +722,38 @@ let resident_units t =
 let total_refcount t = Avl.fold (fun _ i n -> n + i.refcount) t.info 0
 
 let unit_count t = Avl.cardinal t.info
+
+type leak_report = {
+  resident_nonglobal : int;  (* non-global units still device-resident *)
+  resident_global : int;  (* module globals still device-resident (fine) *)
+  refcount_sum : int;
+  leaked_dev_blocks : int;  (* live driver-heap blocks on the device *)
+  leaked_dev_bytes : int;
+}
+
+(* At a clean program exit, every non-global device copy and every
+   driver-heap block must be gone; module globals legitimately keep
+   their module residence. *)
+let leak_report t =
+  let resident_nonglobal, resident_global =
+    Avl.fold
+      (fun _ i (ng, g) ->
+        if i.devptr = None then (ng, g)
+        else if i.is_global then (ng, g + 1)
+        else (ng + 1, g))
+      t.info (0, 0)
+  in
+  let leaked_dev_blocks, leaked_dev_bytes =
+    List.fold_left
+      (fun (n, bytes) (_, size, tag) ->
+        if tag = "dev" then (n + 1, bytes + size) else (n, bytes))
+      (0, 0)
+      (Memspace.blocks_snapshot t.dev.Device.mem)
+  in
+  {
+    resident_nonglobal;
+    resident_global;
+    refcount_sum = total_refcount t;
+    leaked_dev_blocks;
+    leaked_dev_bytes;
+  }

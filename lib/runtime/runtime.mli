@@ -19,9 +19,16 @@
 
     An epoch counter increments at every kernel launch ({!bump_epoch});
     unmap copies a unit at most once per epoch, because only kernels
-    mutate device memory. *)
+    mutate device memory.
 
-exception Runtime_error of string
+    The run-time is also the recovery layer for a fallible driver: on
+    device OOM it evicts zero-refcount resident units (writing dirty
+    ones back first) and retries the allocation; on transfer failure it
+    retries with backoff accounted on the device timeline. Failures
+    that survive recovery raise {!Runtime_error} with the structured
+    taxonomy of {!Cgcm_support.Errors}. *)
+
+exception Runtime_error of Cgcm_support.Errors.runtime_error
 
 type alloc_info = {
   base : int;
@@ -38,6 +45,8 @@ type alloc_info = {
   mutable arr_refcount : int;
   mutable arr_elems : int list;
       (** host pointers translated by the last mapArray *)
+  mutable evicted : bool;
+      (** the unit lost its device copy to memory pressure at least once *)
 }
 
 type stats = {
@@ -50,6 +59,11 @@ type stats = {
   mutable partial_copies : int;  (** transfers narrowed to dirty spans *)
   mutable bytes_saved : int;
       (** unit bytes not moved thanks to dirty-span tracking *)
+  mutable evictions : int;
+      (** units whose device copy was revoked under memory pressure *)
+  mutable retries : int;  (** device calls re-attempted after a fault *)
+  mutable cpu_fallbacks : int;
+      (** kernel launches degraded to CPU execution *)
 }
 
 type t = {
@@ -61,6 +75,9 @@ type t = {
   dirty_spans : bool;
       (** transfer only dirty spans instead of whole allocation units;
           off reproduces the paper's whole-unit protocol exactly *)
+  paranoid : bool;
+      (** run {!check_invariants} after every run-time call *)
+  globals_by_name : (string, int) Hashtbl.t;
   mutable now : float;
       (** wall-clock hook: the interpreter threads its clock through the
           run-time so transfers and driver calls are costed *)
@@ -68,11 +85,12 @@ type t = {
 
 val create :
   ?dirty_spans:bool ->
+  ?paranoid:bool ->
   host:Cgcm_memory.Memspace.t ->
   dev:Cgcm_gpusim.Device.t ->
   unit ->
   t
-(** [dirty_spans] defaults to [true]. *)
+(** [dirty_spans] defaults to [true]; [paranoid] to [false]. *)
 
 (** {2 Registration} *)
 
@@ -101,7 +119,8 @@ val map : t -> int -> int
 (** [map t ptr] returns the equivalent device pointer, copying the
     allocation unit host-to-device when its reference count was zero.
     Interior offsets are preserved: [map (p + k) = map p + k] within a
-    unit. *)
+    unit. On device OOM, zero-refcount resident units are evicted (dirty
+    ones written back first) and the allocation retried. *)
 
 val unmap : t -> int -> unit
 (** [unmap t ptr] updates the host copy from the device, at most once per
@@ -128,6 +147,46 @@ val release_array : t -> int -> unit
 
 val bump_epoch : t -> unit
 (** Called at every kernel launch. *)
+
+(** {2 Recovery hooks (fault injection, memory pressure)} *)
+
+val evict_one : t -> bool
+(** Evict one zero-refcount resident unit: write back its dirty data,
+    revoke its device residence (for a module global, via
+    [Device.forget_global], invalidating cached addresses). False when
+    nothing is evictable. *)
+
+val device_global_addr : t -> string -> int
+(** Kernel-side resolution of a module global with the same OOM recovery
+    as {!map}; a global re-allocated after an eviction is refilled from
+    the written-back host copy, making eviction invisible to kernels. *)
+
+val note_cpu_fallback : t -> unit
+(** The interpreter reports a kernel launch degraded to CPU execution. *)
+
+(** {2 Invariants and diagnostics} *)
+
+val check_invariants : t -> unit
+(** Whole-state consistency check: refcounts non-negative, epochs within
+    [\[0, global_epoch\]], every devptr/shadow backed by a live device
+    block of sufficient size, shadow-array elements registered and
+    referenced while their parent shadow is live, and no orphaned
+    device blocks. Raises
+    {!Runtime_error} on the first violation. Runs automatically after
+    every run-time call when [paranoid] is set. *)
+
+type leak_report = {
+  resident_nonglobal : int;
+      (** non-global units still device-resident (a leak at exit) *)
+  resident_global : int;
+      (** module globals still device-resident (legitimate) *)
+  refcount_sum : int;
+  leaked_dev_blocks : int;
+      (** live driver-heap blocks on the device (a leak at exit) *)
+  leaked_dev_bytes : int;
+}
+
+val leak_report : t -> leak_report
 
 (** {2 Introspection (tests, reports)} *)
 

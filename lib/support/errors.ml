@@ -1,0 +1,113 @@
+(* Structured error taxonomy for the device simulator and the CGCM
+   run-time. A production communication-management layer cannot afford
+   context-free failure strings: when a driver call fails or a run-time
+   invariant breaks, the diagnosis needs the operation, the address, the
+   state of the allocation unit involved, and — because refcount bugs are
+   global properties — a snapshot of the whole allocation map.
+
+   The types live in [Cgcm_support] so that [Cgcm_gpusim] can raise
+   {!Device_error} and [Cgcm_runtime] can catch it (and wrap it into a
+   {!runtime_error}) without a dependency cycle. *)
+
+(* A point-in-time copy of one allocation unit's run-time metadata. *)
+type unit_snapshot = {
+  u_base : int;
+  u_size : int;
+  u_refcount : int;
+  u_arr_refcount : int;
+  u_epoch : int;
+  u_devptr : int option;
+  u_global : string option;
+}
+
+type transfer_dir = Host_to_device | Device_to_host
+
+(* Faults raised by the simulated driver (cf. CUDA_ERROR_OUT_OF_MEMORY,
+   CUDA_ERROR_LAUNCH_FAILED, ...). [injected] distinguishes a fault fired
+   by the fault-injection plan from a genuine capacity exhaustion. *)
+type device_fault =
+  | Oom of {
+      op : string;  (* cuMemAlloc / cuModuleGetGlobal *)
+      requested : int;
+      live : int;  (* device bytes live at the failing call *)
+      capacity : int;
+      injected : bool;
+    }
+  | Transfer_failed of { dir : transfer_dir; bytes : int; injected : bool }
+  | Launch_failed of { kernel : string; injected : bool }
+
+exception Device_error of device_fault
+
+(* A failed run-time operation: what was attempted, on which pointer, why
+   it failed, the unit involved (when one was resolved), the device fault
+   that triggered it (when one did), and the full allocation map. *)
+type runtime_error = {
+  op : string;
+  addr : int option;
+  reason : string;
+  unit_ : unit_snapshot option;
+  device : device_fault option;
+  alloc_map : unit_snapshot list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Renderers                                                           *)
+
+let dir_name = function
+  | Host_to_device -> "host-to-device"
+  | Device_to_host -> "device-to-host"
+
+let render_unit u =
+  Printf.sprintf "unit base=0x%x size=%d refcount=%d arrayRefcount=%d epoch=%d devptr=%s%s"
+    u.u_base u.u_size u.u_refcount u.u_arr_refcount u.u_epoch
+    (match u.u_devptr with
+    | Some d -> Printf.sprintf "0x%x" d
+    | None -> "-")
+    (match u.u_global with Some g -> " global=" ^ g | None -> "")
+
+let render_device_fault = function
+  | Oom { op; requested; live; capacity; injected } ->
+    Printf.sprintf
+      "device out of memory in %s: requested %d bytes, %d live of %s capacity%s"
+      op requested live
+      (if capacity = max_int then "unbounded" else string_of_int capacity)
+      (if injected then " [injected]" else "")
+  | Transfer_failed { dir; bytes; injected } ->
+    Printf.sprintf "%s transfer of %d bytes failed%s" (dir_name dir) bytes
+      (if injected then " [injected]" else "")
+  | Launch_failed { kernel; injected } ->
+    Printf.sprintf "launch of kernel %s failed%s" kernel
+      (if injected then " [injected]" else "")
+
+(* Full diagnostic: one header line, then the unit, the device fault, and
+   the allocation map — everything needed to diagnose a refcount or
+   residency bug from the error alone. *)
+let render_runtime e =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "cgcm runtime error in %s%s: %s" e.op
+       (match e.addr with
+       | Some a -> Printf.sprintf " (pointer 0x%x)" a
+       | None -> "")
+       e.reason);
+  (match e.unit_ with
+  | Some u ->
+    Buffer.add_string b "\n  ";
+    Buffer.add_string b (render_unit u)
+  | None -> ());
+  (match e.device with
+  | Some f ->
+    Buffer.add_string b "\n  device fault: ";
+    Buffer.add_string b (render_device_fault f)
+  | None -> ());
+  (match e.alloc_map with
+  | [] -> Buffer.add_string b "\n  allocation map: empty"
+  | units ->
+    Buffer.add_string b
+      (Printf.sprintf "\n  allocation map (%d units):" (List.length units));
+    List.iter
+      (fun u ->
+        Buffer.add_string b "\n    ";
+        Buffer.add_string b (render_unit u))
+      units);
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Structured error taxonomy shared by the device simulator and the
+    CGCM run-time.
+
+    Lives in [Cgcm_support] so the device layer can raise
+    {!Device_error} and the run-time can catch it without a dependency
+    cycle. Every run-time failure carries the operation, the pointer,
+    the allocation unit involved, and a snapshot of the whole
+    allocation map; {!render_runtime} turns that into the diagnostic
+    the CLI prints. *)
+
+type unit_snapshot = {
+  u_base : int;
+  u_size : int;
+  u_refcount : int;
+  u_arr_refcount : int;
+  u_epoch : int;
+  u_devptr : int option;
+  u_global : string option;
+}
+(** Point-in-time copy of one allocation unit's run-time metadata. *)
+
+type transfer_dir = Host_to_device | Device_to_host
+
+type device_fault =
+  | Oom of {
+      op : string;
+      requested : int;
+      live : int;
+      capacity : int;
+      injected : bool;
+    }
+  | Transfer_failed of { dir : transfer_dir; bytes : int; injected : bool }
+  | Launch_failed of { kernel : string; injected : bool }
+      (** Faults raised by the simulated driver. [injected] marks faults
+          fired by a fault-injection plan rather than genuine capacity
+          exhaustion. *)
+
+exception Device_error of device_fault
+
+type runtime_error = {
+  op : string;  (** the run-time operation that failed *)
+  addr : int option;  (** the pointer it was applied to *)
+  reason : string;
+  unit_ : unit_snapshot option;  (** the unit involved, when resolved *)
+  device : device_fault option;  (** the device fault behind it, if any *)
+  alloc_map : unit_snapshot list;  (** whole allocation map at failure *)
+}
+
+val render_unit : unit_snapshot -> string
+val render_device_fault : device_fault -> string
+
+val render_runtime : runtime_error -> string
+(** Multi-line diagnostic: header, unit, device fault, allocation map. *)

@@ -9,6 +9,20 @@ module Registry = Cgcm_progs.Registry
 
 let check = Alcotest.check
 
+(* Every managed run must come back leak-free: no resident non-global
+   units, refcounts fully drained, no live driver-heap blocks. *)
+let leak_free label (r : Interp.result) =
+  let l = r.Interp.leaks in
+  let module Runtime = Cgcm_runtime.Runtime in
+  if
+    l.Runtime.resident_nonglobal <> 0
+    || l.Runtime.refcount_sum <> 0
+    || l.Runtime.leaked_dev_blocks <> 0
+  then
+    Alcotest.failf "%s leaks: %d resident, refcounts %d, %d dev blocks" label
+      l.Runtime.resident_nonglobal l.Runtime.refcount_sum
+      l.Runtime.leaked_dev_blocks
+
 (* (name, small source, expected kernels, expected NR/IE-applicable) *)
 let expectations =
   [
@@ -86,6 +100,8 @@ let test_time_loop_programs_are_cyclic_unoptimized () =
     (fun src ->
       let _, unopt = Pipeline.run Pipeline.Cgcm_unoptimized src in
       let _, opt = Pipeline.run Pipeline.Cgcm_optimized src in
+      leak_free "unoptimized" unopt;
+      leak_free "optimized" opt;
       let d r = r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_count in
       check Alcotest.bool "unoptimized is cyclic" true (d unopt > 3 * d opt))
     [
@@ -101,6 +117,7 @@ let test_gramschmidt_stays_cyclic () =
     let _, opt =
       Pipeline.run Pipeline.Cgcm_optimized (Cgcm_progs.Polybench.gramschmidt ~n ())
     in
+    leak_free "gramschmidt" opt;
     opt.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_count
   in
   check Alcotest.bool "cyclic growth" true (run 12 > run 6 + 3)

@@ -1,0 +1,511 @@
+(* Fault injection and self-healing: the deterministic fault-plan DSL,
+   the structured error taxonomy, device OOM + eviction under a finite
+   memory cap, transfer retry, CPU fallback, the paranoid invariant
+   checker, and the fault-soak differential over the whole benchmark
+   suite. *)
+
+module Memspace = Cgcm_memory.Memspace
+module Device = Cgcm_gpusim.Device
+module Cost_model = Cgcm_gpusim.Cost_model
+module Faults = Cgcm_gpusim.Faults
+module Errors = Cgcm_support.Errors
+module Runtime = Cgcm_runtime.Runtime
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan DSL                                                      *)
+
+let test_parse () =
+  let s = Faults.parse "42" in
+  check Alcotest.int "seed" 42 s.Faults.seed;
+  check Alcotest.int "default clauses" 4 (List.length s.Faults.clauses);
+  List.iter
+    (fun c ->
+      match c.Faults.c_mode with
+      | Faults.Prob p -> check (Alcotest.float 0.0) "default p" 0.05 p
+      | Faults.Nth _ -> Alcotest.fail "default plan should be probabilistic")
+    s.Faults.clauses;
+  let s = Faults.parse "7:alloc@3,htod%0.25" in
+  check Alcotest.int "seed" 7 s.Faults.seed;
+  (match s.Faults.clauses with
+  | [
+   { Faults.c_op = Faults.Alloc; c_mode = Faults.Nth 3 };
+   { Faults.c_op = Faults.Htod; c_mode = Faults.Prob p };
+  ] ->
+    check (Alcotest.float 0.0) "p" 0.25 p
+  | _ -> Alcotest.fail "unexpected clauses");
+  (* round trip *)
+  let rt = Faults.parse (Faults.to_string s) in
+  check Alcotest.bool "round trip" true (rt = s);
+  (* malformed plans *)
+  List.iter
+    (fun bad ->
+      match Faults.parse bad with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted malformed plan %S" bad)
+    [ ""; "x"; "42:bogus@1"; "42:alloc@0"; "42:alloc@x"; "42:htod%1.5"; "42:htod" ]
+
+let drive t ops = List.map (fun op -> Faults.fires t op) ops
+
+let test_replay_determinism () =
+  let spec = Faults.parse "123:alloc%0.3,htod%0.3,dtoh%0.3,launch@2" in
+  let ops =
+    List.init 200 (fun i ->
+        match i mod 4 with
+        | 0 -> Faults.Alloc
+        | 1 -> Faults.Htod
+        | 2 -> Faults.Dtoh
+        | _ -> Faults.Launch)
+  in
+  let a = drive (Faults.make spec) ops in
+  let b = drive (Faults.make spec) ops in
+  check Alcotest.bool "same plan, same schedule" true (a = b);
+  let c = drive (Faults.make (Faults.parse "124:alloc%0.3,htod%0.3,dtoh%0.3,launch@2")) ops in
+  check Alcotest.bool "different seed, different schedule" true (a <> c)
+
+let test_nth_fires_once () =
+  let t = Faults.make (Faults.parse "9:launch@2") in
+  let hits =
+    List.init 6 (fun _ -> Faults.fires t Faults.Launch)
+  in
+  check Alcotest.bool "only the 2nd launch" true
+    (hits = [ false; true; false; false; false; false ]);
+  (* other ops draw from independent streams and never fire *)
+  check Alcotest.bool "alloc untouched" false (Faults.fires t Faults.Alloc)
+
+let test_streams_independent () =
+  (* adding a clause for one operation must not perturb another's
+     schedule: the htod stream draws the same values either way *)
+  let ops = List.init 100 (fun _ -> Faults.Htod) in
+  let a = drive (Faults.make (Faults.parse "5:htod%0.2")) ops in
+  let b = drive (Faults.make (Faults.parse "5:htod%0.2,alloc%0.9")) ops in
+  check Alcotest.bool "htod schedule unperturbed" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Structured error taxonomy: rendered diagnostics carry the unit      *)
+
+let mk ?faults ?device_mem () =
+  let host =
+    Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000
+  in
+  let cost =
+    match device_mem with
+    | Some bytes -> { Cost_model.default with Cost_model.device_mem_bytes = bytes }
+    | None -> Cost_model.default
+  in
+  let dev = Device.create ?faults:(Option.map Faults.make faults) cost in
+  (host, dev, Runtime.create ~paranoid:true ~host ~dev ())
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let assert_mentions what rendered needles =
+  List.iter
+    (fun n ->
+      if not (contains rendered n) then
+        Alcotest.failf "%s: diagnostic lacks %S:\n%s" what n rendered)
+    needles
+
+let test_release_underflow_diagnostic () =
+  let _, _, rt = mk () in
+  let base = Memspace.alloc rt.Runtime.host 48 in
+  Runtime.register_heap rt ~base ~size:48;
+  ignore (Runtime.map rt base);
+  Runtime.unmap rt base;
+  Runtime.release rt base;
+  match Runtime.release rt base with
+  | exception Runtime.Runtime_error e ->
+    check Alcotest.string "op" "release" e.Errors.op;
+    check Alcotest.(option int) "addr" (Some base) e.Errors.addr;
+    assert_mentions "release underflow" (Errors.render_runtime e)
+      [
+        "release";
+        Printf.sprintf "0x%x" base;
+        "size=48";
+        "refcount=0";
+        "epoch=";
+        "allocation map";
+      ]
+  | _ -> Alcotest.fail "expected refcount underflow error"
+
+let test_unregister_while_mapped_diagnostic () =
+  let _, _, rt = mk () in
+  let base = Memspace.alloc rt.Runtime.host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  ignore (Runtime.map rt base);
+  match Runtime.unregister_heap rt ~base with
+  | exception Runtime.Runtime_error e ->
+    check Alcotest.string "op" "free" e.Errors.op;
+    assert_mentions "free while mapped" (Errors.render_runtime e)
+      [ Printf.sprintf "0x%x" base; "size=32"; "refcount=1" ]
+  | _ -> Alcotest.fail "expected free-while-mapped error"
+
+let test_expire_alloca_while_mapped_diagnostic () =
+  let _, _, rt = mk () in
+  let base = Memspace.alloc rt.Runtime.host 24 in
+  Runtime.declare_alloca rt ~base ~size:24;
+  ignore (Runtime.map rt base);
+  match Runtime.expire_alloca rt ~base with
+  | exception Runtime.Runtime_error e ->
+    check Alcotest.string "op" "expireAlloca" e.Errors.op;
+    assert_mentions "expire while mapped" (Errors.render_runtime e)
+      [ Printf.sprintf "0x%x" base; "size=24"; "refcount=1" ]
+  | _ -> Alcotest.fail "expected expire-while-mapped error"
+
+let test_oom_diagnostic_dumps_map () =
+  (* an unrecoverable OOM renders the device fault and the whole
+     allocation map, so the user can see what is pinning memory *)
+  let _, _, rt = mk ~device_mem:100 () in
+  let b1 = Memspace.alloc rt.Runtime.host 64 in
+  Runtime.register_heap rt ~base:b1 ~size:64;
+  ignore (Runtime.map rt b1);
+  let b2 = Memspace.alloc rt.Runtime.host 64 in
+  Runtime.register_heap rt ~base:b2 ~size:64;
+  match Runtime.map rt b2 with
+  | exception Runtime.Runtime_error e ->
+    (match e.Errors.device with
+    | Some (Errors.Oom { requested; capacity; injected; _ }) ->
+      check Alcotest.int "requested" 64 requested;
+      check Alcotest.int "capacity" 100 capacity;
+      check Alcotest.bool "genuine, not injected" false injected
+    | _ -> Alcotest.fail "expected an OOM device fault");
+    assert_mentions "oom" (Errors.render_runtime e)
+      [
+        "device out of memory";
+        Printf.sprintf "0x%x" b1;
+        Printf.sprintf "0x%x" b2;
+        "allocation map";
+      ]
+  | _ -> Alcotest.fail "expected unrecoverable OOM (b1 is still mapped)"
+
+(* ------------------------------------------------------------------ *)
+(* OOM recovery: eviction of zero-refcount residents                   *)
+
+let declare_two_globals rt =
+  let host = rt.Runtime.host in
+  let ga = Memspace.alloc host 64 in
+  Runtime.declare_global rt ~name:"gA" ~base:ga ~size:64 ~read_only:false;
+  let gb = Memspace.alloc host 64 in
+  Runtime.declare_global rt ~name:"gB" ~base:gb ~size:64 ~read_only:false;
+  (ga, gb)
+
+let test_exact_fit_eviction () =
+  (* capacity of exactly one unit: mapping the second must evict the
+     first (refcount 0, but globals stay resident), and an exact fit
+     must succeed — live + size > capacity is a strict comparison *)
+  let _, _, rt = mk ~device_mem:64 () in
+  let ga, gb = declare_two_globals rt in
+  ignore (Runtime.map rt ga);
+  Runtime.unmap rt ga;
+  Runtime.release rt ga;
+  let a = Runtime.lookup_unit rt ga in
+  check Alcotest.bool "global stays resident at refcount 0" true
+    (a.Runtime.devptr <> None);
+  ignore (Runtime.map rt gb);
+  check Alcotest.int "one eviction" 1 rt.Runtime.stats.Runtime.evictions;
+  check Alcotest.bool "gA evicted" true (a.Runtime.devptr = None);
+  check Alcotest.bool "gA marked" true a.Runtime.evicted;
+  let b = Runtime.lookup_unit rt gb in
+  check Alcotest.bool "gB resident" true (b.Runtime.devptr <> None);
+  Runtime.unmap rt gb;
+  Runtime.release rt gb
+
+let test_one_byte_short_is_unrecoverable () =
+  let _, _, rt = mk ~device_mem:63 () in
+  let ga, _ = declare_two_globals rt in
+  match Runtime.map rt ga with
+  | exception Runtime.Runtime_error e -> (
+    match e.Errors.device with
+    | Some (Errors.Oom { requested; capacity; _ }) ->
+      check Alcotest.int "requested" 64 requested;
+      check Alcotest.int "capacity" 63 capacity
+    | _ -> Alcotest.fail "expected OOM")
+  | _ -> Alcotest.fail "63-byte device cannot hold a 64-byte unit"
+
+let test_eviction_writes_back_dirty () =
+  (* a kernel wrote the global on the device; eviction must write the
+     device copy back before revoking residence, and a later map must
+     restore the written-back value *)
+  let host =
+    Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000
+  in
+  let dev =
+    Device.create { Cost_model.default with Cost_model.device_mem_bytes = 64 }
+  in
+  (* whole-unit protocol, as in the unoptimized configuration *)
+  let rt = Runtime.create ~dirty_spans:false ~paranoid:true ~host ~dev () in
+  let ga = Memspace.alloc host 64 in
+  Runtime.declare_global rt ~name:"gA" ~base:ga ~size:64 ~read_only:false;
+  let gb = Memspace.alloc host 64 in
+  Runtime.declare_global rt ~name:"gB" ~base:gb ~size:64 ~read_only:false;
+  Memspace.store_i64 host ga 7L;
+  let da = Runtime.map rt ga in
+  Memspace.store_i64 dev.Device.mem da 99L;
+  (* kernel ran *)
+  Runtime.bump_epoch rt;
+  Runtime.release rt ga;
+  check Alcotest.int64 "host still stale" 7L (Memspace.load_i64 host ga);
+  ignore (Runtime.map rt gb);
+  check Alcotest.int64 "eviction wrote back" 99L (Memspace.load_i64 host ga);
+  Runtime.unmap rt gb;
+  Runtime.release rt gb;
+  (* and the restored copy carries the kernel's value *)
+  let da' = Runtime.map rt ga in
+  check Alcotest.int64 "restored on device" 99L
+    (Memspace.load_i64 dev.Device.mem da');
+  Runtime.unmap rt ga;
+  Runtime.release rt ga
+
+let test_injected_oom_retries () =
+  (* an injected (not capacity) allocation fault heals by retrying *)
+  let _, _, rt = mk ~faults:(Faults.parse "3:alloc@1") () in
+  let base = Memspace.alloc rt.Runtime.host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  ignore (Runtime.map rt base);
+  check Alcotest.bool "retried" true (rt.Runtime.stats.Runtime.retries >= 1);
+  check Alcotest.bool "resident" true
+    ((Runtime.lookup_unit rt base).Runtime.devptr <> None);
+  Runtime.unmap rt base;
+  Runtime.release rt base
+
+(* ------------------------------------------------------------------ *)
+(* Transfer retry                                                      *)
+
+let test_transfer_retry_heals () =
+  let _, dev, rt = mk ~faults:(Faults.parse "5:htod@1,dtoh@1") () in
+  let host = rt.Runtime.host in
+  let base = Memspace.alloc host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  Memspace.store_i64 host base 11L;
+  let d = Runtime.map rt base in
+  check Alcotest.int64 "copied despite fault" 11L
+    (Memspace.load_i64 dev.Device.mem d);
+  Memspace.store_i64 dev.Device.mem d 12L;
+  Runtime.bump_epoch rt;
+  Runtime.unmap rt base;
+  check Alcotest.int64 "copied back despite fault" 12L
+    (Memspace.load_i64 host base);
+  check Alcotest.int "two retries" 2 rt.Runtime.stats.Runtime.retries;
+  Runtime.release rt base
+
+let test_transfer_retry_gives_up () =
+  (* a permanently failing link exhausts the retry budget and surfaces
+     as a structured runtime error wrapping the device fault *)
+  let _, _, rt = mk ~faults:(Faults.parse "5:htod%1.0") () in
+  let base = Memspace.alloc rt.Runtime.host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  match Runtime.map rt base with
+  | exception Runtime.Runtime_error e -> (
+    match e.Errors.device with
+    | Some (Errors.Transfer_failed { injected; _ }) ->
+      check Alcotest.bool "injected" true injected;
+      assert_mentions "transfer" (Errors.render_runtime e) [ "HtoD"; "32" ]
+    | _ -> Alcotest.fail "expected a transfer fault")
+  | _ -> Alcotest.fail "a p=1.0 fault plan cannot heal"
+
+(* ------------------------------------------------------------------ *)
+(* Paranoid invariant checker                                          *)
+
+let test_invariants_catch_corruption () =
+  let corrupting f =
+    let host =
+      Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000
+    in
+    let dev = Device.create Cost_model.default in
+    let rt = Runtime.create ~host ~dev () in
+    let base = Memspace.alloc host 32 in
+    Runtime.register_heap rt ~base ~size:32;
+    ignore (Runtime.map rt base);
+    let info = Runtime.lookup_unit rt base in
+    f info;
+    match Runtime.check_invariants rt with
+    | exception Runtime.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "invariant checker missed the corruption"
+  in
+  corrupting (fun i -> i.Runtime.refcount <- -1);
+  corrupting (fun i -> i.Runtime.devptr <- Some 0xdead_beef);
+  corrupting (fun i -> i.Runtime.epoch <- 41);
+  (* a devptr forgotten while the block lives = an orphaned device block *)
+  corrupting (fun i -> i.Runtime.devptr <- None)
+
+let test_clean_state_passes () =
+  let _, _, rt = mk () in
+  let base = Memspace.alloc rt.Runtime.host 32 in
+  Runtime.register_heap rt ~base ~size:32;
+  ignore (Runtime.map rt base);
+  Runtime.bump_epoch rt;
+  Runtime.unmap rt base;
+  Runtime.release rt base;
+  Runtime.check_invariants rt
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: CPU fallback and the crafted eviction program           *)
+
+let test_launch_fallback_end_to_end () =
+  let src = Cgcm_progs.Polybench.gemm ~n:10 () in
+  let _, clean = Pipeline.run ~paranoid:true Pipeline.Cgcm_optimized src in
+  let faults = Faults.parse "1:launch@1" in
+  let _, r = Pipeline.run ~paranoid:true ~faults Pipeline.Cgcm_optimized src in
+  check Alcotest.string "output identical" clean.Interp.output r.Interp.output;
+  check Alcotest.int "one fallback" 1
+    r.Interp.rt_stats.Runtime.cpu_fallbacks;
+  check Alcotest.int "launches conserved"
+    clean.Interp.dev_stats.Device.launches
+    (r.Interp.dev_stats.Device.launches
+    + r.Interp.rt_stats.Runtime.cpu_fallbacks);
+  check Alcotest.bool "fallback costs CPU time" true
+    (r.Interp.cpu_compute > clean.Interp.cpu_compute)
+
+(* Two single-array phases: when phase 2 maps B the device (sized for
+   one array) must evict A, and the final CPU sums check both survived
+   the round trip through eviction. *)
+let eviction_program =
+  {|global float A[200];
+global float B[200];
+int main() {
+  for (int i = 0; i < 200; i++) { A[i] = i * 0.5; }
+  for (int i = 0; i < 200; i++) { A[i] = A[i] * 2.0 + 1.0; }
+  for (int i = 0; i < 200; i++) { B[i] = 200 - i; }
+  for (int i = 0; i < 200; i++) { B[i] = B[i] * 3.0; }
+  float sa = 0.0;
+  float sb = 0.0;
+  for (int i = 0; i < 200; i++) { sa = sa + A[i]; }
+  for (int i = 0; i < 200; i++) { sb = sb + B[i]; }
+  print(sa); print(sb); return 0;
+}
+|}
+
+let test_memory_pressure_forces_eviction () =
+  let _, clean =
+    Pipeline.run ~paranoid:true Pipeline.Cgcm_optimized eviction_program
+  in
+  let cap = clean.Interp.dev_peak_bytes - 1 in
+  let _, r =
+    Pipeline.run ~paranoid:true ~device_mem:cap Pipeline.Cgcm_optimized
+      eviction_program
+  in
+  check Alcotest.string "output identical" clean.Interp.output r.Interp.output;
+  check Alcotest.bool "evicted under pressure" true
+    (r.Interp.rt_stats.Runtime.evictions >= 1);
+  check Alcotest.int "leak-free" 0 r.Interp.leaks.Runtime.resident_nonglobal;
+  check Alcotest.int "no device leaks" 0 r.Interp.leaks.Runtime.leaked_dev_blocks;
+  check Alcotest.bool "capped peak honoured" true
+    (r.Interp.dev_peak_bytes <= cap)
+
+(* ------------------------------------------------------------------ *)
+(* The fault soak: every benchmark, several plans, a tight memory cap  *)
+
+let soak_seeds = [ 1; 7; 42 ]
+
+let soak_spec seed =
+  Faults.parse
+    (Printf.sprintf "%d:alloc@1,htod@2,dtoh%%0.1,launch@1,launch%%0.05" seed)
+
+let test_fault_soak () =
+  let total = ref 0 in
+  List.iter
+    (fun (name, src) ->
+      let _, base = Pipeline.run ~paranoid:true Pipeline.Cgcm_optimized src in
+      check Alcotest.int
+        (name ^ ": baseline leak-free")
+        0 base.Interp.leaks.Runtime.resident_nonglobal;
+      List.iter
+        (fun seed ->
+          let faults = soak_spec seed in
+          (* smallest cap first; genuine OOM with everything pinned is a
+             legitimate unrecoverable outcome, so fall back to a looser
+             cap (the cap is about exercising eviction, not mandating
+             it) *)
+          let caps =
+            let p = base.Interp.dev_peak_bytes in
+            [ (p * 6 / 10) + 1; (p * 8 / 10) + 1; p ]
+          in
+          let rec attempt = function
+            | [] -> Alcotest.failf "%s/seed %d: no cap succeeded" name seed
+            | cap :: rest -> (
+              match
+                Pipeline.run ~paranoid:true ~faults ~device_mem:cap
+                  Pipeline.Cgcm_optimized src
+              with
+              | exception Runtime.Runtime_error _ -> attempt rest
+              | exception Errors.Device_error _ -> attempt rest
+              | _, r ->
+                check Alcotest.string
+                  (Printf.sprintf "%s/seed %d/cap %d: output" name seed cap)
+                  base.Interp.output r.Interp.output;
+                check Alcotest.int
+                  (Printf.sprintf "%s/seed %d: exit" name seed)
+                  0
+                  (Int64.compare base.Interp.exit_code r.Interp.exit_code);
+                let l = r.Interp.leaks in
+                if
+                  l.Runtime.resident_nonglobal <> 0
+                  || l.Runtime.refcount_sum <> 0
+                  || l.Runtime.leaked_dev_blocks <> 0
+                then
+                  Alcotest.failf "%s/seed %d: leaks after recovery" name seed;
+                (* the run-time call pattern is fault-invariant ... *)
+                let bs = base.Interp.rt_stats and rs = r.Interp.rt_stats in
+                check Alcotest.int
+                  (Printf.sprintf "%s/seed %d: map calls" name seed)
+                  bs.Runtime.map_calls rs.Runtime.map_calls;
+                check Alcotest.int
+                  (Printf.sprintf "%s/seed %d: release calls" name seed)
+                  bs.Runtime.release_calls rs.Runtime.release_calls;
+                (* ... and every failed launch is accounted as a CPU
+                   fallback, never lost *)
+                check Alcotest.int
+                  (Printf.sprintf "%s/seed %d: launches conserved" name seed)
+                  base.Interp.dev_stats.Device.launches
+                  (r.Interp.dev_stats.Device.launches
+                  + rs.Runtime.cpu_fallbacks);
+                total :=
+                  !total + rs.Runtime.evictions + rs.Runtime.retries
+                  + rs.Runtime.cpu_fallbacks)
+          in
+          attempt caps)
+        soak_seeds)
+    Test_pipeline.small_suite;
+  check Alcotest.bool "the soak exercised the recovery paths" true (!total > 0)
+
+let tests =
+  [
+    Alcotest.test_case "fault-plan parsing" `Quick test_parse;
+    Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+    Alcotest.test_case "nth-call clause fires once" `Quick test_nth_fires_once;
+    Alcotest.test_case "per-op streams independent" `Quick
+      test_streams_independent;
+    Alcotest.test_case "release underflow diagnostic" `Quick
+      test_release_underflow_diagnostic;
+    Alcotest.test_case "free-while-mapped diagnostic" `Quick
+      test_unregister_while_mapped_diagnostic;
+    Alcotest.test_case "expire-while-mapped diagnostic" `Quick
+      test_expire_alloca_while_mapped_diagnostic;
+    Alcotest.test_case "oom diagnostic dumps the map" `Quick
+      test_oom_diagnostic_dumps_map;
+    Alcotest.test_case "exact-fit eviction" `Quick test_exact_fit_eviction;
+    Alcotest.test_case "one byte short is unrecoverable" `Quick
+      test_one_byte_short_is_unrecoverable;
+    Alcotest.test_case "eviction writes back dirty data" `Quick
+      test_eviction_writes_back_dirty;
+    Alcotest.test_case "injected oom heals by retrying" `Quick
+      test_injected_oom_retries;
+    Alcotest.test_case "transfer retry heals" `Quick test_transfer_retry_heals;
+    Alcotest.test_case "transfer retry gives up" `Quick
+      test_transfer_retry_gives_up;
+    Alcotest.test_case "invariant checker catches corruption" `Quick
+      test_invariants_catch_corruption;
+    Alcotest.test_case "invariants hold on clean state" `Quick
+      test_clean_state_passes;
+    Alcotest.test_case "launch fault falls back to CPU" `Quick
+      test_launch_fallback_end_to_end;
+    Alcotest.test_case "memory pressure forces eviction" `Quick
+      test_memory_pressure_forces_eviction;
+    Alcotest.test_case "fault soak over the benchmark suite" `Slow
+      test_fault_soak;
+  ]

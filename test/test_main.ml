@@ -20,4 +20,5 @@ let () =
       ("fastpath", Test_fastpath.tests);
       ("reader", Test_reader.tests);
       ("infra", Test_infra.tests);
+      ("faults", Test_faults.tests);
     ]

@@ -40,6 +40,24 @@ let small_suite =
     ("blackscholes", Cgcm_progs.Others.blackscholes ~options:50 ());
   ]
 
+(* Leak-free exit: only module globals may stay device-resident, every
+   refcount has drained to zero, and the driver heap holds no live
+   blocks the run-time no longer tracks. *)
+let assert_leak_free name cname (r : Interp.result) =
+  let l = r.Interp.leaks in
+  let module Runtime = Cgcm_runtime.Runtime in
+  if
+    l.Runtime.resident_nonglobal <> 0
+    || l.Runtime.refcount_sum <> 0
+    || l.Runtime.leaked_dev_blocks <> 0
+  then
+    Alcotest.fail
+      (Printf.sprintf
+         "%s: %s leaks at exit: %d resident non-global units, refcount sum \
+          %d, %d live device blocks (%d B)"
+         name cname l.Runtime.resident_nonglobal l.Runtime.refcount_sum
+         l.Runtime.leaked_dev_blocks l.Runtime.leaked_dev_bytes)
+
 let differential name src =
   let _, seq = Pipeline.run Pipeline.Sequential src in
   let configs =
@@ -58,7 +76,8 @@ let differential name src =
       if r.Interp.output <> seq.Interp.output then
         Alcotest.fail
           (Printf.sprintf "%s: %s diverges\nseq: %sgot: %s" name cname
-             seq.Interp.output r.Interp.output))
+             seq.Interp.output r.Interp.output);
+      assert_leak_free name cname r)
     configs
 
 let struct_program =
