@@ -22,57 +22,16 @@ let read_file path =
   s
 
 (* Distinct exit codes per failure class, with the rendered diagnostic on
-   stderr instead of an OCaml backtrace. *)
-let exit_usage = 2 (* bad input: parse/sema/doall errors, bad flags *)
-
-let exit_runtime = 3 (* CGCM run-time error (refcounts, residency, OOM) *)
-
-let exit_device = 4 (* unrecovered device fault *)
-
-let exit_exec = 5 (* dynamic execution error *)
-
-let exit_memory = 6 (* memory-model fault (bounds, use-after-free) *)
-
-let exit_internal = 7 (* IR verifier rejection: a compiler bug *)
-
+   stderr instead of an OCaml backtrace. The code/message mapping lives in
+   Cgcm_core.Diagnostics, shared with the golden diagnostics tests. *)
 let guarded f =
-  try f () with
-  | Cgcm_frontend.Lexer.Lex_error (msg, pos) ->
-    Fmt.epr "cgcm: lex error at %d:%d: %s@." pos.Cgcm_frontend.Lexer.line
-      pos.Cgcm_frontend.Lexer.col msg;
-    exit exit_usage
-  | Cgcm_frontend.Parser.Parse_error (msg, pos) ->
-    Fmt.epr "cgcm: parse error at %d:%d: %s@." pos.Cgcm_frontend.Lexer.line
-      pos.Cgcm_frontend.Lexer.col msg;
-    exit exit_usage
-  | Cgcm_frontend.Lower.Sema_error msg ->
-    Fmt.epr "cgcm: semantic error: %s@." msg;
-    exit exit_usage
-  | Cgcm_frontend.Doall.Doall_error msg ->
-    Fmt.epr "cgcm: parallelization error: %s@." msg;
-    exit exit_usage
-  | Cgcm_ir.Reader.Bad_ir msg ->
-    Fmt.epr "cgcm: bad IR: %s@." msg;
-    exit exit_usage
-  | Failure msg ->
-    Fmt.epr "cgcm: %s@." msg;
-    exit exit_usage
-  | Runtime.Runtime_error e ->
-    Fmt.epr "%s@." (Errors.render_runtime e);
-    exit exit_runtime
-  | Errors.Device_error fault ->
-    Fmt.epr "cgcm: unrecovered device fault: %s@."
-      (Errors.render_device_fault fault);
-    exit exit_device
-  | Interp.Exec_error msg ->
-    Fmt.epr "cgcm: execution error: %s@." msg;
-    exit exit_exec
-  | Cgcm_memory.Memspace.Fault msg ->
-    Fmt.epr "cgcm: memory fault: %s@." msg;
-    exit exit_memory
-  | Cgcm_ir.Verifier.Ill_formed msg ->
-    Fmt.epr "cgcm: internal error (ill-formed IR): %s@." msg;
-    exit exit_internal
+  try f ()
+  with e -> (
+    match Cgcm_core.Diagnostics.classify e with
+    | Some (code, msg) ->
+      Fmt.epr "%s@." msg;
+      exit code
+    | None -> raise e)
 
 let file_arg =
   Arg.(
@@ -122,6 +81,54 @@ let device_mem_arg =
     & info [ "device-mem" ] ~docv:"BYTES"
         ~doc:"Cap the simulated device memory (default: unbounded)")
 
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Arm the shadow-memory coherence sanitizer: every allocation unit \
+           is mirrored with an independent byte-version map and stale reads, \
+           lost updates, premature releases and double frees abort with a \
+           diagnostic (exit code 8). Split-memory modes only.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"MUTATION"
+        ~doc:
+          "Break the compiled program on purpose before running it: \
+           drop-map@N, drop-unmap@N or drop-release@N deletes the N-th \
+           (0-based) inserted management call. Combine with $(b,--sanitize) \
+           to watch the sanitizer name the bug.")
+
+let parse_chaos spec =
+  let fail () =
+    failwith
+      (Fmt.str
+         "bad --chaos %S (expected drop-map@N, drop-unmap@N or drop-release@N)"
+         spec)
+  in
+  match String.index_opt spec '@' with
+  | None -> fail ()
+  | Some i ->
+    let which = String.sub spec 0 i in
+    let n =
+      match
+        int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+      with
+      | Some n when n >= 0 -> n
+      | _ -> fail ()
+    in
+    let intrinsic =
+      match which with
+      | "drop-map" -> Cgcm_ir.Ir.Intrinsic.map
+      | "drop-unmap" -> Cgcm_ir.Ir.Intrinsic.unmap
+      | "drop-release" -> Cgcm_ir.Ir.Intrinsic.release
+      | _ -> fail ()
+    in
+    (intrinsic, n)
+
 let parse_faults = Option.map Faults.parse
 
 let print_result (r : Interp.result) ~trace =
@@ -149,17 +156,23 @@ let print_result (r : Interp.result) ~trace =
     Fmt.pr "--- LEAKS       : %d resident units, %d device blocks (%d B)@."
       leaks.Runtime.resident_nonglobal leaks.Runtime.leaked_dev_blocks
       leaks.Runtime.leaked_dev_bytes;
+  (match r.Interp.san_report with
+  | Some rep ->
+    Fmt.pr "--- sanitizer   : %s@." (Cgcm_sanitizer.Sanitizer.render_report rep)
+  | None -> ());
   if trace then print_string (Trace.render r.Interp.trace)
 
 let run_cmd =
   let doc = "Compile and run a CGC program under a given execution mode" in
-  let f file mode trace profile faults device_mem =
+  let f file mode trace profile faults device_mem sanitize chaos =
     guarded @@ fun () ->
     let src = read_file file in
     let faults = parse_faults faults in
     let r =
-      if profile then begin
-        (* re-run through the pipeline with profiling enabled *)
+      if profile || chaos <> None then begin
+        (* re-run through the pipeline by hand: profiling needs a custom
+           config, and --chaos must mutate the module between compile and
+           run *)
         let level, imode =
           match mode with
           | Pipeline.Sequential -> (Pipeline.Unmanaged, Interp.Unified)
@@ -181,13 +194,25 @@ let run_cmd =
           | None -> Cgcm_gpusim.Cost_model.default
         in
         let c = Pipeline.compile ~parallel ~level src in
+        (match chaos with
+        | Some spec ->
+          let intrinsic, n = parse_chaos spec in
+          if
+            not
+              (Cgcm_transform.Comm_mgmt.drop_nth_call c.Pipeline.modul
+                 ~intrinsic ~n)
+          then
+            failwith
+              (Fmt.str "--chaos %s: the module has no such call (try a \
+                        smaller N, or --mode unopt/opt)" spec)
+        | None -> ());
         Interp.run
           ~config:
             { Interp.default_config with Interp.mode = imode; cost; trace;
-              profile = true; faults }
+              profile; faults; sanitize }
           c.Pipeline.modul
       end
-      else snd (Pipeline.run ~trace ?faults ?device_mem mode src)
+      else snd (Pipeline.run ~trace ?faults ?device_mem ~sanitize mode src)
     in
     print_result r ~trace;
     if profile then begin
@@ -200,7 +225,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const f $ file_arg $ mode_arg $ trace_arg $ profile_arg $ faults_arg
-      $ device_mem_arg)
+      $ device_mem_arg $ sanitize_arg $ chaos_arg)
 
 let level_conv =
   Arg.enum
@@ -358,6 +383,52 @@ let run_ir_cmd =
   in
   Cmd.v (Cmd.info "run-ir" ~doc) Term.(const f $ file_arg $ unified $ trace_arg)
 
+let fuzz_cmd =
+  let doc =
+    "Fuzz the whole pipeline: random CGC programs run under every \
+     optimization level and both engines with the coherence sanitizer \
+     armed; failures are shrunk to minimal counterexamples"
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of programs to generate")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Campaign seed")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Also write the failure reports to FILE (for CI artifacts)")
+  in
+  let f count seed out =
+    guarded @@ fun () ->
+    let reports =
+      Cgcm_fuzz.Fuzz.campaign
+        ~progress:(fun k ->
+          if k mod 10 = 0 then Fmt.epr "fuzz: program %d/%d...@." k count)
+        ~count ~seed ()
+    in
+    let rendered = List.map Cgcm_fuzz.Fuzz.render_report reports in
+    List.iter (Fmt.pr "%s@.") rendered;
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      List.iter (fun r -> output_string oc (r ^ "\n")) rendered;
+      close_out oc
+    | None -> ());
+    if reports = [] then Fmt.pr "fuzz: %d programs clean (seed %d)@." count seed
+    else begin
+      Fmt.epr "fuzz: %d of %d programs failed@." (List.length reports) count;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const f $ count_arg $ seed_arg $ out_arg)
+
 let figure2_cmd =
   let doc = "Render the Figure 2 execution schedules" in
   let f () = print_string (Cgcm_core.Experiments.figure2 ()) in
@@ -368,7 +439,7 @@ let main_cmd =
   Cmd.group (Cmd.info "cgcm" ~version:"0.1.0" ~doc)
     [
       run_cmd; run_ir_cmd; ir_cmd; ast_cmd; fmt_cmd; report_cmd; suite_cmd;
-      figure2_cmd;
+      fuzz_cmd; figure2_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

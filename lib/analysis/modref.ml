@@ -91,6 +91,43 @@ let compute (m : Ir.modul) : t =
   done;
   summaries
 
+(* ------------------------------------------------------------------ *)
+(* Kernel-side read/write sets                                         *)
+
+(* Which named globals may the kernel's own body load (reads) or store
+   (writes)? The coherence sanitizer uses these at each launch to flag
+   units held mapped across launches whose kernel provably cannot touch
+   them. Pointer parameters, loaded pointers and calls to user
+   functions degrade to [rw_unknown]: a may-set would turn the flag
+   into false positives, so the sanitizer stays quiet instead. *)
+type rw = { reads : string list; writes : string list; rw_unknown : bool }
+
+let kernel_rw (f : Ir.func) : rw =
+  let alias = Alias.analyze f in
+  let reads = ref [] in
+  let writes = ref [] in
+  let unknown = ref (f.Ir.nargs > 0) in
+  let note acc = function
+    | Alias.Obj_global g -> if not (List.mem g !acc) then acc := g :: !acc
+    | Alias.Obj_alloca _ | Alias.Obj_heap _ -> ()  (* kernel-local *)
+    | Alias.Obj_unknown -> unknown := true
+  in
+  Ir.iter_instrs
+    (fun _ i ->
+      match i with
+      | Ir.Load (_, _, addr) -> note reads (Alias.underlying alias addr)
+      | Ir.Store (_, addr, _) -> note writes (Alias.underlying alias addr)
+      | Ir.Call (_, name, _) ->
+        if Ir.Intrinsic.is_cgcm name || Ir.Intrinsic.is_pure_math name then ()
+        else unknown := true
+      | Ir.Launch _ | Ir.Alloca _ | Ir.Binop _ | Ir.Unop _ -> ())
+    f;
+  {
+    reads = List.sort_uniq compare !reads;
+    writes = List.sort_uniq compare !writes;
+    rw_unknown = !unknown;
+  }
+
 (* May a call to [callee] touch [obj] from CPU code? *)
 let call_may_touch (t : t) ~(callee : string) (obj : Alias.obj) : bool =
   match Hashtbl.find_opt t callee with

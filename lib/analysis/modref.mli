@@ -21,6 +21,18 @@ val compute : Cgcm_ir.Ir.modul -> t
 (** Fixpoint over the call graph; recursion and unknown callees degrade
     to [unknown]. *)
 
+type rw = {
+  reads : string list;  (** named globals the kernel body may load *)
+  writes : string list;  (** named globals the kernel body may store *)
+  rw_unknown : bool;
+      (** pointer parameters, loaded pointers or user calls: the kernel
+          may reach memory the sets do not name *)
+}
+
+val kernel_rw : Cgcm_ir.Ir.func -> rw
+(** Kernel-side read/write sets for the coherence sanitizer's launch
+    hook. *)
+
 val call_may_touch : t -> callee:string -> Alias.obj -> bool
 (** May a call to [callee] touch [obj] from CPU code? Callee-local units
     are invisible to callers; caller-local units are reachable only

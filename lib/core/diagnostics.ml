@@ -1,0 +1,50 @@
+(* Failure classification shared by the CLI and the golden diagnostics
+   tests: every exception the pipeline or interpreter can surface maps to
+   one exit code and one rendered message. The CLI prints the message on
+   stderr and exits with the code; the tests pin both, so a reworded
+   diagnostic or a renumbered exit code is a deliberate, reviewed
+   change. *)
+
+module Errors = Cgcm_support.Errors
+
+let exit_usage = 2 (* bad input: parse/sema/doall errors, bad flags *)
+let exit_runtime = 3 (* CGCM run-time error (refcounts, residency, OOM) *)
+let exit_device = 4 (* unrecovered device fault *)
+let exit_exec = 5 (* dynamic execution error *)
+let exit_memory = 6 (* memory-model fault (bounds, use-after-free) *)
+let exit_internal = 7 (* IR verifier rejection: a compiler bug *)
+let exit_sanitizer = 8 (* coherence sanitizer caught a stale/lost byte *)
+
+let classify = function
+  | Cgcm_frontend.Lexer.Lex_error (msg, pos) ->
+    Some
+      ( exit_usage,
+        Fmt.str "cgcm: lex error at %d:%d: %s" pos.Cgcm_frontend.Lexer.line
+          pos.Cgcm_frontend.Lexer.col msg )
+  | Cgcm_frontend.Parser.Parse_error (msg, pos) ->
+    Some
+      ( exit_usage,
+        Fmt.str "cgcm: parse error at %d:%d: %s" pos.Cgcm_frontend.Lexer.line
+          pos.Cgcm_frontend.Lexer.col msg )
+  | Cgcm_frontend.Lower.Sema_error msg ->
+    Some (exit_usage, Fmt.str "cgcm: semantic error: %s" msg)
+  | Cgcm_frontend.Doall.Doall_error msg ->
+    Some (exit_usage, Fmt.str "cgcm: parallelization error: %s" msg)
+  | Cgcm_ir.Reader.Bad_ir msg ->
+    Some (exit_usage, Fmt.str "cgcm: bad IR: %s" msg)
+  | Failure msg -> Some (exit_usage, Fmt.str "cgcm: %s" msg)
+  | Cgcm_runtime.Runtime.Runtime_error e ->
+    Some (exit_runtime, Errors.render_runtime e)
+  | Errors.Device_error fault ->
+    Some
+      ( exit_device,
+        Fmt.str "cgcm: unrecovered device fault: %s"
+          (Errors.render_device_fault fault) )
+  | Cgcm_interp.Interp.Exec_error msg ->
+    Some (exit_exec, Fmt.str "cgcm: execution error: %s" msg)
+  | Cgcm_memory.Memspace.Fault msg ->
+    Some (exit_memory, Fmt.str "cgcm: memory fault: %s" msg)
+  | Cgcm_ir.Verifier.Ill_formed msg ->
+    Some (exit_internal, Fmt.str "cgcm: internal error (ill-formed IR): %s" msg)
+  | Errors.Coherence_violation v -> Some (exit_sanitizer, Errors.render_violation v)
+  | _ -> None

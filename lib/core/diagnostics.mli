@@ -1,0 +1,34 @@
+(** Failure classification shared by the CLI and the golden diagnostics
+    tests.
+
+    Every exception the pipeline or interpreter can surface maps to one
+    exit code and one rendered message; the CLI prints the message on
+    stderr and exits with the code, and the golden tests pin both so a
+    reworded diagnostic or renumbered exit code is a deliberate,
+    reviewed change. *)
+
+val exit_usage : int
+(** 2 — bad input: lex/parse/sema/parallelization errors, bad IR text *)
+
+val exit_runtime : int
+(** 3 — CGCM run-time error (refcounts, residency, device OOM) *)
+
+val exit_device : int
+(** 4 — unrecovered device fault *)
+
+val exit_exec : int
+(** 5 — dynamic execution error (division by zero, unknown call, fuel) *)
+
+val exit_memory : int
+(** 6 — memory-model fault (bounds, use-after-free) *)
+
+val exit_internal : int
+(** 7 — IR verifier rejection: a compiler bug *)
+
+val exit_sanitizer : int
+(** 8 — the coherence sanitizer flagged a stale read, lost update,
+    premature release or double free *)
+
+val classify : exn -> (int * string) option
+(** [classify e] is [Some (code, message)] when [e] is a known failure
+    class, [None] for everything else (which the CLI re-raises). *)

@@ -58,7 +58,7 @@ let execution_to_string = function
 
 let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
     ?(trace = false) ?(engine = Interp.default_config.Interp.engine)
-    ?dirty_spans ?faults ?device_mem ?(paranoid = false)
+    ?dirty_spans ?faults ?device_mem ?(paranoid = false) ?(sanitize = false)
     (execution : execution) (source : string) : compiled * Interp.result =
   (* Dirty-span transfers are part of the optimized run-time; the
      unoptimized configuration keeps the paper's whole-unit protocol so
@@ -84,6 +84,7 @@ let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
       dirty_spans;
       faults;
       paranoid;
+      sanitize;
     }
   in
   match execution with

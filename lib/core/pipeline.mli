@@ -49,6 +49,7 @@ val run :
   ?faults:Cgcm_gpusim.Faults.spec ->
   ?device_mem:int ->
   ?paranoid:bool ->
+  ?sanitize:bool ->
   execution ->
   string ->
   compiled * Interp.result
@@ -66,4 +67,7 @@ val run :
     caps device memory (see {!Cgcm_gpusim.Faults}); the run-time then
     recovers via eviction, retry and CPU fallback without changing
     program output. [paranoid] re-checks every run-time invariant after
-    every run-time call. *)
+    every run-time call. [sanitize] arms the shadow-memory coherence
+    sanitizer on the Split configurations (raises
+    [Cgcm_support.Errors.Coherence_violation] fail-fast on a coherence
+    bug; a no-op for the oracle modes). *)

@@ -24,6 +24,7 @@ and sdef = {
 
 type binop =
   | Badd | Bsub | Bmul | Bdiv | Brem
+  | Bshl | Bshr
   | Blt | Ble | Bgt | Bge | Beq | Bne
   | Band | Bor  (* short-circuit *)
 
@@ -134,6 +135,7 @@ let rec pp_cty ppf = function
 
 let string_of_binop = function
   | Badd -> "+" | Bsub -> "-" | Bmul -> "*" | Bdiv -> "/" | Brem -> "%"
+  | Bshl -> "<<" | Bshr -> ">>"
   | Blt -> "<" | Ble -> "<=" | Bgt -> ">" | Bge -> ">=" | Beq -> "==" | Bne -> "!="
   | Band -> "&&" | Bor -> "||"
 

@@ -27,6 +27,7 @@ and sdef = {
 
 type binop =
   | Badd | Bsub | Bmul | Bdiv | Brem
+  | Bshl | Bshr  (** integer-only shifts; shift count is masked mod 64 *)
   | Blt | Ble | Bgt | Bge | Beq | Bne
   | Band | Bor  (** short-circuit *)
 

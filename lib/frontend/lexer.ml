@@ -124,6 +124,8 @@ let tokenize (src : string) : lexed array =
       | '|', Some '|' -> two BARBAR
       | '<', Some '=' -> two LE
       | '>', Some '=' -> two GE
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
       | '=', Some '=' -> two EQEQ
       | '!', Some '=' -> two NE
       | '+', Some '=' -> two PLUSEQ

@@ -143,6 +143,7 @@ let rec type_of fc e : cty =
     | Some v -> v.v_ty
     | None -> error "unknown variable '%s'" x)
   | Binary ((Band | Bor | Blt | Ble | Bgt | Bge | Beq | Bne), _, _) -> Int
+  | Binary ((Bshl | Bshr), _, _) -> Int
   | Binary ((Badd | Bsub), a, b) -> (
     let ta = decay_ty (type_of fc a) and tb = decay_ty (type_of fc b) in
     match (ta, tb) with
@@ -312,7 +313,7 @@ and lower_binary fc op a b =
     let scaled = Builder.binop fc.b Mul vb (imm (sizeof t)) in
     (Builder.binop fc.b Sub va scaled, Ptr t)
   | Bsub, Ptr _, Ptr _ -> error "pointer difference is not supported in CGC"
-  | (Badd | Bsub | Bmul | Bdiv | Brem), _, _
+  | (Badd | Bsub | Bmul | Bdiv | Brem | Bshl | Bshr), _, _
     when is_float_ty ta || is_float_ty tb ->
     let va = convert fc va ~from_:ta ~to_:Float in
     let vb = convert fc vb ~from_:tb ~to_:Float in
@@ -323,10 +324,12 @@ and lower_binary fc op a b =
       | Bmul -> Fmul
       | Bdiv -> Fdiv
       | Brem -> error "'%%' is not defined on floats"
+      | Bshl | Bshr ->
+        error "'%s' is not defined on floats" (Ast.string_of_binop op)
       | _ -> assert false
     in
     (Builder.binop fc.b fop va vb, Float)
-  | (Badd | Bsub | Bmul | Bdiv | Brem), _, _ ->
+  | (Badd | Bsub | Bmul | Bdiv | Brem | Bshl | Bshr), _, _ ->
     let iop =
       match op with
       | Badd -> Add
@@ -334,6 +337,8 @@ and lower_binary fc op a b =
       | Bmul -> Mul
       | Bdiv -> Div
       | Brem -> Rem
+      | Bshl -> Shl
+      | Bshr -> Shr
       | _ -> assert false
     in
     (Builder.binop fc.b iop va vb, Int)

@@ -135,13 +135,24 @@ and eq_expr st =
   !a
 
 and rel_expr st =
+  let a = ref (shift_expr st) in
+  let rec go () =
+    match peek st with
+    | Token.LT -> advance st; a := Binary (Blt, !a, shift_expr st); go ()
+    | Token.LE -> advance st; a := Binary (Ble, !a, shift_expr st); go ()
+    | Token.GT -> advance st; a := Binary (Bgt, !a, shift_expr st); go ()
+    | Token.GE -> advance st; a := Binary (Bge, !a, shift_expr st); go ()
+    | _ -> ()
+  in
+  go ();
+  !a
+
+and shift_expr st =
   let a = ref (add_expr st) in
   let rec go () =
     match peek st with
-    | Token.LT -> advance st; a := Binary (Blt, !a, add_expr st); go ()
-    | Token.LE -> advance st; a := Binary (Ble, !a, add_expr st); go ()
-    | Token.GT -> advance st; a := Binary (Bgt, !a, add_expr st); go ()
-    | Token.GE -> advance st; a := Binary (Bge, !a, add_expr st); go ()
+    | Token.SHL -> advance st; a := Binary (Bshl, !a, add_expr st); go ()
+    | Token.SHR -> advance st; a := Binary (Bshr, !a, add_expr st); go ()
     | _ -> ()
   in
   go ();

@@ -17,6 +17,7 @@ type t =
   | PLUS | MINUS | STAR | SLASH | PERCENT
   | AMP | AMPAMP | BARBAR | BANG
   | LT | LE | GT | GE | EQEQ | NE
+  | SHL | SHR
   | DOT | ARROW
   | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
   | PLUSPLUS | MINUSMINUS
@@ -61,6 +62,7 @@ let to_string = function
   | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
   | AMP -> "&" | AMPAMP -> "&&" | BARBAR -> "||" | BANG -> "!"
   | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NE -> "!="
+  | SHL -> "<<" | SHR -> ">>"
   | DOT -> "." | ARROW -> "->"
   | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*="
   | SLASHEQ -> "/="

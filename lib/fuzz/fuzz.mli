@@ -1,0 +1,99 @@
+(** Whole-program fuzzer with shrinking.
+
+    Generates random but well-formed CGC programs exercising everything
+    CGCM manages — global arrays, malloc'd heap blocks behind pointer
+    globals, jagged double-pointer tables, nested doall loops,
+    pointer-taking helpers, escaping allocas, host writes between
+    launches — and runs each under every optimization level and both
+    interpreter engines with the coherence sanitizer armed. Every
+    configuration must agree with the sequential reference bit for bit,
+    leak nothing and sanitize clean; a failing program is shrunk to a
+    minimal counterexample before being reported.
+
+    Generation is seeded through {!Cgcm_support.Rng}: a reported seed
+    reproduces the exact program anywhere. *)
+
+type arr = { a_float : bool; a_size : int (** elements, multiple of 8 *) }
+
+type loop = {
+  par : bool;  (** explicit [parallel for]; plain loops rely on auto-DOALL *)
+  time : int;  (** enclosing time-loop trips; 1 = none *)
+}
+
+(** One program phase. Array references are arbitrary ints resolved
+    modulo the array count at render time, so shrinking can drop arrays
+    without re-indexing phases. *)
+type phase =
+  | Fill of { g : int; mul : int; add : int }
+  | Map1 of { l : loop; tgt : int; src : int; mul : int; add : int }
+  | Stencil of { l : loop; tgt : int; src : int }
+  | Grid of { tgt : int; src : int }
+  | Update of { l : loop; tgt : int; mul : int; add : int }
+  | Heap_update of { l : loop; mul : int }
+  | Jagged_update of { l : loop }
+  | Helper_call of { tgt : int }
+  | Alloca_mix of { l : loop; tgt : int }
+  | Poke of { tgt : int; idx : int; v : int }
+  | Peek of { tgt : int; idx : int }
+  | Sum of { tgt : int }
+
+type prog = {
+  seed : int;
+  arrays : arr list;  (** never empty *)
+  heap : int option;
+  jagged : int option;
+  phases : phase list;
+}
+
+val generate : seed:int -> prog
+val render : prog -> string
+(** Render to CGC source; the result always parses and runs cleanly
+    under the sequential reference (modulo fuzzer-found bugs). A digest
+    of every unit is printed at the end so any wrong byte anywhere
+    changes the output. *)
+
+type failure = {
+  f_config : string;  (** which execution configuration disagreed/failed *)
+  f_kind : string;  (** ["output mismatch"], ["leak"] or ["error (exit N)"] *)
+  f_detail : string;
+}
+
+val check : prog -> failure option
+(** Differential check: sequential reference vs unoptimized/optimized x
+    closures/tree-walk (sanitizer armed), the unified oracle and the
+    inspector-executor baseline. [None] = all agree, leak-free,
+    sanitize-clean. *)
+
+val check_source : string -> failure option
+(** The same check on raw CGC source (used by the regression tests). *)
+
+val candidates : prog -> prog list
+(** Shrink candidates, most aggressive first (drop a phase, drop a
+    unit, halve a size, simplify a phase). *)
+
+val shrink :
+  ?budget:int ->
+  check:(prog -> failure option) ->
+  prog ->
+  failure ->
+  prog * failure
+(** Greedy first-improvement shrinking to a fixpoint, bounded by
+    [budget] (default 200) check evaluations. A candidate is kept when
+    it still fails in {e any} way — hopping between failure kinds is
+    fine, smaller is what matters. *)
+
+type report = {
+  r_seed : int;
+  r_index : int;  (** which program of the campaign failed *)
+  r_failure : failure;
+  r_minimal : prog;
+}
+
+val render_report : report -> string
+(** Seed, configuration, failure kind/detail and the minimal
+    counterexample source, verbatim. *)
+
+val campaign :
+  ?progress:(int -> unit) -> count:int -> seed:int -> unit -> report list
+(** Generate and check [count] programs derived from [seed], shrinking
+    every failure. An empty list is a clean campaign. *)

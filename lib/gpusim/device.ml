@@ -8,6 +8,7 @@
 
 module Memspace = Cgcm_memory.Memspace
 module Errors = Cgcm_support.Errors
+module Sanitizer = Cgcm_sanitizer.Sanitizer
 
 type stats = {
   mutable htod_bytes : int;
@@ -30,13 +31,14 @@ type t = {
   global_sizes : (string, int) Hashtbl.t;
   stats : stats;
   faults : Faults.t option;  (* active fault-injection plan, if any *)
+  sanitizer : Sanitizer.t option;  (* coherence shadow, if auditing *)
   (* Bumped whenever a module global's device residence is revoked
      (memory-pressure eviction). Cached cuModuleGetGlobal results are
      valid only while this generation is unchanged. *)
   mutable globals_gen : int;
 }
 
-let create ?(trace = Trace.create ()) ?faults cost =
+let create ?(trace = Trace.create ()) ?faults ?sanitizer cost =
   {
     mem =
       Memspace.create ~name:"device" ~range_lo:0x4000_0000_00
@@ -59,6 +61,7 @@ let create ?(trace = Trace.create ()) ?faults cost =
         sync_cycles = 0.0;
       };
     faults;
+    sanitizer;
     globals_gen = 0;
   }
 
@@ -93,6 +96,11 @@ let mem_alloc t ~now size =
   (addr, now +. t.cost.Cost_model.alloc_overhead)
 
 let mem_free t ~now addr =
+  (* The sanitizer audits the free *before* it happens: a double free or
+     a free of a still-mapped unit must be reported, not executed. *)
+  (match t.sanitizer with
+  | Some s -> Sanitizer.on_dev_free s ~addr ~op:"cuMemFree"
+  | None -> ());
   Memspace.free t.mem addr;
   now +. t.cost.Cost_model.alloc_overhead
 
@@ -117,6 +125,9 @@ let forget_global t ~now name =
   match Hashtbl.find_opt t.globals name with
   | None -> now
   | Some addr ->
+    (match t.sanitizer with
+    | Some s -> Sanitizer.on_dev_free s ~addr ~op:("forget_global " ^ name)
+    | None -> ());
     Hashtbl.remove t.globals name;
     t.globals_gen <- t.globals_gen + 1;
     Memspace.free t.mem addr;
@@ -147,6 +158,11 @@ let memcpy_h_to_d ?(label = "HtoD") t ~now ~host ~host_addr ~dev_addr ~len =
   let start = sync t ~now in
   Memspace.blit ~src:host ~src_addr:host_addr ~dst:t.mem ~dst_addr:dev_addr
     ~len;
+  (* Observed after the blit, so only successful DMAs age the shadow —
+     a faulted-and-retried transfer is counted once. *)
+  (match t.sanitizer with
+  | Some s -> Sanitizer.on_htod s ~host_addr ~dev_addr ~len ~label
+  | None -> ());
   let dur = Cost_model.transfer_cycles t.cost len in
   let finish = start +. dur in
   t.busy_until <- finish;
@@ -165,6 +181,9 @@ let memcpy_d_to_h ?(label = "DtoH") t ~now ~host ~host_addr ~dev_addr ~len =
   let start = sync t ~now in
   Memspace.blit ~src:t.mem ~src_addr:dev_addr ~dst:host ~dst_addr:host_addr
     ~len;
+  (match t.sanitizer with
+  | Some s -> Sanitizer.on_dtoh s ~host_addr ~dev_addr ~len ~label
+  | None -> ());
   let dur = Cost_model.transfer_cycles t.cost len in
   let finish = start +. dur in
   t.busy_until <- finish;

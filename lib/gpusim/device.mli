@@ -29,12 +29,20 @@ type t = {
   global_sizes : (string, int) Hashtbl.t;
   stats : stats;
   faults : Faults.t option;  (** active fault-injection plan *)
+  sanitizer : Cgcm_sanitizer.Sanitizer.t option;
+      (** coherence shadow; observes successful transfers and audits
+          device frees when auditing is on *)
   mutable globals_gen : int;
       (** bumped when a module global's residence is revoked; cached
           {!module_get_global} results are valid only while unchanged *)
 }
 
-val create : ?trace:Trace.t -> ?faults:Faults.t -> Cost_model.t -> t
+val create :
+  ?trace:Trace.t ->
+  ?faults:Faults.t ->
+  ?sanitizer:Cgcm_sanitizer.Sanitizer.t ->
+  Cost_model.t ->
+  t
 
 val stats : t -> stats
 

@@ -123,8 +123,7 @@ let make spec =
     spec;
     states = List.map (fun c -> { clause = c; count = 0 }) spec.clauses;
     (* one independent stream per operation, derived from the seed *)
-    streams =
-      Array.init 4 (fun i -> Rng.create (spec.seed + ((i + 1) * 0x9e3779b9)));
+    streams = Array.init 4 (fun i -> Rng.stream ~seed:spec.seed i);
   }
 
 let spec_of t = t.spec

@@ -31,6 +31,8 @@ module Cost_model = Cgcm_gpusim.Cost_model
 module Faults = Cgcm_gpusim.Faults
 module Runtime = Cgcm_runtime.Runtime
 module Errors = Cgcm_support.Errors
+module Sanitizer = Cgcm_sanitizer.Sanitizer
+module Modref = Cgcm_analysis.Modref
 
 exception Exec_error of string
 
@@ -62,6 +64,10 @@ type config = {
   faults : Faults.spec option;
   (* re-check all run-time invariants after every run-time call *)
   paranoid : bool;
+  (* shadow-memory coherence sanitizer: mirror every allocation unit
+     with a byte-version map and fail fast on stale reads, lost updates,
+     premature releases and double frees (Split mode only) *)
+  sanitize : bool;
 }
 
 let default_config =
@@ -76,6 +82,7 @@ let default_config =
     dirty_spans = true;
     faults = None;
     paranoid = false;
+    sanitize = false;
   }
 
 type rtval = VI of int64 | VF of float
@@ -118,6 +125,8 @@ type result = {
   profile : (string * int) list;
       (* per-function dynamic instruction counts, descending; empty unless
          config.profile *)
+  san_report : Cgcm_sanitizer.Sanitizer.report option;
+      (* coherence-sanitizer statistics; present iff config.sanitize ran *)
 }
 
 (* Per-call state threaded through compiled closures. *)
@@ -180,6 +189,11 @@ type machine = {
   profile_on : bool;
   profile_counts : (string, int ref) Hashtbl.t;
   mutable cur_fn : string;
+  (* coherence sanitizer (Split + config.sanitize); the same instance
+     the device and run-time hooks drive *)
+  san : Sanitizer.t option;
+  (* per-kernel static read/write sets for the sanitizer's launch hook *)
+  rw_cache : (string, Modref.rw) Hashtbl.t;
 }
 
 let flush_time mc =
@@ -535,6 +549,12 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
       (match mc.track_units with
       | Some tbl -> track_load mc sp tbl addr
       | None -> ());
+      (match mc.san with
+      | Some s ->
+        Sanitizer.on_load s ~addr
+          ~len:(match ty with Ir.I8 -> 1 | _ -> 8)
+          ~fn:mc.cur_fn ~kernel:mc.in_kernel
+      | None -> ());
       frame.(d) <-
         (match ty with
         | Ir.I8 -> VI (Int64.of_int (Memspace.load_u8 sp addr))
@@ -545,6 +565,12 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
       let addr = Int64.to_int (as_int (eval a)) in
       (match mc.track_units with
       | Some tbl -> track_store mc sp tbl addr
+      | None -> ());
+      (match mc.san with
+      | Some s ->
+        Sanitizer.on_store s ~addr
+          ~len:(match ty with Ir.I8 -> 1 | _ -> 8)
+          ~fn:mc.cur_fn ~kernel:mc.in_kernel
       | None -> ());
       match ty with
       | Ir.I8 -> Memspace.store_u8 sp addr (Int64.to_int (as_int (eval v)) land 0xff)
@@ -760,6 +786,19 @@ and exec_launch mc ~kernel ~trip ~args =
   if trip > 0 then begin
     flush_time mc;
     if mc.mode = Split then Runtime.bump_epoch mc.rt;
+    (match mc.san with
+    | Some s ->
+      let rw =
+        match Hashtbl.find_opt mc.rw_cache kernel with
+        | Some rw -> rw
+        | None ->
+          let rw = Modref.kernel_rw f in
+          Hashtbl.replace mc.rw_cache kernel rw;
+          rw
+      in
+      Sanitizer.on_launch s ~kernel ~reads:rw.Modref.reads
+        ~writes:rw.Modref.writes ~unknown:rw.Modref.rw_unknown
+    | None -> ());
     let saved_in_kernel = mc.in_kernel in
     let insts_before = mc.kernel_insts in
     let tracking =
@@ -1516,12 +1555,15 @@ and decode_binop mc avail d op a b : cinstr =
   end
 
 and decode_load mc avail d ty a : cinstr =
-  (* Access tracking only exists in inspector-executor mode, which is
-     known at decode time; every other mode skips the check entirely. *)
+  (* Access tracking only exists in inspector-executor mode, and the
+     sanitizer only in Split mode — both known at decode time; every
+     other configuration skips the checks entirely. *)
   let track = mc.mode = Inspector_executor in
+  let sanit = mc.san <> None in
   let cache = ref Memspace.null_handle in
   match (ty, a) with
-  | Ir.I64, Ir.Reg r when (not track) && not (Hashtbl.mem avail r) ->
+  | Ir.I64, Ir.Reg r
+    when (not track) && (not sanit) && not (Hashtbl.mem avail r) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
       let h = !cache in
@@ -1534,7 +1576,8 @@ and decode_load mc avail d ty a : cinstr =
         end
       in
       c.fr.(d) <- VI (Memspace.h_load_i64 h addr)
-  | Ir.F64, Ir.Reg r when (not track) && not (Hashtbl.mem avail r) ->
+  | Ir.F64, Ir.Reg r
+    when (not track) && (not sanit) && not (Hashtbl.mem avail r) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
       let h = !cache in
@@ -1547,7 +1590,8 @@ and decode_load mc avail d ty a : cinstr =
         end
       in
       c.fr.(d) <- VF (Memspace.h_load_f64 h addr)
-  | Ir.I8, Ir.Reg r when (not track) && not (Hashtbl.mem avail r) ->
+  | Ir.I8, Ir.Reg r
+    when (not track) && (not sanit) && not (Hashtbl.mem avail r) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
       let h = !cache in
@@ -1589,25 +1633,45 @@ and decode_load mc avail d ty a : cinstr =
         | None -> ());
         finish c h addr
     else
-      fun c ->
-        let addr = fa c in
-        let h = !cache in
-        let h =
-          if Memspace.handle_valid h c.sp addr len then h
-          else begin
-            let h = Memspace.acquire_handle c.sp addr len "load" in
-            cache := h;
-            h
-          end
-        in
-        finish c h addr
+      match mc.san with
+      | Some s ->
+        (* Sanitized path: the coherence check runs before the access
+           (the read of a stale byte IS the violation), in the same
+           position the tree engine checks. *)
+        fun c ->
+          let addr = fa c in
+          Sanitizer.on_load s ~addr ~len ~fn:mc.cur_fn ~kernel:mc.in_kernel;
+          let h = !cache in
+          let h =
+            if Memspace.handle_valid h c.sp addr len then h
+            else begin
+              let h = Memspace.acquire_handle c.sp addr len "load" in
+              cache := h;
+              h
+            end
+          in
+          finish c h addr
+      | None ->
+        fun c ->
+          let addr = fa c in
+          let h = !cache in
+          let h =
+            if Memspace.handle_valid h c.sp addr len then h
+            else begin
+              let h = Memspace.acquire_handle c.sp addr len "load" in
+              cache := h;
+              h
+            end
+          in
+          finish c h addr
 
 and decode_store mc avail ty a v : cinstr =
   let track = mc.mode = Inspector_executor in
+  let sanit = mc.san <> None in
   let cache = ref Memspace.null_handle in
   match (ty, a, v) with
   | Ir.F64, Ir.Reg ra, Ir.Reg rv
-    when (not track)
+    when (not track) && (not sanit)
          && (not (Hashtbl.mem avail ra))
          && not (Hashtbl.mem avail rv) ->
     fun c ->
@@ -1624,7 +1688,7 @@ and decode_store mc avail ty a v : cinstr =
       in
       Memspace.h_store_f64 h addr x
   | Ir.I64, Ir.Reg ra, Ir.Reg rv
-    when (not track)
+    when (not track) && (not sanit)
          && (not (Hashtbl.mem avail ra))
          && not (Hashtbl.mem avail rv) ->
     fun c ->
@@ -1641,7 +1705,7 @@ and decode_store mc avail ty a v : cinstr =
       in
       Memspace.h_store_i64 h addr x
   | Ir.I64, Ir.Reg ra, Ir.Imm_int iv
-    when (not track) && not (Hashtbl.mem avail ra) ->
+    when (not track) && (not sanit) && not (Hashtbl.mem avail ra) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
       let h = !cache in
@@ -1690,6 +1754,15 @@ and decode_store mc avail ty a v : cinstr =
           cache := Memspace.acquire_handle c.sp addr len "store"
         end
     in
+    (* Sanitized path: the dirty-bit update runs where the tree engine
+       runs it — after the address, before the value unboxing. *)
+    let sanit_store (h_store : ctx -> Memspace.handle -> int -> unit) len
+        (s : Sanitizer.t) : cinstr =
+      fun c ->
+        let addr = fa c in
+        Sanitizer.on_store s ~addr ~len ~fn:mc.cur_fn ~kernel:mc.in_kernel;
+        h_store c (acquire c addr len) addr
+    in
     (* tree-engine order: address, track, value (with its unboxing
        fault), then the store itself *)
     match ty with
@@ -1700,11 +1773,18 @@ and decode_store mc avail ty a v : cinstr =
           (fun c h addr -> Memspace.h_store_u8 h addr (Int64.to_int (fv c) land 0xff))
           (fun c addr -> Memspace.store_u8 c.sp addr (Int64.to_int (fv c) land 0xff))
           1
-      else
-        fun c ->
-          let addr = fa c in
-          let x = Int64.to_int (fv c) land 0xff in
-          Memspace.h_store_u8 (acquire c addr 1) addr x
+      else (
+        match mc.san with
+        | Some s ->
+          sanit_store
+            (fun c h addr ->
+              Memspace.h_store_u8 h addr (Int64.to_int (fv c) land 0xff))
+            1 s
+        | None ->
+          fun c ->
+            let addr = fa c in
+            let x = Int64.to_int (fv c) land 0xff in
+            Memspace.h_store_u8 (acquire c addr 1) addr x)
     | Ir.I64 ->
       let fv = fold_i mc avail v in
       if track then
@@ -1712,11 +1792,15 @@ and decode_store mc avail ty a v : cinstr =
           (fun c h addr -> Memspace.h_store_i64 h addr (fv c))
           (fun c addr -> Memspace.store_i64 c.sp addr (fv c))
           8
-      else
-        fun c ->
-          let addr = fa c in
-          let x = fv c in
-          Memspace.h_store_i64 (acquire c addr 8) addr x
+      else (
+        match mc.san with
+        | Some s ->
+          sanit_store (fun c h addr -> Memspace.h_store_i64 h addr (fv c)) 8 s
+        | None ->
+          fun c ->
+            let addr = fa c in
+            let x = fv c in
+            Memspace.h_store_i64 (acquire c addr 8) addr x)
     | Ir.F64 ->
       let fv = fold_f mc avail v in
       if track then
@@ -1724,11 +1808,15 @@ and decode_store mc avail ty a v : cinstr =
           (fun c h addr -> Memspace.h_store_f64 h addr (fv c))
           (fun c addr -> Memspace.store_f64 c.sp addr (fv c))
           8
-      else
-        fun c ->
-          let addr = fa c in
-          let x = fv c in
-          Memspace.h_store_f64 (acquire c addr 8) addr x)
+      else (
+        match mc.san with
+        | Some s ->
+          sanit_store (fun c h addr -> Memspace.h_store_f64 h addr (fv c)) 8 s
+        | None ->
+          fun c ->
+            let addr = fa c in
+            let x = fv c in
+            Memspace.h_store_f64 (acquire c addr 8) addr x))
 
 and decode_term mc avail (t : Ir.terminator) : ctx -> int =
   match t with
@@ -1842,10 +1930,18 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     Memspace.create ~name:"host" ~range_lo:0x10_0000 ~range_hi:0x4000_0000_00
   in
   let trace = Trace.create ~enabled:config.trace () in
+  (* One sanitizer instance shared by the driver, run-time and
+     interpreter hooks. Only the Split mode has two memories to keep
+     coherent; the oracle modes have nothing to check. *)
+  let sanitizer =
+    if config.sanitize && config.mode = Split then
+      Some (Sanitizer.create ~dev_lo:0x4000_0000_00 ())
+    else None
+  in
   let dev =
     Device.create ~trace
       ?faults:(Option.map Faults.make config.faults)
-      config.cost
+      ?sanitizer config.cost
   in
   let rt =
     Runtime.create ~dirty_spans:config.dirty_spans ~paranoid:config.paranoid
@@ -1878,6 +1974,8 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       profile_on = config.profile;
       profile_counts = Hashtbl.create 16;
       cur_fn = "<toplevel>";
+      san = sanitizer;
+      rw_cache = Hashtbl.create 8;
     }
   in
   load_globals mc;
@@ -1909,4 +2007,5 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     profile =
       Hashtbl.fold (fun k r acc -> (k, !r) :: acc) mc.profile_counts []
       |> List.sort (fun (_, a) (_, b) -> compare b a);
+    san_report = Option.map Sanitizer.report sanitizer;
   }

@@ -58,6 +58,12 @@ type config = {
           the run-time recovers via eviction, retry and CPU fallback *)
   paranoid : bool;
       (** re-run {!Runtime.check_invariants} after every run-time call *)
+  sanitize : bool;
+      (** shadow-memory coherence sanitizer: mirror every allocation unit
+          with an independent byte-version map and raise
+          {!Cgcm_support.Errors.Coherence_violation} fail-fast on stale
+          reads, lost updates, premature releases and double frees
+          ({!Split} mode only; the oracle modes have nothing to check) *)
 }
 
 val default_config : config
@@ -82,6 +88,9 @@ type result = {
   profile : (string * int) list;
       (** per-function dynamic instruction counts, descending; empty
           unless [config.profile] *)
+  san_report : Cgcm_sanitizer.Sanitizer.report option;
+      (** coherence-sanitizer statistics (redundant transfers, live
+          units); present iff [config.sanitize] ran *)
 }
 
 val run : ?config:config -> Ir.modul -> result

@@ -32,6 +32,7 @@ module Errors = Cgcm_support.Errors
 module Device = Cgcm_gpusim.Device
 module Cost_model = Cgcm_gpusim.Cost_model
 module Trace = Cgcm_gpusim.Trace
+module Sanitizer = Cgcm_sanitizer.Sanitizer
 
 exception Runtime_error of Errors.runtime_error
 
@@ -110,6 +111,13 @@ let create ?(dirty_spans = true) ?(paranoid = false) ~host ~dev () =
   }
 
 let charge t cycles = t.now <- t.now +. cycles
+
+(* The coherence shadow (when auditing) lives on the device handle so
+   the driver's transfer/free hooks and ours observe the same instance.
+   Every hook below fires only after the mirrored operation committed,
+   keeping the shadow an independent replica rather than a prediction. *)
+let with_san t f =
+  match t.dev.Device.sanitizer with Some s -> f s | None -> ()
 
 let runtime_call_cost t =
   charge t t.dev.Device.cost.Cost_model.runtime_call_overhead
@@ -354,7 +362,9 @@ let dev_alloc t ~op ~addr ~size ~global_name =
 
 (* Wrapper around malloc/calloc: the interpreter calls this for every heap
    allocation so the run-time knows the dynamic state of the heap. *)
-let register_heap t ~base ~size = register t (mk_info ~base ~size ())
+let register_heap t ~base ~size =
+  register t (mk_info ~base ~size ());
+  with_san t (fun s -> Sanitizer.on_register s ~base ~size ~kind:"heap" ())
 
 (* declareGlobal(name, ptr, size, isReadOnly): called once per global
    before main. Registering addresses at run time side-steps position-
@@ -363,11 +373,15 @@ let declare_global t ~name ~base ~size ~read_only =
   Device.declare_module_global t.dev ~name ~size;
   Hashtbl.replace t.globals_by_name name base;
   register t
-    (mk_info ~is_global:true ~global_name:(Some name) ~read_only ~base ~size ())
+    (mk_info ~is_global:true ~global_name:(Some name) ~read_only ~base ~size ());
+  with_san t (fun s ->
+      Sanitizer.on_register s ~base ~size ~kind:"global" ~global:name ~read_only
+        ())
 
 (* declareAlloca: registration of an escaping stack variable. *)
 let declare_alloca t ~base ~size =
-  register t (mk_info ~from_alloca:true ~base ~size ())
+  register t (mk_info ~from_alloca:true ~base ~size ());
+  with_san t (fun s -> Sanitizer.on_register s ~base ~size ~kind:"alloca" ())
 
 (* The wrapper around free: heap units must not leave the map while still
    mapped on the device. *)
@@ -386,7 +400,8 @@ let unregister_heap t ~base =
       info.devptr <- None
     | _ -> ())
   | None -> ());
-  t.info <- Avl.remove base t.info
+  t.info <- Avl.remove base t.info;
+  with_san t (fun s -> Sanitizer.on_unregister s ~base ~op:"free")
 
 (* Expiry of a declareAlloca registration at scope exit. *)
 let expire_alloca t ~base =
@@ -403,7 +418,8 @@ let expire_alloca t ~base =
       t.now <- Device.mem_free t.dev ~now:t.now d;
       info.devptr <- None
     | _ -> ());
-    t.info <- Avl.remove base t.info
+    t.info <- Avl.remove base t.info;
+    with_san t (fun s -> Sanitizer.on_unregister s ~base ~op:"expireAlloca")
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -496,7 +512,9 @@ let post t = if t.paranoid then check_invariants t
 (* Epochs                                                              *)
 
 (* Called at every kernel launch. *)
-let bump_epoch t = t.global_epoch <- t.global_epoch + 1
+let bump_epoch t =
+  t.global_epoch <- t.global_epoch + 1;
+  with_san t Sanitizer.on_epoch
 
 (* ------------------------------------------------------------------ *)
 (* map / unmap / release (Algorithms 1-3)                              *)
@@ -546,6 +564,7 @@ let map t ptr =
   end
   else t.stats.skipped_copies <- t.stats.skipped_copies + 1;
   info.refcount <- info.refcount + 1;
+  with_san t (fun s -> Sanitizer.on_map s ~base:info.base ~devptr:d);
   post t;
   d + (ptr - info.base)
 
@@ -571,6 +590,7 @@ let unmap t ptr =
     end;
     info.epoch <- t.global_epoch
   | _ -> t.stats.skipped_unmaps <- t.stats.skipped_unmaps + 1);
+  with_san t (fun s -> Sanitizer.on_unmap s ~base:info.base);
   post t
 
 let release t ptr =
@@ -581,6 +601,9 @@ let release t ptr =
     fail t ~op:"release" ~addr:ptr ~unit_:(snapshot info)
       "release of an allocation unit whose reference count is already zero";
   info.refcount <- info.refcount - 1;
+  (* Shadow refcount drops before the free below, so the free of a
+     correctly released unit does not read as premature. *)
+  with_san t (fun s -> Sanitizer.on_release s ~base:info.base ~op:"release");
   if info.refcount = 0 && not info.is_global then begin
     match info.devptr with
     | Some d ->
@@ -637,8 +660,15 @@ let map_array t ptr =
       t.dev.Device.stats.Device.htod_count + 1;
     t.dev.Device.stats.Device.comm_cycles <-
       t.dev.Device.stats.Device.comm_cycles +. dur;
-    info.arr_shadow <- Some shadow);
+    info.arr_shadow <- Some shadow;
+    with_san t (fun s ->
+        Sanitizer.on_map_array s ~base:info.base ~shadow ~translated:true));
   info.arr_refcount <- info.arr_refcount + 1;
+  (match info.arr_shadow with
+  | Some shadow when info.arr_refcount > 1 ->
+    with_san t (fun s ->
+        Sanitizer.on_map_array s ~base:info.base ~shadow ~translated:false)
+  | _ -> ());
   post t;
   (* The kernel receives the shadow array; interior offsets translate. *)
   Option.get info.arr_shadow + (ptr - info.base)
@@ -646,7 +676,8 @@ let map_array t ptr =
 let unmap_array t ptr =
   runtime_call_cost t;
   let info = find_info t ~op:"unmapArray" ptr in
-  List.iter (fun p -> unmap t p) info.arr_elems
+  List.iter (fun p -> unmap t p) info.arr_elems;
+  with_san t (fun s -> Sanitizer.on_unmap_array s ~base:info.base)
 
 let release_array t ptr =
   runtime_call_cost t;
@@ -657,6 +688,8 @@ let release_array t ptr =
        already zero";
   List.iter (fun p -> release t p) info.arr_elems;
   info.arr_refcount <- info.arr_refcount - 1;
+  with_san t (fun s ->
+      Sanitizer.on_release_array s ~base:info.base ~op:"releaseArray");
   if info.arr_refcount = 0 then begin
     (match info.arr_shadow with
     | Some shadow when not info.is_global ->
@@ -707,6 +740,13 @@ let device_global_addr t name =
          end
        end
      | None -> ());
+  (match Hashtbl.find_opt t.globals_by_name name with
+  | Some base ->
+    (* Claim the device range even when no map ever ran: a global that
+       reaches a kernel without management surfaces as a
+       stale-device-read at its first access, not as silence. *)
+    with_san t (fun s -> Sanitizer.on_global_resolved s ~base ~devptr:d)
+  | None -> ());
   d
 
 (* Kernel launch degraded to CPU execution: the interpreter accounts the

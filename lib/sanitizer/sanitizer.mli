@@ -1,0 +1,103 @@
+(** Shadow-memory coherence sanitizer.
+
+    Mirrors every allocation unit the CGCM run-time manages with an
+    independent byte-version map (host-dirty, device-dirty, lost bits,
+    refcounts, epoch of last transfer) and checks the coherence
+    invariant directly, instead of trusting output diffs. Driven by
+    hooks on the gpusim driver (transfers, device frees), the run-time
+    (registration, map/unmap/release and the array variants, epochs)
+    and the interpreter (every program load/store, kernel launch
+    read/write sets).
+
+    Violations — stale device reads, stale host reads, lost host
+    updates, premature releases, double frees — raise
+    {!Cgcm_support.Errors.Coherence_violation} fail-fast with the unit,
+    the offending instruction and the unit's version history. Transfers
+    the dirty bits prove redundant are only counted in the {!report}:
+    the unoptimized whole-unit protocol re-copies resident units by
+    design and must still sanitize clean. *)
+
+type t
+
+val create : dev_lo:int -> unit -> t
+(** [dev_lo] is the first device address; the host and device address
+    spaces must not overlap (they never do in the simulator). *)
+
+(** {1 Run-time hooks} — call after the mirrored operation succeeded,
+    so the shadow stays an independent replica of committed state. *)
+
+val on_register :
+  t ->
+  base:int ->
+  size:int ->
+  kind:string ->
+  ?global:string ->
+  ?read_only:bool ->
+  unit ->
+  unit
+
+val on_unregister : t -> base:int -> op:string -> unit
+(** Raises [Premature_release] if the unit is still mapped. *)
+
+val on_map : t -> base:int -> devptr:int -> unit
+
+val on_global_resolved : t -> base:int -> devptr:int -> unit
+(** A module global materialized on the device (cuModuleGetGlobal
+    path). Claims the device range even when no [map] ever ran — which
+    is how a dropped map becomes a stale-device-read at the kernel's
+    first access instead of passing silently. *)
+
+val on_unmap : t -> base:int -> unit
+val on_release : t -> base:int -> op:string -> unit
+val on_map_array : t -> base:int -> shadow:int -> translated:bool -> unit
+val on_unmap_array : t -> base:int -> unit
+val on_release_array : t -> base:int -> op:string -> unit
+val on_epoch : t -> unit
+
+(** {1 Driver hooks} — call after a successful DMA / free only. *)
+
+val on_htod :
+  t -> host_addr:int -> dev_addr:int -> len:int -> label:string -> unit
+
+val on_dtoh :
+  t -> host_addr:int -> dev_addr:int -> len:int -> label:string -> unit
+(** Raises [Lost_host_update] if the write-back overlaps host-dirty
+    bytes. *)
+
+val on_dev_free : t -> addr:int -> op:string -> unit
+(** Call {e before} the underlying free. Raises [Double_free] on a
+    tombstoned block and [Premature_release] if the unit is still
+    mapped. *)
+
+(** {1 Interpreter hooks} — every program load/store, both engines. *)
+
+val on_load : t -> addr:int -> len:int -> fn:string -> kernel:bool -> unit
+val on_store : t -> addr:int -> len:int -> fn:string -> kernel:bool -> unit
+
+val on_launch :
+  t ->
+  kernel:string ->
+  reads:string list ->
+  writes:string list ->
+  unknown:bool ->
+  unit
+(** Static read/write sets from [Analysis.Modref]; flags mapped globals
+    the kernel provably cannot reference (a statistic, not a violation —
+    map promotion may hoist conservatively). *)
+
+(** {1 Reporting} *)
+
+type report = {
+  r_checks : int;
+  r_transfers : int;
+  r_redundant_htod : int;
+  r_redundant_htod_bytes : int;
+  r_redundant_dtoh : int;
+  r_redundant_dtoh_bytes : int;
+  r_unreferenced_maps : int;
+  r_units_live : int;
+  r_units_dev_dirty : int;
+}
+
+val report : t -> report
+val render_report : report -> string

@@ -79,6 +79,68 @@ let render_device_fault = function
     Printf.sprintf "launch of kernel %s failed%s" kernel
       (if injected then " [injected]" else "")
 
+(* ------------------------------------------------------------------ *)
+(* Coherence violations (the shadow-memory sanitizer)                  *)
+
+(* The sanitizer mirrors every allocation unit with an independent
+   byte-version map and raises one of these the moment the program (or
+   the run-time) observes or destroys a stale byte. *)
+type violation_kind =
+  | Stale_device_read
+      (* a kernel read a byte the host updated after the last HtoD *)
+  | Stale_host_read
+      (* the host read a byte whose freshest value is (or died on) the
+         device copy *)
+  | Lost_host_update
+      (* a DtoH write-back overwrote bytes the host had updated *)
+  | Premature_release
+      (* a device copy was freed (or a unit unregistered) while still
+         referenced *)
+  | Double_free  (* a device block was freed twice *)
+
+let violation_kind_name = function
+  | Stale_device_read -> "stale-device-read"
+  | Stale_host_read -> "stale-host-read"
+  | Lost_host_update -> "lost-host-update"
+  | Premature_release -> "premature-release"
+  | Double_free -> "double-free"
+
+type violation = {
+  v_kind : violation_kind;
+  v_unit : unit_snapshot;  (* the shadow's view of the unit *)
+  v_addr : int;  (* the offending address, in the faulting space *)
+  v_offset : int;  (* byte offset of the first bad byte within the unit *)
+  v_instr : string;  (* the offending instruction or run-time operation *)
+  v_detail : string;
+  v_history : string list;  (* version history, oldest first *)
+}
+
+exception Coherence_violation of violation
+
+let render_violation v =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "cgcm sanitizer: %s at 0x%x (byte %d of unit%s)"
+       (violation_kind_name v.v_kind)
+       v.v_addr v.v_offset
+       (match v.v_unit.u_global with Some g -> " global " ^ g | None -> ""));
+  Buffer.add_string b "\n  offending instruction: ";
+  Buffer.add_string b v.v_instr;
+  Buffer.add_string b "\n  ";
+  Buffer.add_string b (render_unit v.v_unit);
+  Buffer.add_string b "\n  detail: ";
+  Buffer.add_string b v.v_detail;
+  (match v.v_history with
+  | [] -> Buffer.add_string b "\n  version history: empty"
+  | h ->
+    Buffer.add_string b "\n  version history (most recent first):";
+    List.iter
+      (fun e ->
+        Buffer.add_string b "\n    ";
+        Buffer.add_string b e)
+      (List.rev h));
+  Buffer.contents b
+
 (* Full diagnostic: one header line, then the unit, the device fault, and
    the allocation map — everything needed to diagnose a refcount or
    residency bug from the error alone. *)

@@ -46,8 +46,42 @@ type runtime_error = {
   alloc_map : unit_snapshot list;  (** whole allocation map at failure *)
 }
 
+(** Violations raised by the shadow-memory coherence sanitizer
+    ([Cgcm_sanitizer]), which mirrors every allocation unit with an
+    independent byte-version map. *)
+type violation_kind =
+  | Stale_device_read
+      (** a kernel read a byte the host updated after the last HtoD *)
+  | Stale_host_read
+      (** the host read a byte whose freshest value is (or died on) the
+          device copy *)
+  | Lost_host_update
+      (** a DtoH write-back overwrote bytes the host had updated *)
+  | Premature_release
+      (** a device copy was freed (or a unit unregistered) while still
+          referenced *)
+  | Double_free  (** a device block was freed twice *)
+
+val violation_kind_name : violation_kind -> string
+
+type violation = {
+  v_kind : violation_kind;
+  v_unit : unit_snapshot;  (** the shadow's view of the unit *)
+  v_addr : int;  (** the offending address, in the faulting space *)
+  v_offset : int;  (** byte offset of the first bad byte within the unit *)
+  v_instr : string;  (** the offending instruction or run-time operation *)
+  v_detail : string;
+  v_history : string list;  (** version history, oldest first *)
+}
+
+exception Coherence_violation of violation
+
 val render_unit : unit_snapshot -> string
 val render_device_fault : device_fault -> string
+
+val render_violation : violation -> string
+(** Multi-line diagnostic: kind, offending instruction, unit shadow
+    state, and the unit's version history. *)
 
 val render_runtime : runtime_error -> string
 (** Multi-line diagnostic: header, unit, device fault, allocation map. *)

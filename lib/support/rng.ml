@@ -1,6 +1,9 @@
-(* Deterministic splitmix64 generator. Benchmark workloads must be
-   reproducible across runs and execution modes, so we never use the global
-   [Random] state. *)
+(* Deterministic splitmix64 generator. Benchmark workloads, fault plans
+   and the program fuzzer must be reproducible across runs and execution
+   modes, so we never use the global [Random] state. This module is the
+   single seeded RNG of the whole code base: the fault-injection plans
+   (Cgcm_gpusim.Faults), the whole-program fuzzer and the oracle tests
+   all derive their streams from here. *)
 
 type t = { mutable state : int64 }
 
@@ -23,3 +26,18 @@ let int t bound =
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits /. 9007199254740992.0
+
+(* Independent substream [i] of [seed]: mixing the index with the 32-bit
+   golden ratio keeps sibling streams decorrelated, so consuming one
+   never perturbs another (fault plans rely on this per-operation). *)
+let stream ~seed i = create (seed + ((i + 1) * 0x9e3779b9))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform in [lo, hi] inclusive. *)
+let range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+let pick t l =
+  match l with [] -> invalid_arg "Rng.pick" | l -> List.nth l (int t (List.length l))

@@ -107,3 +107,41 @@ let run (m : Ir.modul) =
       end)
     m.Ir.funcs;
   Cgcm_ir.Verifier.verify_modul m
+
+(* Fault injection for the sanitizer's mutation tests: delete the [n]th
+   occurrence (textual order across CPU functions) of a management
+   intrinsic this pass inserted. Dropping a [cgcm.map] forwards the raw
+   host pointer to the uses of its result — a compiler that forgot to
+   translate the operand; the unit-returning intrinsics are simply
+   removed. The module is deliberately not re-verified: the point is to
+   hand the interpreter a miscompiled program and watch the sanitizer
+   name the bug. Returns whether anything was dropped. *)
+let drop_nth_call (m : Ir.modul) ~intrinsic ~n : bool =
+  let count = ref 0 in
+  let dropped = ref false in
+  List.iter
+    (fun (f : Ir.func) ->
+      if f.Ir.fkind = Ir.Cpu then begin
+        let subst = Hashtbl.create 1 in
+        Rewrite.expand_instrs f (fun _bi i ->
+            match i with
+            | Ir.Call (dst, name, args) when name = intrinsic ->
+              let k = !count in
+              incr count;
+              if k = n then begin
+                dropped := true;
+                (match (dst, args) with
+                | Some d, a :: _ -> Hashtbl.replace subst d a
+                | _ -> ());
+                []
+              end
+              else [ i ]
+            | i -> [ i ]);
+        if Hashtbl.length subst > 0 then
+          Rewrite.substitute_values f (function
+            | Ir.Reg r as v -> (
+              match Hashtbl.find_opt subst r with Some a -> a | None -> v)
+            | v -> v)
+      end)
+    m.Ir.funcs;
+  !dropped

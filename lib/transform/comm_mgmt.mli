@@ -31,3 +31,12 @@ val manage_launch :
 
 val run : Cgcm_ir.Ir.modul -> unit
 (** Manage every launch in the module; verifies the result. *)
+
+val drop_nth_call : Cgcm_ir.Ir.modul -> intrinsic:string -> n:int -> bool
+(** Fault injection for the coherence sanitizer's mutation tests: delete
+    the [n]th occurrence (textual order across CPU functions) of the
+    named management intrinsic, modelling a communication-management
+    bug. A dropped [cgcm.map]'s result is substituted with its host
+    pointer operand; unit-returning intrinsics are removed outright. The
+    module is intentionally not re-verified. Returns [true] iff a call
+    was dropped. *)

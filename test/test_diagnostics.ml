@@ -1,0 +1,161 @@
+(* Golden tests for the failure taxonomy: Cgcm_core.Diagnostics maps
+   every surfaced exception to one exit code and one rendered message,
+   and the CLI prints exactly that. These pin the exact text and codes,
+   so a reworded diagnostic or a renumbered exit code is a deliberate,
+   reviewed change — not drift. *)
+
+module Diagnostics = Cgcm_core.Diagnostics
+module Pipeline = Cgcm_core.Pipeline
+module Errors = Cgcm_support.Errors
+
+let check = Alcotest.check
+
+let classify_exn f =
+  match f () with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception e -> (
+    match Diagnostics.classify e with
+    | Some (code, msg) -> (code, msg)
+    | None -> Alcotest.failf "unclassified: %s" (Printexc.to_string e))
+
+let golden name (expect_code, expect_msg) f =
+  let code, msg = classify_exn f in
+  check Alcotest.int (name ^ ": exit code") expect_code code;
+  check Alcotest.string (name ^ ": message") expect_msg msg
+
+(* ------------------------------------------------------------------ *)
+(* Exit-code numbering is part of the CLI contract. *)
+
+let test_exit_codes () =
+  check Alcotest.int "usage" 2 Diagnostics.exit_usage;
+  check Alcotest.int "runtime" 3 Diagnostics.exit_runtime;
+  check Alcotest.int "device" 4 Diagnostics.exit_device;
+  check Alcotest.int "exec" 5 Diagnostics.exit_exec;
+  check Alcotest.int "memory" 6 Diagnostics.exit_memory;
+  check Alcotest.int "internal" 7 Diagnostics.exit_internal;
+  check Alcotest.int "sanitizer" 8 Diagnostics.exit_sanitizer
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: bad input through the real pipeline. *)
+
+let test_frontend_diagnostics () =
+  golden "lex" (2, "cgcm: lex error at 1:14: unexpected character '$'")
+    (fun () -> Pipeline.compile "int main() { $ }");
+  golden "parse" (2, "cgcm: parse error at 1:11: expected type, found '{'")
+    (fun () -> Pipeline.compile "int main( {");
+  golden "sema" (2, "cgcm: semantic error: unknown variable 'x'") (fun () ->
+      Pipeline.compile "int main() { x = 1; return 0; }");
+  golden "doall"
+    ( 2,
+      "cgcm: parallelization error: main: 'parallel' loop cannot be \
+       outlined: loop update is not canonical" )
+    (fun () ->
+      Pipeline.compile
+        "global int g[8]; int main() { parallel for (int i = 0; i < 8; i = i \
+         * 2 + 1) { g[i] = i; } return 0; }");
+  golden "bad IR" (2, "cgcm: bad IR: expected '(' in @wat") (fun () ->
+      Cgcm_ir.Reader.parse_verified "func @wat")
+
+let test_dynamic_diagnostics () =
+  golden "exec" (5, "cgcm: execution error: integer division by zero")
+    (fun () ->
+      Pipeline.run Pipeline.Sequential
+        "int main() { int z = 0; print(1 / z); return 0; }");
+  golden "memory" (6, "cgcm: memory fault: host: wild pointer 0x1c3500")
+    (fun () ->
+      Pipeline.run Pipeline.Sequential
+        "global int g[4]; int main() { int* p = (int*) g; print(p[100000]); \
+         return 0; }")
+
+(* ------------------------------------------------------------------ *)
+(* Structured errors, rendered from constructed values so every field
+   placement in the template is pinned. *)
+
+let snap =
+  {
+    Errors.u_base = 0x1000;
+    u_size = 64;
+    u_refcount = 1;
+    u_arr_refcount = 0;
+    u_epoch = 3;
+    u_devptr = Some 0x400100;
+    u_global = Some "Y";
+  }
+
+let test_runtime_error_text () =
+  let e =
+    {
+      Errors.op = "release";
+      addr = Some 0x1000;
+      reason = "refcount underflow";
+      unit_ = Some snap;
+      device = None;
+      alloc_map = [ snap ];
+    }
+  in
+  golden "runtime"
+    ( 3,
+      "cgcm runtime error in release (pointer 0x1000): refcount underflow\n\
+      \  unit base=0x1000 size=64 refcount=1 arrayRefcount=0 epoch=3 \
+       devptr=0x400100 global=Y\n\
+      \  allocation map (1 units):\n\
+      \    unit base=0x1000 size=64 refcount=1 arrayRefcount=0 epoch=3 \
+       devptr=0x400100 global=Y" )
+    (fun () -> raise (Cgcm_runtime.Runtime.Runtime_error e))
+
+let test_device_fault_text () =
+  let fault =
+    Errors.Oom
+      { op = "cuMemAlloc"; requested = 128; live = 512; capacity = 640;
+        injected = false }
+  in
+  golden "device"
+    ( 4,
+      "cgcm: unrecovered device fault: device out of memory in cuMemAlloc: \
+       requested 128 bytes, 512 live of 640 capacity" )
+    (fun () -> raise (Errors.Device_error fault))
+
+let test_violation_text () =
+  let v =
+    {
+      Errors.v_kind = Errors.Stale_host_read;
+      v_unit = snap;
+      v_addr = 0x1010;
+      v_offset = 16;
+      v_instr = "load 8 B @0x1010 in main";
+      v_detail = "the device copy holds a newer value";
+      v_history = [ "epoch 2: map -> refcount 1"; "epoch 3: launch k" ];
+    }
+  in
+  golden "violation"
+    ( 8,
+      "cgcm sanitizer: stale-host-read at 0x1010 (byte 16 of unit global Y)\n\
+      \  offending instruction: load 8 B @0x1010 in main\n\
+      \  unit base=0x1000 size=64 refcount=1 arrayRefcount=0 epoch=3 \
+       devptr=0x400100 global=Y\n\
+      \  detail: the device copy holds a newer value\n\
+      \  version history (most recent first):\n\
+      \    epoch 3: launch k\n\
+      \    epoch 2: map -> refcount 1" )
+    (fun () -> raise (Errors.Coherence_violation v))
+
+let test_verifier_text () =
+  golden "verifier" (7, "cgcm: internal error (ill-formed IR): boom")
+    (fun () -> raise (Cgcm_ir.Verifier.Ill_formed "boom"))
+
+let test_unknown_exceptions_pass_through () =
+  check Alcotest.bool "Not_found unclassified" true
+    (Diagnostics.classify Not_found = None)
+
+let tests =
+  [
+    Alcotest.test_case "exit codes 2-8" `Quick test_exit_codes;
+    Alcotest.test_case "frontend diagnostics" `Quick test_frontend_diagnostics;
+    Alcotest.test_case "dynamic diagnostics" `Quick test_dynamic_diagnostics;
+    Alcotest.test_case "runtime error text" `Quick test_runtime_error_text;
+    Alcotest.test_case "device fault text" `Quick test_device_fault_text;
+    Alcotest.test_case "coherence violation text" `Quick test_violation_text;
+    Alcotest.test_case "verifier text" `Quick test_verifier_text;
+    Alcotest.test_case "unknown exceptions pass through" `Quick
+      test_unknown_exceptions_pass_through;
+  ]

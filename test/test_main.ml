@@ -21,4 +21,7 @@ let () =
       ("reader", Test_reader.tests);
       ("infra", Test_infra.tests);
       ("faults", Test_faults.tests);
+      ("sanitizer", Test_sanitizer.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("diagnostics", Test_diagnostics.tests);
     ]

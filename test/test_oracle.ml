@@ -16,7 +16,15 @@ type e =
   | Sub of e * e
   | Mul of e * e
   | Div_guarded of e * e  (* b == 0 ? a : a / b, as a C ternary *)
+  | Rem_guarded of e * e  (* b == 0 ? a : a % b *)
+  | Shl of e * e  (* count masked mod 64, like the interpreter *)
+  | Shr of e * e  (* logical right shift *)
   | Lt of e * e
+  | Le of e * e
+  | Gt of e * e
+  | Ge of e * e
+  | Eq of e * e
+  | Ne of e * e
   | And of e * e
   | Or of e * e
   | Not of e
@@ -34,7 +42,18 @@ let rec eval = function
   | Div_guarded (a, b) ->
     let bv = eval b in
     if bv = 0L then eval a else Int64.div (eval a) bv
+  | Rem_guarded (a, b) ->
+    let bv = eval b in
+    if bv = 0L then eval a else Int64.rem (eval a) bv
+  | Shl (a, b) -> Int64.shift_left (eval a) (Int64.to_int (eval b) land 63)
+  | Shr (a, b) ->
+    Int64.shift_right_logical (eval a) (Int64.to_int (eval b) land 63)
   | Lt (a, b) -> if eval a < eval b then 1L else 0L
+  | Le (a, b) -> if eval a <= eval b then 1L else 0L
+  | Gt (a, b) -> if eval a > eval b then 1L else 0L
+  | Ge (a, b) -> if eval a >= eval b then 1L else 0L
+  | Eq (a, b) -> if eval a = eval b then 1L else 0L
+  | Ne (a, b) -> if eval a <> eval b then 1L else 0L
   | And (a, b) -> if eval a <> 0L && eval b <> 0L then 1L else 0L
   | Or (a, b) -> if eval a <> 0L || eval b <> 0L then 1L else 0L
   | Not a -> if eval a = 0L then 1L else 0L
@@ -53,7 +72,17 @@ let rec render = function
   | Div_guarded (a, b) ->
     Printf.sprintf "((%s) == 0 ? (%s) : ((%s) / (%s)))" (render b) (render a)
       (render a) (render b)
+  | Rem_guarded (a, b) ->
+    Printf.sprintf "((%s) == 0 ? (%s) : ((%s) %% (%s)))" (render b) (render a)
+      (render a) (render b)
+  | Shl (a, b) -> Printf.sprintf "(%s << %s)" (render a) (render b)
+  | Shr (a, b) -> Printf.sprintf "(%s >> %s)" (render a) (render b)
   | Lt (a, b) -> Printf.sprintf "(%s < %s)" (render a) (render b)
+  | Le (a, b) -> Printf.sprintf "(%s <= %s)" (render a) (render b)
+  | Gt (a, b) -> Printf.sprintf "(%s > %s)" (render a) (render b)
+  | Ge (a, b) -> Printf.sprintf "(%s >= %s)" (render a) (render b)
+  | Eq (a, b) -> Printf.sprintf "(%s == %s)" (render a) (render b)
+  | Ne (a, b) -> Printf.sprintf "(%s != %s)" (render a) (render b)
   | And (a, b) -> Printf.sprintf "(%s && %s)" (render a) (render b)
   | Or (a, b) -> Printf.sprintf "(%s || %s)" (render a) (render b)
   | Not a -> Printf.sprintf "(!%s)" (render a)
@@ -76,7 +105,15 @@ let gen_expr =
                  map2 (fun a b -> Sub (a, b)) sub sub;
                  map2 (fun a b -> Mul (a, b)) sub sub;
                  map2 (fun a b -> Div_guarded (a, b)) sub sub;
+                 map2 (fun a b -> Rem_guarded (a, b)) sub sub;
+                 map2 (fun a b -> Shl (a, b)) sub sub;
+                 map2 (fun a b -> Shr (a, b)) sub sub;
                  map2 (fun a b -> Lt (a, b)) sub sub;
+                 map2 (fun a b -> Le (a, b)) sub sub;
+                 map2 (fun a b -> Gt (a, b)) sub sub;
+                 map2 (fun a b -> Ge (a, b)) sub sub;
+                 map2 (fun a b -> Eq (a, b)) sub sub;
+                 map2 (fun a b -> Ne (a, b)) sub sub;
                  map2 (fun a b -> And (a, b)) sub sub;
                  map2 (fun a b -> Or (a, b)) sub sub;
                  map (fun a -> Not a) sub;
