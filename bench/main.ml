@@ -167,12 +167,34 @@ let bench_interp_tree =
      Bechamel.Test.make ~name:"interp-run-gemm-n6-tree"
        (Bechamel.Staged.stage (fun () -> Interp.run ~config:cfg c.Pipeline.modul)))
 
+(* A larger gemm under the closure engine and under the domain-pool
+   engine at 4 jobs: the host-parallelism A/B (trip 24 clears the
+   default sharding threshold). *)
+let bench_interp_par =
+  let src = Cgcm_progs.Polybench.gemm ~n:24 () in
+  lazy
+    (let c = Pipeline.compile ~level:Pipeline.Optimized src in
+     let seq_cfg =
+       { Interp.default_config with Interp.engine = Interp.Closures }
+     in
+     let par_cfg =
+       { Interp.default_config with Interp.engine = Interp.Parallel; jobs = 4 }
+     in
+     [
+       Bechamel.Test.make ~name:"interp-run-gemm-n24"
+         (Bechamel.Staged.stage (fun () ->
+              Interp.run ~config:seq_cfg c.Pipeline.modul));
+       Bechamel.Test.make ~name:"interp-run-gemm-n24-par-j4"
+         (Bechamel.Staged.stage (fun () ->
+              Interp.run ~config:par_cfg c.Pipeline.modul));
+     ])
+
 let micro_rows () =
   let open Bechamel in
   let open Toolkit in
   let tests =
     Test.make_grouped ~name:"cgcm"
-      [
+      ([
         bench_avl;
         bench_memspace;
         bench_map_release;
@@ -181,6 +203,7 @@ let micro_rows () =
         Lazy.force bench_interp;
         Lazy.force bench_interp_tree;
       ]
+      @ Lazy.force bench_interp_par)
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
@@ -217,16 +240,19 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 (* micro --json: the machine-readable performance baseline             *)
 
-(* Emits BENCH_1.json: the micro table, an honest A/B of the two
+(* Emits BENCH_4.json: the micro table, an honest A/B of the three
    interpreter engines over the whole 24-program suite (same binary, the
    tree-walker is the pre-optimisation interpreter kept behind the
-   engine flag), and the dirty-span transfer volumes against whole-unit
-   copies. *)
+   engine flag; the parallel engine shards kernel launches across a
+   domain pool), and the dirty-span transfer volumes against whole-unit
+   copies. Host wall-clock numbers are whatever the machine gives —
+   "host_cores" records how much hardware parallelism was actually
+   available, because a domain pool cannot beat the clock on one core. *)
 let micro_json () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cgcm-bench-1\",\n";
+  add "  \"schema\": \"cgcm-bench-4\",\n";
   (* 1. micro-benchmarks *)
   add "  \"micro_ns_per_op\": {\n";
   let rows = micro_rows () in
@@ -249,22 +275,66 @@ let micro_json () =
   in
   Fmt.epr "  timing suite under the tree-walk engine...@.";
   let tree_res, tree_s = time (fun () -> E.run_suite ~engine:Interp.Tree_walk ()) in
-  let engines_agree =
-    List.for_all2
-      (fun a b ->
-        a.E.outputs_match && b.E.outputs_match
-        && a.E.opt.Interp.output = b.E.opt.Interp.output
-        && a.E.opt.Interp.wall = b.E.opt.Interp.wall
-        && a.E.ie.Interp.wall = b.E.ie.Interp.wall
-        && a.E.unopt.Interp.wall = b.E.unopt.Interp.wall)
-      closures_res tree_res
+  let agree a b =
+    a.E.outputs_match && b.E.outputs_match
+    && a.E.opt.Interp.output = b.E.opt.Interp.output
+    && a.E.opt.Interp.wall = b.E.opt.Interp.wall
+    && a.E.ie.Interp.wall = b.E.ie.Interp.wall
+    && a.E.unopt.Interp.wall = b.E.unopt.Interp.wall
   in
+  let engines_agree = List.for_all2 agree closures_res tree_res in
   add "  \"suite\": {\n";
   add "    \"programs\": %d,\n" (List.length closures_res);
   add "    \"closures_wall_s\": %.3f,\n" closures_s;
   add "    \"tree_walk_wall_s\": %.3f,\n" tree_s;
   add "    \"speedup\": %.2f,\n" (tree_s /. closures_s);
   add "    \"engines_agree\": %b\n" engines_agree;
+  add "  },\n";
+  (* 2b. the parallel engine over the same suite: simulated clocks,
+     outputs, launch and transfer counts must be unchanged (the sharding
+     is invisible to the simulation); host wall-clock scales with
+     whatever cores the machine has *)
+  let jobs = 4 in
+  Fmt.epr "  timing suite under the parallel engine (%d jobs)...@." jobs;
+  let par_res, par_s =
+    time (fun () -> E.run_suite ~engine:Interp.Parallel ~jobs ())
+  in
+  let sim_stats_unchanged =
+    List.for_all2
+      (fun a b ->
+        agree a b
+        && a.E.opt.Interp.dev_stats = b.E.opt.Interp.dev_stats
+        && a.E.opt.Interp.rt_stats = b.E.opt.Interp.rt_stats
+        && a.E.opt.Interp.kernel_insts = b.E.opt.Interp.kernel_insts)
+      closures_res par_res
+  in
+  add "  \"parallel\": {\n";
+  add "    \"jobs\": %d,\n" jobs;
+  add "    \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  add "    \"parallel_wall_s\": %.3f,\n" par_s;
+  add "    \"speedup_vs_closures\": %.2f,\n" (closures_s /. par_s);
+  add "    \"engines_agree\": %b,\n" sim_stats_unchanged;
+  (* large-trip kernels are where sharding has room to pay off: time the
+     biggest DOALL programs individually under both engines *)
+  let large = [ "gemm"; "2mm"; "3mm"; "cfd"; "blackscholes" ] in
+  add "    \"large_trip\": {\n";
+  List.iteri
+    (fun i name ->
+      let prog = Option.get (Cgcm_progs.Registry.find name) in
+      let src = prog.Cgcm_progs.Registry.source in
+      let once engine jobs =
+        snd
+          (time (fun () ->
+               ignore
+                 (Pipeline.run ~engine ~jobs Pipeline.Cgcm_optimized src)))
+      in
+      let seq_s = once Interp.Closures 0 in
+      let par_s = once Interp.Parallel jobs in
+      add "      %S: { \"closures_s\": %.3f, \"parallel_s\": %.3f, \"speedup\": %.2f }%s\n"
+        name seq_s par_s (seq_s /. par_s)
+        (if i = List.length large - 1 then "" else ","))
+    large;
+  add "    }\n";
   add "  },\n";
   (* 3. dirty-span transfer volumes: optimized runs with the span
      tracker on (default) vs forced whole-unit copies *)
@@ -296,7 +366,7 @@ let micro_json () =
   add "    \"partial_copies\": %d\n" partial;
   add "  }\n";
   add "}\n";
-  let path = "BENCH_1.json" in
+  let path = "BENCH_4.json" in
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -58,6 +58,41 @@ let mode_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Render the execution schedule")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("closures", Interp.Closures);
+                        ("tree", Interp.Tree_walk);
+                        ("parallel", Interp.Parallel) ])) None
+    & info [ "engine" ]
+        ~doc:
+          "Interpreter engine: closures (default), tree, or parallel (the \
+           closure engine sharding kernel launches across a domain pool). \
+           $(b,--jobs) implies parallel.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for the parallel engine; selects $(b,--engine parallel) \
+           unless an engine is given explicitly. 0 picks an automatic count \
+           (the CGCM_JOBS environment variable when set, otherwise the \
+           machine's recommended domain count); 1 is the exact sequential \
+           closure path.")
+
+(* --jobs without --engine means the parallel engine; CGCM_JOBS alone
+   only sizes the pool once that engine is selected. *)
+let resolve_engine engine jobs =
+  let engine =
+    match (engine, jobs) with
+    | Some e, _ -> e
+    | None, Some _ -> Interp.Parallel
+    | None, None -> Interp.default_config.Interp.engine
+  in
+  (engine, Option.value jobs ~default:0)
+
 let profile_arg =
   Arg.(
     value & flag
@@ -164,10 +199,11 @@ let print_result (r : Interp.result) ~trace =
 
 let run_cmd =
   let doc = "Compile and run a CGC program under a given execution mode" in
-  let f file mode trace profile faults device_mem sanitize chaos =
+  let f file mode trace profile faults device_mem sanitize chaos engine jobs =
     guarded @@ fun () ->
     let src = read_file file in
     let faults = parse_faults faults in
+    let engine, jobs = resolve_engine engine jobs in
     let r =
       if profile || chaos <> None then begin
         (* re-run through the pipeline by hand: profiling needs a custom
@@ -209,10 +245,13 @@ let run_cmd =
         Interp.run
           ~config:
             { Interp.default_config with Interp.mode = imode; cost; trace;
-              profile; faults; sanitize }
+              profile; faults; sanitize; engine; jobs }
           c.Pipeline.modul
       end
-      else snd (Pipeline.run ~trace ?faults ?device_mem ~sanitize mode src)
+      else
+        snd
+          (Pipeline.run ~trace ?faults ?device_mem ~sanitize ~engine ~jobs mode
+             src)
     in
     print_result r ~trace;
     if profile then begin
@@ -225,7 +264,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const f $ file_arg $ mode_arg $ trace_arg $ profile_arg $ faults_arg
-      $ device_mem_arg $ sanitize_arg $ chaos_arg)
+      $ device_mem_arg $ sanitize_arg $ chaos_arg $ engine_arg $ jobs_arg)
 
 let level_conv =
   Arg.enum
@@ -278,10 +317,11 @@ let fmt_cmd =
 
 let report_cmd =
   let doc = "Run all execution modes and report speedups over sequential" in
-  let f file faults device_mem =
+  let f file faults device_mem engine jobs =
     guarded @@ fun () ->
     let src = read_file file in
     let faults = parse_faults faults in
+    let engine, jobs = resolve_engine engine jobs in
     (* The sequential baseline never touches the device, so faults and
        the memory cap only shape the managed configurations. *)
     let _, seq = Pipeline.run Pipeline.Sequential src in
@@ -294,7 +334,7 @@ let report_cmd =
     let mismatched = ref false in
     List.iter
       (fun (name, mode) ->
-        let _, r = Pipeline.run ?faults ?device_mem mode src in
+        let _, r = Pipeline.run ?faults ?device_mem ~engine ~jobs mode src in
         if r.Interp.output <> seq.Interp.output then begin
           mismatched := true;
           Fmt.pr "!! %s: OUTPUT MISMATCH vs sequential@." name
@@ -308,7 +348,8 @@ let report_cmd =
     if !mismatched then exit 1
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const f $ file_arg $ faults_arg $ device_mem_arg)
+    Term.(const f $ file_arg $ faults_arg $ device_mem_arg $ engine_arg
+          $ jobs_arg)
 
 let suite_cmd =
   let doc = "Run the 24-program suite and print the paper's artifacts" in
@@ -324,9 +365,10 @@ let suite_cmd =
       & opt (some (enum [ ("source", `Source); ("ir", `Ir) ])) None
       & info [ "dump" ] ~doc:"With --only: dump the program source or optimized IR")
   in
-  let f only dump =
+  let f only dump engine jobs =
     guarded @@ fun () ->
     let module E = Cgcm_core.Experiments in
+    let engine, jobs = resolve_engine engine jobs in
     match only with
     | Some name -> begin
       match Cgcm_progs.Registry.find name with
@@ -340,7 +382,7 @@ let suite_cmd =
         in
         print_string (Cgcm_ir.Printer.modul_to_string c.Pipeline.modul)
       | Some p ->
-        let r = E.run_program p in
+        let r = E.run_program ~engine ~jobs p in
         Fmt.pr "%s: seq=%.0f ie=%.2fx unopt=%.2fx opt=%.2fx kernels=%d %s@."
           name r.E.seq.Interp.wall
           (E.speedup ~seq:r.E.seq r.E.ie)
@@ -351,7 +393,9 @@ let suite_cmd =
     end
     | None ->
       let results =
-        E.run_suite ~progress:(fun name -> Fmt.epr "running %s...@." name) ()
+        E.run_suite ~engine ~jobs
+          ~progress:(fun name -> Fmt.epr "running %s...@." name)
+          ()
       in
       Fmt.pr "%s@." (E.figure4 results);
       Fmt.pr "%s@." (E.table3 results);
@@ -362,7 +406,8 @@ let suite_cmd =
             Fmt.pr "!! %s: OUTPUT MISMATCH@." r.E.prog.Cgcm_progs.Registry.name)
         results
   in
-  Cmd.v (Cmd.info "suite" ~doc) Term.(const f $ what_arg $ dump_arg)
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(const f $ what_arg $ dump_arg $ engine_arg $ jobs_arg)
 
 let run_ir_cmd =
   let doc = "Execute a textual IR module (as produced by 'cgcm ir')" in
@@ -405,13 +450,22 @@ let fuzz_cmd =
       & info [ "out"; "o" ] ~docv:"FILE"
           ~doc:"Also write the failure reports to FILE (for CI artifacts)")
   in
-  let f count seed out =
+  let fuzz_jobs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains for the parallel-engine configuration of each \
+             differential check (default 4 so kernels shard even on \
+             single-core hosts)")
+  in
+  let f count seed out jobs =
     guarded @@ fun () ->
     let reports =
       Cgcm_fuzz.Fuzz.campaign
         ~progress:(fun k ->
           if k mod 10 = 0 then Fmt.epr "fuzz: program %d/%d...@." k count)
-        ~count ~seed ()
+        ~jobs ~count ~seed ()
     in
     let rendered = List.map Cgcm_fuzz.Fuzz.render_report reports in
     List.iter (Fmt.pr "%s@.") rendered;
@@ -427,7 +481,8 @@ let fuzz_cmd =
       exit 1
     end
   in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const f $ count_arg $ seed_arg $ out_arg)
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const f $ count_arg $ seed_arg $ out_arg $ fuzz_jobs_arg)
 
 let figure2_cmd =
   let doc = "Render the Figure 2 execution schedules" in

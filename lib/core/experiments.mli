@@ -23,6 +23,7 @@ val run_program :
   ?cost:Cgcm_gpusim.Cost_model.t ->
   ?engine:Interp.engine ->
   ?dirty_spans:bool ->
+  ?jobs:int ->
   Registry.program ->
   prog_result
 (** Run one program under all four configurations. [engine] and
@@ -33,6 +34,7 @@ val run_suite :
   ?cost:Cgcm_gpusim.Cost_model.t ->
   ?engine:Interp.engine ->
   ?dirty_spans:bool ->
+  ?jobs:int ->
   ?progress:(string -> unit) ->
   unit ->
   prog_result list

@@ -59,7 +59,8 @@ let execution_to_string = function
 let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
     ?(trace = false) ?(engine = Interp.default_config.Interp.engine)
     ?dirty_spans ?faults ?device_mem ?(paranoid = false) ?(sanitize = false)
-    (execution : execution) (source : string) : compiled * Interp.result =
+    ?(jobs = 0) (execution : execution) (source : string) :
+    compiled * Interp.result =
   (* Dirty-span transfers are part of the optimized run-time; the
      unoptimized configuration keeps the paper's whole-unit protocol so
      the Figure 4 contrast measures what the paper measures. An explicit
@@ -85,6 +86,7 @@ let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
       faults;
       paranoid;
       sanitize;
+      jobs;
     }
   in
   match execution with

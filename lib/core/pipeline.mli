@@ -50,6 +50,7 @@ val run :
   ?device_mem:int ->
   ?paranoid:bool ->
   ?sanitize:bool ->
+  ?jobs:int ->
   execution ->
   string ->
   compiled * Interp.result

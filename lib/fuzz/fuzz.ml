@@ -105,6 +105,15 @@ let same_type_src p ~tgt ~src =
   | [] -> tgt mod List.length p.arrays
   | cands -> fst (List.nth cands (src mod List.length cands))
 
+(* `parallel for` is a trusted assertion of iteration independence; the
+   engines only stay differentially comparable on programs where the
+   assertion is true (the parallel engine really does shard annotated
+   launches across domains). A phase whose resolved source aliases its
+   target with a cross-iteration index pattern must therefore drop the
+   annotation — re-decided at render time, because shrinking drops
+   arrays and re-resolves sources, which can introduce such aliasing. *)
+let honest l ~racy = if racy then { l with par = false } else l
+
 let render (p : prog) : string =
   let b = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -176,6 +185,9 @@ let render (p : prog) : string =
       let s = same_type_src p ~tgt ~src in
       let sname = Printf.sprintf "g%d" s in
       let ssize = (List.nth p.arrays s).a_size in
+      (* i %% ssize re-reads earlier-written elements when the source is
+         the (shorter) target itself *)
+      let l = honest l ~racy:(s = tgt mod List.length p.arrays && ssize < a.a_size) in
       loops l a.a_size (fun ~ind ~i ->
           pf "%s%s[%s] = %s[%s %% %d] * %s + %s;\n" ind name i sname i ssize
             (lit a.a_float mul) (lit a.a_float add))
@@ -184,6 +196,9 @@ let render (p : prog) : string =
       let s = same_type_src p ~tgt ~src in
       let sname = Printf.sprintf "g%d" s in
       let ssize = (List.nth p.arrays s).a_size in
+      (* the (i+1) neighbour read always crosses iterations of the same
+         array *)
+      let l = honest l ~racy:(s = tgt mod List.length p.arrays) in
       loops l a.a_size (fun ~ind ~i ->
           pf "%s%s[%s] = %s[%s %% %d] + %s[(%s + 1) %% %d];\n" ind name i sname
             i ssize sname i ssize)
@@ -194,8 +209,14 @@ let render (p : prog) : string =
       let ssize = (List.nth p.arrays s).a_size in
       let rows = a.a_size / 8 in
       let u = fresh () in
-      pf "  parallel for (int r%d = 0; r%d < %d; r%d++) {\n" u u rows u;
-      pf "    parallel for (int c%d = 0; c%d < 8; c%d++) {\n" u u u;
+      (* same aliasing hazard as Map1: drop to plain loops (auto-DOALL
+         must then prove independence or keep them sequential) *)
+      let par =
+        if s = tgt mod List.length p.arrays && ssize < a.a_size then ""
+        else "parallel "
+      in
+      pf "  %sfor (int r%d = 0; r%d < %d; r%d++) {\n" par u u rows u;
+      pf "    %sfor (int c%d = 0; c%d < 8; c%d++) {\n" par u u u;
       pf "      %s[r%d * 8 + c%d] = %s[(r%d * 8 + c%d) %% %d] + %s;\n" name u u
         sname u u ssize
         (if a.a_float then Printf.sprintf "r%d * 1.0 + c%d" u u
@@ -314,11 +335,12 @@ let configs =
     ("unopt/tree-walk", Pipeline.Cgcm_unoptimized, Interp.Tree_walk);
     ("opt/closures", Pipeline.Cgcm_optimized, Interp.Closures);
     ("opt/tree-walk", Pipeline.Cgcm_optimized, Interp.Tree_walk);
+    ("opt/parallel", Pipeline.Cgcm_optimized, Interp.Parallel);
     ("unified-oracle", Pipeline.Unified_oracle Pipeline.Optimized, Interp.Closures);
     ("inspector-executor", Pipeline.Inspector_executor_exec, Interp.Closures);
   ]
 
-let check_source (src : string) : failure option =
+let check_source ?(jobs = 4) (src : string) : failure option =
   let run_one name f =
     match f () with
     | r -> Ok (r : Interp.result)
@@ -333,9 +355,21 @@ let check_source (src : string) : failure option =
   | Error f -> Some f
   | Ok reference ->
     let check_one (name, exec, engine) =
+      (* The parallel engine runs with a forced job count (auto would be 1
+         on a single-core host, never sharding) and a floor-level trip
+         threshold, so the fuzzer exercises real cross-domain kernel
+         execution under the sanitizer even on small generated loops. *)
+      let jobs, cost =
+        match engine with
+        | Interp.Parallel ->
+          ( jobs,
+            { Cgcm_gpusim.Cost_model.default with
+              Cgcm_gpusim.Cost_model.par_min_trip = 2 } )
+        | _ -> (0, Cgcm_gpusim.Cost_model.default)
+      in
       match
         run_one name (fun () ->
-            snd (Pipeline.run ~engine ~sanitize:true exec src))
+            snd (Pipeline.run ~engine ~cost ~jobs ~sanitize:true exec src))
       with
       | Error f -> Some f
       | Ok r ->
@@ -363,7 +397,7 @@ let check_source (src : string) : failure option =
     in
     List.find_map check_one configs
 
-let check (p : prog) : failure option = check_source (render p)
+let check ?jobs (p : prog) : failure option = check_source ?jobs (render p)
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking: greedy first-improvement to a fixpoint, bounded. A
@@ -484,7 +518,8 @@ let render_report (r : report) : string =
     r.r_failure.f_detail
     (render r.r_minimal)
 
-let campaign ?(progress = fun _ -> ()) ~count ~seed () : report list =
+let campaign ?(progress = fun _ -> ()) ?jobs ~count ~seed () : report list =
+  let check = check ?jobs in
   let failures = ref [] in
   for k = 0 to count - 1 do
     progress k;

@@ -58,13 +58,16 @@ type failure = {
   f_detail : string;
 }
 
-val check : prog -> failure option
+val check : ?jobs:int -> prog -> failure option
 (** Differential check: sequential reference vs unoptimized/optimized x
-    closures/tree-walk (sanitizer armed), the unified oracle and the
-    inspector-executor baseline. [None] = all agree, leak-free,
-    sanitize-clean. *)
+    closures/tree-walk/parallel (sanitizer armed), the unified oracle
+    and the inspector-executor baseline. The parallel engine runs with
+    [jobs] domains (default 4 — the auto count would be 1 on a
+    single-core host, never sharding) and a floor-level trip threshold
+    so small generated loops still shard. [None] = all agree,
+    leak-free, sanitize-clean. *)
 
-val check_source : string -> failure option
+val check_source : ?jobs:int -> string -> failure option
 (** The same check on raw CGC source (used by the regression tests). *)
 
 val candidates : prog -> prog list
@@ -94,6 +97,12 @@ val render_report : report -> string
     counterexample source, verbatim. *)
 
 val campaign :
-  ?progress:(int -> unit) -> count:int -> seed:int -> unit -> report list
+  ?progress:(int -> unit) ->
+  ?jobs:int ->
+  count:int ->
+  seed:int ->
+  unit ->
+  report list
 (** Generate and check [count] programs derived from [seed], shrinking
-    every failure. An empty list is a clean campaign. *)
+    every failure. [jobs] is forwarded to {!check}. An empty list is a
+    clean campaign. *)

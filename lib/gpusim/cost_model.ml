@@ -19,6 +19,9 @@ type t = {
   alloc_overhead : float;  (* cuMemAlloc / cuMemFree *)
   runtime_call_overhead : float;  (* one CGCM run-time library call *)
   device_mem_bytes : int;  (* device global-memory capacity *)
+  par_min_trip : int;
+      (* host-side parallel engine: launches with fewer iterations than
+         this run sequentially rather than paying domain-pool overhead *)
 }
 
 let default =
@@ -36,6 +39,9 @@ let default =
     (* Effectively unbounded by default; experiments that study memory
        pressure cap it (the GTX 480 shipped with 1.5 GB). *)
     device_mem_bytes = max_int;
+    (* Waking the pool costs a few microseconds; below this many
+       iterations a launch is cheaper to run in place. *)
+    par_min_trip = 16;
   }
 
 let transfer_cycles t bytes =

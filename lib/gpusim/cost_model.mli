@@ -23,6 +23,10 @@ type t = {
   device_mem_bytes : int;
       (** device global-memory capacity; [max_int] (the default) is
           effectively unbounded *)
+  par_min_trip : int;
+      (** host-side parallel engine: launches with fewer iterations than
+          this run sequentially rather than paying domain-pool
+          overhead *)
 }
 
 val default : t

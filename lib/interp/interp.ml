@@ -11,7 +11,7 @@
                output under [Unified] as the untransformed program — the
                differential tests lean on this.
 
-   Two execution engines:
+   Three execution engines:
    - [Closures]  the default: each function is pre-decoded once per run
                  into an array of closures (threaded-code style) with the
                  operand shapes, the binop/unop dispatch, and the callee
@@ -21,7 +21,16 @@
                  check entirely (Memspace.handle_valid).
    - [Tree_walk] the original AST interpreter, kept for differential
                  testing: both engines must produce bit-identical outputs,
-                 stats, and traces on every program. *)
+                 stats, and traces on every program.
+   - [Parallel]  the closure engine plus a host-side domain pool for
+                 kernel launches: DOALL iterations are independent by
+                 construction (that is what makes them GPU-legal), so a
+                 launch's trip count is statically chunked across
+                 [config.jobs] domains, each executing its contiguous
+                 slice on a private shard machine with its own decoded
+                 closures; the join barrier merges shard state back in
+                 shard (= iteration) order, keeping results bit-identical
+                 to [Closures]. See exec_launch_parallel below. *)
 
 module Ir = Cgcm_ir.Ir
 module Memspace = Cgcm_memory.Memspace
@@ -33,6 +42,7 @@ module Runtime = Cgcm_runtime.Runtime
 module Errors = Cgcm_support.Errors
 module Sanitizer = Cgcm_sanitizer.Sanitizer
 module Modref = Cgcm_analysis.Modref
+module Pool = Cgcm_support.Pool
 
 exception Exec_error of string
 
@@ -45,7 +55,7 @@ let error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
      DOALL-parallelized module, with no CGCM management. *)
 type mode = Split | Unified | Inspector_executor
 
-type engine = Closures | Tree_walk
+type engine = Closures | Tree_walk | Parallel
 
 type config = {
   mode : mode;
@@ -68,6 +78,10 @@ type config = {
      with a byte-version map and fail fast on stale reads, lost updates,
      premature releases and double frees (Split mode only) *)
   sanitize : bool;
+  (* Parallel engine only: how many domains execute kernel launches
+     (0 = CGCM_JOBS / Domain.recommended_domain_count). With jobs = 1
+     the Parallel engine is exactly the sequential closure engine. *)
+  jobs : int;
 }
 
 let default_config =
@@ -83,6 +97,7 @@ let default_config =
     faults = None;
     paranoid = false;
     sanitize = false;
+    jobs = 0;
   }
 
 type rtval = VI of int64 | VF of float
@@ -194,6 +209,19 @@ type machine = {
   san : Sanitizer.t option;
   (* per-kernel static read/write sets for the sanitizer's launch hook *)
   rw_cache : (string, Modref.rw) Hashtbl.t;
+  (* ---- parallel engine ---- *)
+  (* resolved job count: > 1 only for the Parallel engine *)
+  jobs : int;
+  (* kernel name -> Some (transitively referenced globals) when every
+     launch of it may shard across domains, None when it must stay
+     sequential (see par_kernel_info) *)
+  par_cache : (string, string list option) Hashtbl.t;
+  (* persistent per-domain shard machines, grown on demand; each holds
+     its own decoded-closure tables, output buffer and dirty log *)
+  mutable shards : machine array;
+  (* Some on shard machines only: the per-shard deferred dirty-span log,
+     replayed at the join. Doubles as the "am I a shard?" flag. *)
+  shard_log : Memspace.dirty_log option;
 }
 
 let flush_time mc =
@@ -244,13 +272,25 @@ let space mc =
 
 let global_addr mc g =
   if mc.in_kernel && mc.mode = Split then begin
-    (* Resolve through the run-time so a first touch (or a re-touch after
-       an eviction) gets the same OOM recovery as map, and an evicted
-       global is refilled from its written-back host copy. *)
-    mc.rt.Runtime.now <- mc.now;
-    let addr = Runtime.device_global_addr mc.rt g in
-    mc.now <- mc.rt.Runtime.now;
-    addr
+    match mc.shard_log with
+    | Some _ -> (
+      (* Parallel shard: the pre-launch check guarantees every global the
+         kernel can reference is already device-resident, so resolution
+         is a pure table lookup — the driver and run-time are not
+         domain-safe and must not run here. For a resident global the
+         sequential path below is equally charge-free, so the timelines
+         agree. *)
+      match Hashtbl.find_opt mc.dev.Device.globals g with
+      | Some a -> a
+      | None -> error "parallel shard: global %s not device-resident" g)
+    | None ->
+      (* Resolve through the run-time so a first touch (or a re-touch
+         after an eviction) gets the same OOM recovery as map, and an
+         evicted global is refilled from its written-back host copy. *)
+      mc.rt.Runtime.now <- mc.now;
+      let addr = Runtime.device_global_addr mc.rt g in
+      mc.now <- mc.rt.Runtime.now;
+      addr
   end
   else begin
     match Hashtbl.find_opt mc.globals_host g with
@@ -476,6 +516,174 @@ let builtin_names =
 let is_builtin name =
   List.mem name builtin_names || math1 name <> None
   || Ir.Intrinsic.is_cgcm name
+
+(* ------------------------------------------------------------------ *)
+(* Static per-function analysis, shared by the closure decoder and the
+   parallel engine's shardability check.
+
+   Per-register use counts over the whole function drive the expression
+   folder: a pure def read exactly once can evaluate at its use site
+   instead of through the frame. Folding relies on registers being
+   single-assignment; the verifier enforces that for compiled modules,
+   but hand-written .ir files reach the interpreter unverified, so
+   re-check here and fold only when it holds.
+
+   Scalar alloca promotion: an 8-byte-or-larger unregistered alloca
+   whose address register is used only as the address of whole-word
+   (I64/F64) loads and stores never escapes, never faults, and is
+   indistinguishable from a frame slot — so it gets one, skipping the
+   memory space entirely. The verifier's def-dominates-use rule means
+   the alloca always executes (and zeroes the slot) before any access;
+   ticks still count every source instruction, so timing and instruction
+   counts are unchanged. Like folding, this needs single-assignment
+   registers. *)
+
+type fanalysis = {
+  fa_uses : int array;  (* per-register use counts *)
+  fa_fold_ok : bool;  (* registers are single-assignment *)
+  fa_promo : (int, int) Hashtbl.t;  (* promoted alloca reg -> local slot *)
+  fa_nlocals : int;
+}
+
+let analyze_func (f : Ir.func) : fanalysis =
+  let nregs = max f.Ir.nregs 1 in
+  let uses = Array.make nregs 0 in
+  let defs = Array.make nregs 0 in
+  let single_assign = ref true in
+  for i = 0 to min f.Ir.nargs nregs - 1 do
+    defs.(i) <- 1
+  done;
+  Array.iter
+    (fun (b : Ir.block) ->
+      let see = function
+        | Ir.Reg r when r >= 0 && r < nregs -> uses.(r) <- uses.(r) + 1
+        | _ -> ()
+      in
+      List.iter
+        (fun i ->
+          (match Ir.def_of_instr i with
+          | Some d when d >= 0 && d < nregs ->
+            defs.(d) <- defs.(d) + 1;
+            if defs.(d) > 1 then single_assign := false
+          | Some _ -> single_assign := false
+          | None -> ());
+          List.iter see (Ir.uses_of_instr i))
+        b.Ir.instrs;
+      List.iter see (Ir.uses_of_term b.Ir.term))
+    f.Ir.blocks;
+  let fold_ok = !single_assign in
+  let promo : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let nlocals = ref 0 in
+  if fold_ok then begin
+    let cand = Hashtbl.create 8 in
+    Array.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Alloca (d, Ir.Imm_int s, info)
+              when (not info.Ir.aregistered) && s >= 8L ->
+              Hashtbl.replace cand d ()
+            | _ -> ())
+          b.Ir.instrs)
+      f.Ir.blocks;
+    let disq = function Ir.Reg r -> Hashtbl.remove cand r | _ -> () in
+    Array.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Load (_, (Ir.I64 | Ir.F64), Ir.Reg _) -> ()
+            | Ir.Store ((Ir.I64 | Ir.F64), Ir.Reg _, v) -> disq v
+            | _ -> List.iter disq (Ir.uses_of_instr i))
+          b.Ir.instrs;
+        List.iter disq (Ir.uses_of_term b.Ir.term))
+      f.Ir.blocks;
+    Array.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Alloca (d, _, _) when Hashtbl.mem cand d ->
+              Hashtbl.replace promo d !nlocals;
+              incr nlocals
+            | _ -> ())
+          b.Ir.instrs)
+      f.Ir.blocks
+  end;
+  { fa_uses = uses; fa_fold_ok = fold_ok; fa_promo = promo; fa_nlocals = !nlocals }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-engine shardability.
+
+   A kernel may execute across domains only when every iteration's work
+   is confined to shard-private state plus race-free shared state:
+   frame registers, promoted alloca slots, `Bytes` writes to disjoint
+   allocation-unit bytes (the DOALL guarantee), the shard's own output
+   buffer, and pure resolution of already-resident module globals.
+   Anything that would call into the run-time, the driver, or the host
+   allocator mid-kernel — none of which are domain-safe — disqualifies
+   the kernel, and its launches take the sequential closure path
+   instead. *)
+
+(* Builtins whose kernel-side execution touches only shard-private or
+   read-only state: pure math, proportional-work string length, and
+   printing into the shard's buffer. *)
+let par_safe_builtin name =
+  math1 name <> None
+  || List.mem name [ "pow"; "strlen"; "print_i64"; "print_f64"; "prints" ]
+
+(* Decide, once per kernel, whether its launches may shard, and collect
+   the transitive set of module globals it can reference (each launch
+   additionally checks that all of them are device-resident, so shard-
+   side resolution never has to allocate). Disqualifiers: any alloca the
+   decoder cannot promote to a frame slot (a real alloca mutates the
+   shared device memspace), nested launches, and calls to anything but
+   par-safe builtins or transitively-shardable user CPU functions. *)
+let par_kernel_info mc (f : Ir.func) : string list option =
+  match Hashtbl.find_opt mc.par_cache f.Ir.fname with
+  | Some r -> r
+  | None ->
+    let exception Not_par in
+    let visited = Hashtbl.create 8 in
+    let globals = Hashtbl.create 8 in
+    let rec scan (fn : Ir.func) =
+      if not (Hashtbl.mem visited fn.Ir.fname) then begin
+        Hashtbl.replace visited fn.Ir.fname ();
+        let a = analyze_func fn in
+        let value = function
+          | Ir.Global g -> Hashtbl.replace globals g ()
+          | _ -> ()
+        in
+        Array.iter
+          (fun (b : Ir.block) ->
+            List.iter
+              (fun i ->
+                (match i with
+                | Ir.Alloca (d, _, _) ->
+                  if not (Hashtbl.mem a.fa_promo d) then raise Not_par
+                | Ir.Launch _ -> raise Not_par
+                | Ir.Call (_, name, _) ->
+                  if par_safe_builtin name then ()
+                  else if is_builtin name then raise Not_par
+                  else (
+                    match Hashtbl.find_opt mc.funcs name with
+                    | Some g when g.Ir.fkind = Ir.Cpu -> scan g
+                    | _ -> raise Not_par)
+                | _ -> ());
+                List.iter value (Ir.uses_of_instr i))
+              b.Ir.instrs;
+            List.iter value (Ir.uses_of_term b.Ir.term))
+          fn.Ir.blocks
+      end
+    in
+    let r =
+      match scan f with
+      | () -> Some (Hashtbl.fold (fun g () acc -> g :: acc) globals [])
+      | exception Not_par -> None
+    in
+    Hashtbl.replace mc.par_cache f.Ir.fname r;
+    r
 
 (* Inspector-executor access tracking, shared by both engines. *)
 let track_load mc sp tbl addr =
@@ -816,14 +1024,32 @@ and exec_launch mc ~kernel ~trip ~args =
     let invoke =
       match mc.engine with
       | Tree_walk -> fun args -> ignore (exec_func mc f args)
-      | Closures ->
+      | Closures | Parallel ->
         let cf = decode mc f in
         fun args -> ignore (exec_compiled mc cf args)
     in
+    (* The Parallel engine shards a launch across the domain pool when
+       the launch is worth it (trip over the cost-model threshold), the
+       kernel is statically shardable, and every global it can touch is
+       already device-resident (so shard-side resolution is pure). A
+       launch that fails any test takes the sequential path — which is
+       why jobs = 1 is exactly the closure engine. *)
+    let par =
+      mc.engine = Parallel && mc.jobs > 1 && mc.mode = Split
+      && (not saved_in_kernel)
+      && Option.is_none mc.shard_log
+      && trip >= mc.cost.Cost_model.par_min_trip
+      &&
+      match par_kernel_info mc f with
+      | None -> false
+      | Some gs -> List.for_all (Hashtbl.mem mc.dev.Device.globals) gs
+    in
     (try
-       for tid = 0 to trip - 1 do
-         invoke (Array.of_list (VI (Int64.of_int tid) :: args))
-       done
+       if par then exec_launch_parallel mc f ~trip ~args
+       else
+         for tid = 0 to trip - 1 do
+           invoke (Array.of_list (VI (Int64.of_int tid) :: args))
+         done
      with e ->
        mc.in_kernel <- saved_in_kernel;
        mc.track_units <- None;
@@ -899,11 +1125,116 @@ and exec_launch mc ~kernel ~trip ~args =
       mc.now <- Device.sync mc.dev ~now:mc.now
   end
 
-(* Engine dispatch for an internal (non-kernel) function call. *)
+(* Engine dispatch for an internal (non-kernel) function call. The
+   Parallel engine is the closure engine everywhere except inside
+   exec_launch. *)
 and call_func mc (f : Ir.func) (args : rtval array) : rtval option =
   match mc.engine with
   | Tree_walk -> exec_func mc f args
-  | Closures -> exec_compiled mc (decode mc f) args
+  | Closures | Parallel -> exec_compiled mc (decode mc f) args
+
+(* ------------------------------------------------------------------ *)
+(* The parallel engine: shard a DOALL launch across the domain pool     *)
+
+(* Grow the persistent shard-machine array to [n]. A shard machine
+   shares the module, memory spaces, device, cost model and sanitizer
+   with the main machine, but owns its decoded-closure tables (per-site
+   handle and global-address caches must not be shared across domains),
+   its output buffer, its profile counts and its dirty log. Its mutable
+   counters are reset at every launch. *)
+and ensure_shards mc n =
+  let cur = Array.length mc.shards in
+  if cur < n then
+    mc.shards <-
+      Array.init n (fun i ->
+          if i < cur then mc.shards.(i)
+          else
+            {
+              mc with
+              decoded = Hashtbl.create 32;
+              out = Buffer.create 256;
+              profile_counts = Hashtbl.create 16;
+              shard_log = Some (Memspace.log_create ());
+              shards = [||];
+            })
+
+and merge_profile mc smc =
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt mc.profile_counts k with
+      | Some r0 -> r0 := !r0 + !r
+      | None -> Hashtbl.replace mc.profile_counts k (ref !r))
+    smc.profile_counts;
+  Hashtbl.reset smc.profile_counts
+
+(* Execute one launch across min(jobs, trip) domains. Called from
+   exec_launch with in_kernel already set and the epoch bumped; device-
+   timeline accounting (Device.launch) stays in exec_launch, driven by
+   the merged instruction count, so gpusim sees exactly the sequential
+   schedule.
+
+   Determinism argument: iterations are DOALL (disjoint allocation-unit
+   bytes), chunks are contiguous and assigned in increasing shard order,
+   and each shard's work is a pure function of its chunk plus pre-launch
+   state. The join then merges all order-sensitive state in shard order:
+   output buffers concatenate to the sequential print order, dirty logs
+   replay through the span accumulator in iteration order, and
+   instruction counts sum associatively. Shared hot-path state is either
+   atomic (the sanitizer's check counter), byte-disjoint by the DOALL
+   guarantee (Bytes writes, sanitizer version maps), or validated-
+   before-use caches whose races are benign (memspace last-block,
+   sanitizer claim memos). Everything else the shards touch is
+   shard-private, so the result is bit-identical to the sequential
+   engine. *)
+and exec_launch_parallel mc (f : Ir.func) ~trip ~args =
+  let nshards = min mc.jobs trip in
+  ensure_shards mc nshards;
+  let args = Array.of_list args in
+  let nargs = Array.length args in
+  (* contiguous balanced chunks: shard s owns [lo s, lo (s+1)) *)
+  let q = trip / nshards and r = trip mod nshards in
+  let chunk_lo s = (s * q) + min s r in
+  let failures = Array.make nshards None in
+  Pool.run ~jobs:nshards nshards (fun s ->
+      let smc = mc.shards.(s) in
+      smc.in_kernel <- true;
+      smc.fuel <- mc.fuel;
+      smc.kernel_insts <- 0;
+      smc.cur_fn <- mc.cur_fn;
+      Buffer.clear smc.out;
+      (match smc.shard_log with Some l -> Memspace.log_clear l | None -> ());
+      try
+        let cf = decode smc f in
+        let hi = chunk_lo (s + 1) in
+        for tid = chunk_lo s to hi - 1 do
+          let argv = Array.make (nargs + 1) (VI (Int64.of_int tid)) in
+          Array.blit args 0 argv 1 nargs;
+          ignore (exec_compiled smc cf argv)
+        done
+      with e -> failures.(s) <- Some e);
+  (* Join barrier: merge shard state in shard (= iteration) order. On a
+     shard failure, merge up to and including the failing shard — the
+     sequential engine would have applied everything before the faulting
+     iteration — and re-raise its exception; later chunks' memory writes
+     have already happened, but state past a fault is unspecified (as on
+     a real GPU). *)
+  let total = ref 0 in
+  let failure = ref None in
+  let s = ref 0 in
+  while !failure = None && !s < nshards do
+    let smc = mc.shards.(!s) in
+    (match smc.shard_log with Some l -> Memspace.log_replay l | None -> ());
+    Buffer.add_buffer mc.out smc.out;
+    Buffer.clear smc.out;
+    total := !total + smc.kernel_insts;
+    if mc.profile_on then merge_profile mc smc;
+    failure := failures.(!s);
+    incr s
+  done;
+  mc.kernel_insts <- mc.kernel_insts + !total;
+  mc.fuel <- mc.fuel - !total;
+  (match !failure with Some e -> raise e | None -> ());
+  if mc.fuel <= 0 then error "instruction budget exhausted (infinite loop?)"
 
 (* ------------------------------------------------------------------ *)
 (* The closure engine: decode once, dispatch via closure call           *)
@@ -912,91 +1243,15 @@ and decode mc (f : Ir.func) : cfunc =
   match Hashtbl.find_opt mc.decoded f.Ir.fname with
   | Some cf -> cf
   | None ->
-    (* Per-register use counts over the whole function drive the
-       expression folder: a pure def read exactly once can evaluate at
-       its use site instead of through the frame. Folding relies on
-       registers being single-assignment; the verifier enforces that for
-       compiled modules, but hand-written .ir files reach the interpreter
-       unverified, so re-check here and fold only when it holds. *)
-    let nregs = max f.Ir.nregs 1 in
-    let uses = Array.make nregs 0 in
-    let defs = Array.make nregs 0 in
-    let single_assign = ref true in
-    for i = 0 to min f.Ir.nargs nregs - 1 do
-      defs.(i) <- 1
-    done;
-    Array.iter
-      (fun (b : Ir.block) ->
-        let see = function
-          | Ir.Reg r when r >= 0 && r < nregs -> uses.(r) <- uses.(r) + 1
-          | _ -> ()
-        in
-        List.iter
-          (fun i ->
-            (match Ir.def_of_instr i with
-            | Some d when d >= 0 && d < nregs ->
-              defs.(d) <- defs.(d) + 1;
-              if defs.(d) > 1 then single_assign := false
-            | Some _ -> single_assign := false
-            | None -> ());
-            List.iter see (Ir.uses_of_instr i))
-          b.Ir.instrs;
-        List.iter see (Ir.uses_of_term b.Ir.term))
-      f.Ir.blocks;
-    let fold_ok = !single_assign in
-    (* Scalar alloca promotion: an 8-byte-or-larger unregistered alloca
-       whose address register is used only as the address of whole-word
-       (I64/F64) loads and stores never escapes, never faults, and is
-       indistinguishable from a frame slot — so it gets one, skipping the
-       memory space entirely. The verifier's def-dominates-use rule means
-       the alloca always executes (and zeroes the slot) before any
-       access; ticks still count every source instruction, so timing and
-       instruction counts are unchanged. Like folding, this needs
-       single-assignment registers. *)
-    let promo : (int, int) Hashtbl.t = Hashtbl.create 8 in
-    let nlocals = ref 0 in
-    if fold_ok then begin
-      let cand = Hashtbl.create 8 in
-      Array.iter
-        (fun (b : Ir.block) ->
-          List.iter
-            (fun i ->
-              match i with
-              | Ir.Alloca (d, Ir.Imm_int s, info)
-                when (not info.Ir.aregistered) && s >= 8L ->
-                Hashtbl.replace cand d ()
-              | _ -> ())
-            b.Ir.instrs)
-        f.Ir.blocks;
-      let disq = function Ir.Reg r -> Hashtbl.remove cand r | _ -> () in
-      Array.iter
-        (fun (b : Ir.block) ->
-          List.iter
-            (fun i ->
-              match i with
-              | Ir.Load (_, (Ir.I64 | Ir.F64), Ir.Reg _) -> ()
-              | Ir.Store ((Ir.I64 | Ir.F64), Ir.Reg _, v) -> disq v
-              | _ -> List.iter disq (Ir.uses_of_instr i))
-            b.Ir.instrs;
-          List.iter disq (Ir.uses_of_term b.Ir.term))
-        f.Ir.blocks;
-      Array.iter
-        (fun (b : Ir.block) ->
-          List.iter
-            (fun i ->
-              match i with
-              | Ir.Alloca (d, _, _) when Hashtbl.mem cand d ->
-                Hashtbl.replace promo d !nlocals;
-                incr nlocals
-              | _ -> ())
-            b.Ir.instrs)
-        f.Ir.blocks
-    end;
+    (* The use-count / folding / alloca-promotion analysis is shared with
+       the parallel engine's shardability check (analyze_func above). *)
+    let a = analyze_func f in
+    let uses = a.fa_uses and fold_ok = a.fa_fold_ok and promo = a.fa_promo in
     let cf =
       {
         cfn = f;
         cblocks = Array.map (decode_block mc ~uses ~fold_ok ~promo) f.Ir.blocks;
-        nlocals = !nlocals;
+        nlocals = a.fa_nlocals;
       }
     in
     Hashtbl.replace mc.decoded f.Ir.fname cf;
@@ -1666,6 +1921,98 @@ and decode_load mc avail d ty a : cinstr =
           finish c h addr
 
 and decode_store mc avail ty a v : cinstr =
+  match mc.shard_log with
+  | Some l -> decode_store_log mc l avail ty a v
+  | None -> decode_store_seq mc avail ty a v
+
+(* Shard-machine stores (parallel engine): identical to the sequential
+   paths below except that the order-sensitive dirty-span bookkeeping is
+   appended to the shard's private log (the Bytes write itself happens
+   immediately) for replay at the join. Shards only exist in Split mode,
+   so there is no inspector-executor tracking here. *)
+and decode_store_log mc l avail ty a v : cinstr =
+  let cache = ref Memspace.null_handle in
+  let acquire c addr len =
+    let h = !cache in
+    if Memspace.handle_valid h c.sp addr len then h
+    else begin
+      let h = Memspace.acquire_handle c.sp addr len "store" in
+      cache := h;
+      h
+    end
+  in
+  match (ty, a, v) with
+  | Ir.F64, Ir.Reg ra, Ir.Reg rv
+    when mc.san = None
+         && (not (Hashtbl.mem avail ra))
+         && not (Hashtbl.mem avail rv) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
+      let x = as_float (Array.unsafe_get c.fr rv) in
+      Memspace.h_store_f64_log l (acquire c addr 8) addr x
+  | Ir.I64, Ir.Reg ra, Ir.Reg rv
+    when mc.san = None
+         && (not (Hashtbl.mem avail ra))
+         && not (Hashtbl.mem avail rv) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
+      let x = as_int (Array.unsafe_get c.fr rv) in
+      Memspace.h_store_i64_log l (acquire c addr 8) addr x
+  | Ir.I64, Ir.Reg ra, Ir.Imm_int iv
+    when mc.san = None && not (Hashtbl.mem avail ra) ->
+    fun c ->
+      let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
+      Memspace.h_store_i64_log l (acquire c addr 8) addr iv
+  | _ -> (
+    let fa = fold_addr mc avail a in
+    (* sequential-engine order preserved: address, (sanitizer), value
+       unboxing, then the store *)
+    match ty with
+    | Ir.I8 ->
+      let fv = fold_i mc avail v in
+      (match mc.san with
+      | Some s ->
+        fun c ->
+          let addr = fa c in
+          Sanitizer.on_store s ~addr ~len:1 ~fn:mc.cur_fn ~kernel:mc.in_kernel;
+          let h = acquire c addr 1 in
+          Memspace.h_store_u8_log l h addr
+            (Int64.to_int (fv c) land 0xff)
+      | None ->
+        fun c ->
+          let addr = fa c in
+          let x = Int64.to_int (fv c) land 0xff in
+          Memspace.h_store_u8_log l (acquire c addr 1) addr x)
+    | Ir.I64 ->
+      let fv = fold_i mc avail v in
+      (match mc.san with
+      | Some s ->
+        fun c ->
+          let addr = fa c in
+          Sanitizer.on_store s ~addr ~len:8 ~fn:mc.cur_fn ~kernel:mc.in_kernel;
+          let h = acquire c addr 8 in
+          Memspace.h_store_i64_log l h addr (fv c)
+      | None ->
+        fun c ->
+          let addr = fa c in
+          let x = fv c in
+          Memspace.h_store_i64_log l (acquire c addr 8) addr x)
+    | Ir.F64 ->
+      let fv = fold_f mc avail v in
+      (match mc.san with
+      | Some s ->
+        fun c ->
+          let addr = fa c in
+          Sanitizer.on_store s ~addr ~len:8 ~fn:mc.cur_fn ~kernel:mc.in_kernel;
+          let h = acquire c addr 8 in
+          Memspace.h_store_f64_log l h addr (fv c)
+      | None ->
+        fun c ->
+          let addr = fa c in
+          let x = fv c in
+          Memspace.h_store_f64_log l (acquire c addr 8) addr x))
+
+and decode_store_seq mc avail ty a v : cinstr =
   let track = mc.mode = Inspector_executor in
   let sanit = mc.san <> None in
   let cache = ref Memspace.null_handle in
@@ -1976,6 +2323,15 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       cur_fn = "<toplevel>";
       san = sanitizer;
       rw_cache = Hashtbl.create 8;
+      jobs =
+        (match config.engine with
+        | Parallel ->
+          if config.jobs > 0 then min config.jobs Pool.max_jobs
+          else Pool.default_jobs ()
+        | Closures | Tree_walk -> 1);
+      par_cache = Hashtbl.create 8;
+      shards = [||];
+      shard_log = None;
     }
   in
   load_globals mc;

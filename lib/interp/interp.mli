@@ -39,8 +39,17 @@ type mode = Split | Unified | Inspector_executor
       time; loads and stores cache a validated block handle per site.
     - {!Tree_walk} — the original AST interpreter, kept for differential
       testing: both engines must produce bit-identical outputs, stats,
-      and traces on every program. *)
-type engine = Closures | Tree_walk
+      and traces on every program.
+    - {!Parallel} — the closure engine plus a persistent domain pool
+      (see {!Cgcm_support.Pool}): each eligible kernel launch statically
+      chunks its DOALL trip count across [config.jobs] domains, each
+      with per-domain closure instantiations, and a join barrier merges
+      shard state in iteration order — outputs, stats, traces and
+      simulated timelines stay bit-identical to {!Closures}. Launches
+      below the {!Cost_model.t.par_min_trip} threshold, kernels the
+      static shardability check rejects, and everything outside kernels
+      run on the sequential closure path. *)
+type engine = Closures | Tree_walk | Parallel
 
 type config = {
   mode : mode;
@@ -64,6 +73,11 @@ type config = {
           {!Cgcm_support.Errors.Coherence_violation} fail-fast on stale
           reads, lost updates, premature releases and double frees
           ({!Split} mode only; the oracle modes have nothing to check) *)
+  jobs : int;
+      (** {!Parallel} engine only: domains executing kernel launches;
+          0 (the default) resolves via [CGCM_JOBS] then
+          [Domain.recommended_domain_count]. [jobs = 1] selects the
+          exact sequential closure path. *)
 }
 
 val default_config : config

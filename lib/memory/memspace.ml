@@ -353,6 +353,67 @@ let[@inline] h_store_f64 (h : handle) addr v =
 let[@inline] handle_base (h : handle) = h.base
 
 (* ------------------------------------------------------------------ *)
+(* Deferred dirty logging: the parallel kernel engine                  *)
+
+(* The dirty-span accumulator above is order-dependent mutable state
+   (head interval, retirement, collapse), so shards of a parallel kernel
+   cannot call [note_dirty] directly without changing the resulting
+   spans (and with them transfer sizes and [bytes_saved]). Instead each
+   shard appends its stores to a private log — the [Bytes] write happens
+   immediately, only the span bookkeeping is deferred — and the join
+   replays the logs in shard order through [note_dirty]. Chunks are
+   contiguous, so shard order is iteration order and the resulting span
+   state is bit-identical to the sequential engine's.
+
+   Entries pack (offset, length) into one int: lengths here are only
+   ever 1 or 8, so 4 bits suffice. *)
+
+type dirty_log = {
+  mutable l_blocks : block array;
+  mutable l_packed : int array;  (* off lsl 4 lor len *)
+  mutable l_len : int;
+}
+
+let log_create () =
+  { l_blocks = Array.make 64 null_handle; l_packed = Array.make 64 0; l_len = 0 }
+
+let log_clear l = l.l_len <- 0
+
+let[@inline never] log_grow l =
+  let cap = Array.length l.l_packed in
+  let blocks = Array.make (cap * 2) null_handle in
+  let packed = Array.make (cap * 2) 0 in
+  Array.blit l.l_blocks 0 blocks 0 cap;
+  Array.blit l.l_packed 0 packed 0 cap;
+  l.l_blocks <- blocks;
+  l.l_packed <- packed
+
+let[@inline] log_push l b off len =
+  if l.l_len = Array.length l.l_packed then log_grow l;
+  Array.unsafe_set l.l_blocks l.l_len b;
+  Array.unsafe_set l.l_packed l.l_len ((off lsl 4) lor len);
+  l.l_len <- l.l_len + 1
+
+let[@inline] h_store_u8_log l (h : handle) addr v =
+  Bytes.unsafe_set h.data (addr - h.base) (Char.unsafe_chr (v land 0xff));
+  log_push l h (addr - h.base) 1
+
+let[@inline] h_store_i64_log l (h : handle) addr v =
+  Bytes.set_int64_le h.data (addr - h.base) v;
+  log_push l h (addr - h.base) 8
+
+let[@inline] h_store_f64_log l (h : handle) addr v =
+  Bytes.set_int64_le h.data (addr - h.base) (Int64.bits_of_float v);
+  log_push l h (addr - h.base) 8
+
+let log_replay l =
+  for i = 0 to l.l_len - 1 do
+    let p = Array.unsafe_get l.l_packed i in
+    note_dirty (Array.unsafe_get l.l_blocks i) (p lsr 4) (p land 0xf)
+  done;
+  l.l_len <- 0
+
+(* ------------------------------------------------------------------ *)
 (* Checked accessors (the tree-walking interpreter's path)             *)
 
 let load_u8 t addr =

@@ -135,6 +135,29 @@ val h_load_f64 : handle -> int -> float
 val h_store_f64 : handle -> int -> float -> unit
 val handle_base : handle -> int
 
+(** {2 Deferred dirty logging}
+
+    The dirty-span accumulator is order-dependent mutable state, so
+    shards of a parallel kernel must not update it concurrently. The
+    [_log] store variants perform the [Bytes] write immediately but
+    append the span bookkeeping to a private per-shard log;
+    {!log_replay} at the join barrier feeds the entries through the
+    ordinary accumulator. Replaying shard logs in shard (= iteration)
+    order reproduces the sequential engine's span state exactly. *)
+
+type dirty_log
+
+val log_create : unit -> dirty_log
+val log_clear : dirty_log -> unit
+
+val h_store_u8_log : dirty_log -> handle -> int -> int -> unit
+val h_store_i64_log : dirty_log -> handle -> int -> int64 -> unit
+val h_store_f64_log : dirty_log -> handle -> int -> float -> unit
+
+val log_replay : dirty_log -> unit
+(** Feed every logged store through the dirty-span accumulator, in log
+    order, then clear the log. *)
+
 (** {2 Dirty spans}
 
     Every store records the written interval in a coarse merged interval

@@ -62,7 +62,8 @@ type claim_kind = Direct | Translated
 type claim = { c_base : int; c_unit : shadow; c_kind : claim_kind }
 
 type stats = {
-  mutable checks : int;  (* program accesses checked *)
+  checks : Cgcm_support.Stats.Counter.t;  (* program accesses checked;
+     atomic because parallel kernel shards bump it concurrently *)
   mutable transfers : int;  (* transfers observed *)
   mutable redundant_htod : int;
   mutable redundant_htod_bytes : int;
@@ -95,7 +96,7 @@ let create ~dev_lo () =
     epoch = 0;
     st =
       {
-        checks = 0;
+        checks = Cgcm_support.Stats.Counter.create ();
         transfers = 0;
         redundant_htod = 0;
         redundant_htod_bytes = 0;
@@ -486,7 +487,7 @@ let access_instr ~what ~len ~addr ~fn ~kernel =
     (if kernel then " [kernel]" else "")
 
 let on_load t ~addr ~len ~fn ~kernel =
-  t.st.checks <- t.st.checks + 1;
+  Cgcm_support.Stats.Counter.incr t.st.checks;
   if addr >= t.dev_lo then begin
     match find_claim t addr with
     | None -> ()  (* kernel-local stack or manually managed memory *)
@@ -539,7 +540,7 @@ let on_load t ~addr ~len ~fn ~kernel =
 let on_store t ~addr ~len ~fn ~kernel =
   ignore fn;
   ignore kernel;
-  t.st.checks <- t.st.checks + 1;
+  Cgcm_support.Stats.Counter.incr t.st.checks;
   if addr >= t.dev_lo then begin
     match find_claim t addr with
     | None -> ()
@@ -610,7 +611,7 @@ let report t =
     Avl.fold (fun _ su n -> if any_set su.dev_dirty then n + 1 else n) t.units 0
   in
   {
-    r_checks = t.st.checks;
+    r_checks = Cgcm_support.Stats.Counter.get t.st.checks;
     r_transfers = t.st.transfers;
     r_redundant_htod = t.st.redundant_htod;
     r_redundant_htod_bytes = t.st.redundant_htod_bytes;

@@ -1,4 +1,20 @@
-(* Small numeric helpers shared by the report generators. *)
+(* Small numeric helpers shared by the report generators, plus the
+   domain-safe counters the parallel kernel engine relies on. *)
+
+(* A counter that tolerates unsynchronized increments from many domains
+   at once. Used for hot-path tallies (e.g. sanitizer access checks)
+   that are bumped from inside parallel kernel shards; heavier per-shard
+   state is accumulated privately and merged at the kernel join instead
+   of going through atomics. *)
+module Counter = struct
+  type t = int Atomic.t
+
+  let create ?(value = 0) () = Atomic.make value
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let set t v = Atomic.set t v
+end
 
 let mean = function
   | [] -> nan

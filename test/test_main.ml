@@ -18,6 +18,7 @@ let () =
       ("bench-progs", Test_bench_progs.tests);
       ("edge", Test_edge.tests);
       ("fastpath", Test_fastpath.tests);
+      ("parallel", Test_parallel.tests);
       ("reader", Test_reader.tests);
       ("infra", Test_infra.tests);
       ("faults", Test_faults.tests);

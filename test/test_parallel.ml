@@ -1,0 +1,166 @@
+(* Differential testing of the parallel (domain-pool) kernel engine
+   against the sequential closure engine.
+
+   The parallel engine shards every eligible DOALL launch across OCaml 5
+   domains, so every program in the suite runs under both engines in
+   every execution configuration, at several job counts, and must
+   produce bit-identical outputs, simulated clocks, instruction counts,
+   device/run-time stats, and traces — the join-order merge (output
+   buffers, deferred dirty-span logs, instruction counts) is what makes
+   that hold, and these tests are the referee. *)
+
+module Pipeline = Cgcm_core.Pipeline
+module Interp = Cgcm_interp.Interp
+module Cost_model = Cgcm_gpusim.Cost_model
+module Pool = Cgcm_support.Pool
+
+let check = Alcotest.check
+
+(* Force sharding on the scaled-down suite: every launch with at least
+   two iterations is eligible, so the differential actually exercises
+   cross-domain execution instead of the sequential fallback. *)
+let par_cost = { Cost_model.default with Cost_model.par_min_trip = 2 }
+
+let executions =
+  [
+    ("seq", Pipeline.Sequential);
+    ("ie", Pipeline.Inspector_executor_exec);
+    ("unopt", Pipeline.Cgcm_unoptimized);
+    ("opt", Pipeline.Cgcm_optimized);
+  ]
+
+let test_differential (name, src) () =
+  List.iter
+    (fun (cname, ex) ->
+      let _, closures =
+        Pipeline.run ~cost:par_cost ~trace:true ~engine:Interp.Closures ex src
+      in
+      List.iter
+        (fun jobs ->
+          let _, parallel =
+            Pipeline.run ~cost:par_cost ~trace:true ~engine:Interp.Parallel
+              ~jobs ex src
+          in
+          Test_fastpath.check_equal_results
+            (Printf.sprintf "%s/%s/j%d" name cname jobs)
+            closures parallel)
+        [ 2; 4 ])
+    executions
+
+(* --jobs 1 must select the exact sequential closure path: no pool, no
+   shards, identical everything. *)
+let test_jobs1_is_closures () =
+  List.iter
+    (fun pname ->
+      let src = List.assoc pname Test_fastpath.small_programs in
+      let _, closures =
+        Pipeline.run ~cost:par_cost ~trace:true ~engine:Interp.Closures
+          Pipeline.Cgcm_optimized src
+      in
+      let _, parallel =
+        Pipeline.run ~cost:par_cost ~trace:true ~engine:Interp.Parallel ~jobs:1
+          Pipeline.Cgcm_optimized src
+      in
+      Test_fastpath.check_equal_results (pname ^ "/j1") closures parallel)
+    [ "gemm"; "srad"; "kmeans"; "blackscholes" ]
+
+(* Prove the pool actually engages (the differential would be vacuous if
+   every launch silently fell back to the sequential path): the pool
+   spawns workers lazily, exactly when a launch shards, and no other
+   test asks for more than 4 domains — so after one run at jobs = 5 the
+   pool must be able to bring 5 domains to bear. *)
+let test_pool_engages () =
+  let src = List.assoc "gemm" Test_fastpath.small_programs in
+  let _, r =
+    Pipeline.run ~cost:par_cost ~engine:Interp.Parallel ~jobs:5
+      Pipeline.Cgcm_optimized src
+  in
+  check Alcotest.bool "ran" true (String.length r.Interp.output > 0);
+  check Alcotest.bool "pool grew to 5 domains" true (Pool.size () >= 5)
+
+(* The sanitizer's byte-version maps are updated concurrently from the
+   shards (disjoint bytes by the DOALL guarantee; an atomic check
+   counter): a sanitized parallel run must stay violation-free and agree
+   with the sanitized sequential run wherever the sanitizer's own
+   counters are not involved. *)
+let test_sanitized_parallel () =
+  List.iter
+    (fun pname ->
+      let src = List.assoc pname Test_fastpath.small_programs in
+      let _, closures =
+        Pipeline.run ~cost:par_cost ~sanitize:true ~engine:Interp.Closures
+          Pipeline.Cgcm_optimized src
+      in
+      let _, parallel =
+        Pipeline.run ~cost:par_cost ~sanitize:true ~engine:Interp.Parallel
+          ~jobs:4 Pipeline.Cgcm_optimized src
+      in
+      check Alcotest.string (pname ^ " sanitized output") closures.Interp.output
+        parallel.Interp.output;
+      check Alcotest.int64 (pname ^ " sanitized exit") closures.Interp.exit_code
+        parallel.Interp.exit_code;
+      match parallel.Interp.san_report with
+      | None -> Alcotest.fail "sanitizer did not run"
+      | Some rep ->
+        check Alcotest.bool (pname ^ " checks happened") true
+          (rep.Cgcm_sanitizer.Sanitizer.r_checks > 0))
+    [ "gemm"; "hotspot"; "atax" ]
+
+(* Fault-soak: the parallel engine under an injected-fault driver and a
+   tight device-memory cap must degrade exactly like the closure engine
+   (evictions, retries, CPU fallbacks are all main-domain work; a launch
+   whose globals were evicted falls back to the sequential path and
+   re-resolves through the run-time). Both engines issue identical
+   driver-call sequences, so a replayable fault plan fires identically —
+   including runs the driver legitimately cannot recover, which must
+   fail with the same error. *)
+let test_faulty_parallel () =
+  List.iter
+    (fun pname ->
+      let src = List.assoc pname Test_fastpath.small_programs in
+      let _, clean =
+        Pipeline.run ~cost:par_cost Pipeline.Cgcm_optimized src
+      in
+      let cap = (clean.Interp.dev_peak_bytes * 8 / 10) + 1 in
+      List.iter
+        (fun seed ->
+          let faults =
+            Cgcm_gpusim.Faults.parse
+              (Printf.sprintf "%d:alloc@1,htod@2,dtoh%%0.1,launch@1" seed)
+          in
+          let attempt engine jobs =
+            match
+              Pipeline.run ~cost:par_cost ~engine ~jobs ~faults
+                ~device_mem:cap ~trace:true Pipeline.Cgcm_optimized src
+            with
+            | _, r -> Ok r
+            | exception e -> Error (Printexc.to_string e)
+          in
+          let where = Printf.sprintf "%s/faults:%d" pname seed in
+          match (attempt Interp.Closures 0, attempt Interp.Parallel 4) with
+          | Ok c, Ok p -> Test_fastpath.check_equal_results where c p
+          | Error c, Error p -> check Alcotest.string (where ^ " error") c p
+          | Ok _, Error p ->
+            Alcotest.failf "%s: closures succeeded, parallel failed: %s" where
+              p
+          | Error c, Ok _ ->
+            Alcotest.failf "%s: parallel succeeded, closures failed: %s" where
+              c)
+        [ 1; 7; 42 ])
+    [ "gemm"; "jacobi-2d-imper"; "nw" ]
+
+let tests =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case ("parallel vs closures: " ^ name) `Quick
+        (test_differential (name, src)))
+    Test_fastpath.small_programs
+  @ [
+      Alcotest.test_case "jobs=1 is the closure engine" `Quick
+        test_jobs1_is_closures;
+      Alcotest.test_case "domain pool engages" `Quick test_pool_engages;
+      Alcotest.test_case "sanitized parallel agrees" `Quick
+        test_sanitized_parallel;
+      Alcotest.test_case "fault soak parallel vs closures" `Slow
+        test_faulty_parallel;
+    ]

@@ -158,6 +158,68 @@ let test_rng_range () =
     if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range"
   done
 
+(* Stats.Counter must survive concurrent increments from several
+   domains: 4 domains hammering one counter (plus a second counter
+   taking bulk adds) must lose no updates. *)
+let test_counter_hammer () =
+  let c = Cgcm_support.Stats.Counter.create () in
+  let bulk = Cgcm_support.Stats.Counter.create ~value:5 () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Cgcm_support.Stats.Counter.incr c
+            done;
+            Cgcm_support.Stats.Counter.add bulk 3))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "no lost increments" 40_000
+    (Cgcm_support.Stats.Counter.get c);
+  check Alcotest.int "adds accumulate" 17 (Cgcm_support.Stats.Counter.get bulk);
+  Cgcm_support.Stats.Counter.set bulk 0;
+  check Alcotest.int "set" 0 (Cgcm_support.Stats.Counter.get bulk)
+
+(* The domain pool: every task index runs exactly once, results land in
+   the right slots, failures re-raise in the caller, and the pool is
+   reusable afterwards. *)
+let test_pool_run () =
+  let n = 100 in
+  let hits = Array.make n 0 in
+  (* jobs = 1 stays on the calling domain: strictly sequential. *)
+  Cgcm_support.Pool.run ~jobs:1 n (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i h -> check Alcotest.int (Printf.sprintf "seq task %d" i) 1 h)
+    hits;
+  let counts = Array.make n (-1) in
+  Cgcm_support.Pool.run ~jobs:4 n (fun i -> counts.(i) <- i * i);
+  Array.iteri
+    (fun i v -> check Alcotest.int (Printf.sprintf "par task %d" i) (i * i) v)
+    counts;
+  check Alcotest.bool "pool retained workers" true
+    (Cgcm_support.Pool.size () >= 2)
+
+let test_pool_failure () =
+  (match
+     Cgcm_support.Pool.run ~jobs:4 8 (fun i ->
+         if i = 5 then failwith "task five")
+   with
+  | () -> Alcotest.fail "expected the task failure to re-raise"
+  | exception Failure m -> check Alcotest.string "failure message" "task five" m);
+  (* the pool must still work after a failed batch *)
+  let ok = Atomic.make 0 in
+  Cgcm_support.Pool.run ~jobs:4 8 (fun _ -> Atomic.incr ok);
+  check Alcotest.int "pool reusable after failure" 8 (Atomic.get ok)
+
+let test_pool_jobs_parse () =
+  check Alcotest.(option int) "parse 4" (Some 4)
+    (Cgcm_support.Pool.parse_jobs "4");
+  check Alcotest.(option int) "parse garbage" None
+    (Cgcm_support.Pool.parse_jobs "four");
+  check Alcotest.(option int) "parse zero" None
+    (Cgcm_support.Pool.parse_jobs "0");
+  check Alcotest.(option int) "clamped" (Some Cgcm_support.Pool.max_jobs)
+    (Cgcm_support.Pool.parse_jobs "9999")
+
 let tests =
   [
     Alcotest.test_case "avl empty" `Quick test_empty;
@@ -175,4 +237,8 @@ let tests =
     Alcotest.test_case "stats mean/percent" `Quick test_mean_percent;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng range" `Quick test_rng_range;
+    Alcotest.test_case "counter 4-domain hammer" `Quick test_counter_hammer;
+    Alcotest.test_case "pool runs every task" `Quick test_pool_run;
+    Alcotest.test_case "pool re-raises failures" `Quick test_pool_failure;
+    Alcotest.test_case "pool jobs parsing" `Quick test_pool_jobs_parse;
   ]
