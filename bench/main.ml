@@ -20,6 +20,8 @@ module Device = Cgcm_gpusim.Device
 module Cost_model = Cgcm_gpusim.Cost_model
 module Runtime = Cgcm_runtime.Runtime
 module Avl = Cgcm_support.Avl_map.Int
+module Pass = Cgcm_transform.Pass
+module Manager = Pass.Manager
 
 let section title =
   Fmt.pr "@.%s@.%s@.@." title (String.make (String.length title) '=')
@@ -240,19 +242,21 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 (* micro --json: the machine-readable performance baseline             *)
 
-(* Emits BENCH_4.json: the micro table, an honest A/B of the three
+(* Emits BENCH_5.json: the micro table, an honest A/B of the three
    interpreter engines over the whole 24-program suite (same binary, the
    tree-walker is the pre-optimisation interpreter kept behind the
    engine flag; the parallel engine shards kernel launches across a
-   domain pool), and the dirty-span transfer volumes against whole-unit
-   copies. Host wall-clock numbers are whatever the machine gives —
+   domain pool), the dirty-span transfer volumes against whole-unit
+   copies, and the compile-time A/B of the caching analysis manager
+   against the restart-from-scratch discipline the mid-end used to run
+   with. Host wall-clock numbers are whatever the machine gives —
    "host_cores" records how much hardware parallelism was actually
    available, because a domain pool cannot beat the clock on one core. *)
 let micro_json () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cgcm-bench-4\",\n";
+  add "  \"schema\": \"cgcm-bench-5\",\n";
   (* 1. micro-benchmarks *)
   add "  \"micro_ns_per_op\": {\n";
   let rows = micro_rows () in
@@ -364,9 +368,78 @@ let micro_json () =
   add "    \"opt_bytes_whole_unit\": %d,\n" dirty_off;
   add "    \"bytes_saved\": %d,\n" saved;
   add "    \"partial_copies\": %d\n" partial;
+  add "  },\n";
+  (* 4. compile-time: the caching analysis manager vs the
+     restart-from-scratch discipline (every analysis query recomputed,
+     which is what the mid-end did before the manager existed). Same
+     optimized pipeline, same programs; only the cache policy differs. *)
+  let reps = 5 in
+  let compile_suite analysis =
+    let per_pass = Hashtbl.create 8 in
+    let cache = Hashtbl.create 8 in
+    let total = ref 0.0 in
+    for _ = 1 to reps do
+      List.iter
+        (fun (p : Cgcm_progs.Registry.program) ->
+          let c =
+            Pipeline.compile ~level:Pipeline.Optimized ~analysis
+              p.Cgcm_progs.Registry.source
+          in
+          List.iter
+            (fun (s : Pass.pass_stat) ->
+              let cur =
+                try Hashtbl.find per_pass s.Pass.ps_pass with Not_found -> 0.0
+              in
+              Hashtbl.replace per_pass s.Pass.ps_pass (cur +. s.Pass.ps_wall_ms);
+              total := !total +. s.Pass.ps_wall_ms)
+            c.Pipeline.pass_stats;
+          List.iter
+            (fun (n, h, m) ->
+              let h0, m0 = try Hashtbl.find cache n with Not_found -> (0, 0) in
+              Hashtbl.replace cache n (h0 + h, m0 + m))
+            c.Pipeline.cache_stats)
+        Cgcm_progs.Registry.all
+    done;
+    (per_pass, cache, !total)
+  in
+  Fmt.epr "  timing the optimized pipeline with cached analyses...@.";
+  let cached_pass, cached_cache, cached_ms = compile_suite Manager.Cached in
+  Fmt.epr "  timing the optimized pipeline with uncached analyses...@.";
+  let unc_pass, unc_cache, unc_ms = compile_suite Manager.Uncached in
+  let add_side name (per_pass, cache, total_ms) last =
+    add "    %S: {\n" name;
+    add "      \"total_ms\": %.2f,\n" total_ms;
+    add "      \"per_pass_ms\": {\n";
+    let rows =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_pass [] |> List.sort compare
+    in
+    List.iteri
+      (fun i (k, v) ->
+        add "        %S: %.2f%s\n" k v
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    add "      },\n";
+    add "      \"analysis_cache\": {\n";
+    let rows =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) cache [] |> List.sort compare
+    in
+    List.iteri
+      (fun i (k, (h, m)) ->
+        add "        %S: { \"hits\": %d, \"misses\": %d }%s\n" k h m
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    add "      }\n";
+    add "    }%s\n" (if last then "" else ",")
+  in
+  add "  \"compile\": {\n";
+  add "    \"programs\": %d,\n" (List.length Cgcm_progs.Registry.all);
+  add "    \"reps\": %d,\n" reps;
+  add_side "cached" (cached_pass, cached_cache, cached_ms) false;
+  add_side "uncached" (unc_pass, unc_cache, unc_ms) false;
+  add "    \"speedup\": %.2f\n" (unc_ms /. cached_ms);
   add "  }\n";
   add "}\n";
-  let path = "BENCH_4.json" in
+  let path = "BENCH_5.json" in
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -13,6 +13,8 @@ module Trace = Cgcm_gpusim.Trace
 module Faults = Cgcm_gpusim.Faults
 module Errors = Cgcm_support.Errors
 module Runtime = Cgcm_runtime.Runtime
+module Pass = Cgcm_transform.Pass
+module Manager = Pass.Manager
 
 let read_file path =
   let ic = open_in_bin path in
@@ -166,6 +168,147 @@ let parse_chaos spec =
 
 let parse_faults = Option.map Faults.parse
 
+(* --- pass-pipeline surfaces (shared by run and ir) ------------------- *)
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"SPEC"
+        ~doc:
+          "Run a custom pass plan instead of the one the level/mode \
+           implies: comma-separated pass names with $(b,fixpoint(...)) \
+           sub-plans, e.g. \
+           $(b,simplify,comm-mgmt,fixpoint(map-promotion)). The named \
+           plans unmanaged, managed and optimized are accepted as items.")
+
+let dump_ir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-ir" ] ~docv:"after:PASS"
+        ~doc:
+          "Print the IR after every execution of PASS \
+           ($(b,after:all) dumps after every pass execution)")
+
+let pass_stats_arg =
+  Arg.(
+    value
+    & opt
+        ~vopt:(Some `Table)
+        (some (enum [ ("table", `Table); ("json", `Json) ]))
+        None
+    & info [ "pass-stats" ] ~docv:"FORMAT"
+        ~doc:
+          "Print per-pass statistics (wall time; instruction, launch and \
+           run-time-call deltas) and the analysis manager's cache \
+           hit/miss counters. FORMAT is table (default) or json.")
+
+let analysis_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("cached", Manager.Cached);
+             ("uncached", Manager.Uncached);
+             ("paranoid", Manager.Paranoid);
+           ])
+        Manager.Cached
+    & info [ "analysis" ] ~docv:"MODE"
+        ~doc:
+          "Analysis manager discipline: cached (default), uncached \
+           (recompute on every query — the restart-from-scratch \
+           baseline), or paranoid (recompute anyway and cross-check \
+           every cached result, aborting on staleness)")
+
+let parse_passes = function
+  | None -> None
+  | Some spec -> (
+    match Pass.parse_plan spec with
+    | Ok plan -> Some plan
+    | Error e -> failwith (Fmt.str "bad --passes: %s" e))
+
+let parse_dump_ir = function
+  | None -> None
+  | Some spec ->
+    let n = String.length spec in
+    if n > 6 && String.sub spec 0 6 = "after:" then begin
+      let name = String.sub spec 6 (n - 6) in
+      if name <> "all" && Pass.find name = None then
+        failwith
+          (Fmt.str "bad --dump-ir: unknown pass %S (available: %s)" name
+             (String.concat ", " (List.map (fun p -> p.Pass.name) Pass.all)));
+      Some name
+    end
+    else
+      failwith
+        (Fmt.str "bad --dump-ir %S (expected after:PASS or after:all)" spec)
+
+let dump_hooks = function
+  | None -> Pass.default_hooks
+  | Some sel ->
+    {
+      Pass.default_hooks with
+      Pass.after_pass =
+        (fun name m ->
+          if sel = "all" || sel = name then begin
+            Fmt.pr ";; === IR after %s ===@." name;
+            print_string (Cgcm_ir.Printer.modul_to_string m)
+          end);
+    }
+
+let print_pass_stats format (c : Pipeline.compiled) =
+  match format with
+  | `Table ->
+    Fmt.pr "--- pass statistics:@.";
+    Fmt.pr "    %-18s %9s %8s %7s %8s %8s@." "pass" "ms" "changed" "dinstr"
+      "dlaunch" "drtcall";
+    List.iter
+      (fun (s : Pass.pass_stat) ->
+        Fmt.pr "    %-18s %9.2f %8s %+7d %+8d %+8d@." s.Pass.ps_pass
+          s.Pass.ps_wall_ms
+          (if s.Pass.ps_changed then "yes" else "-")
+          (s.Pass.ps_instrs_after - s.Pass.ps_instrs_before)
+          (s.Pass.ps_launches_after - s.Pass.ps_launches_before)
+          (s.Pass.ps_rtcalls_after - s.Pass.ps_rtcalls_before))
+      c.Pipeline.pass_stats;
+    Fmt.pr "--- analysis cache:@.";
+    Fmt.pr "    %-18s %9s %8s@." "analysis" "hits" "misses";
+    List.iter
+      (fun (name, h, m) ->
+        if h + m > 0 then Fmt.pr "    %-18s %9d %8d@." name h m)
+      c.Pipeline.cache_stats
+  | `Json ->
+    let b = Buffer.create 512 in
+    Buffer.add_string b "{\n  \"passes\": [";
+    List.iteri
+      (fun i (s : Pass.pass_stat) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n    {\"pass\": %S, \"wall_ms\": %.3f, \"changed\": %b, \
+              \"instrs\": [%d, %d], \"launches\": [%d, %d], \
+              \"runtime_calls\": [%d, %d]%s}"
+             s.Pass.ps_pass s.Pass.ps_wall_ms s.Pass.ps_changed
+             s.Pass.ps_instrs_before s.Pass.ps_instrs_after
+             s.Pass.ps_launches_before s.Pass.ps_launches_after
+             s.Pass.ps_rtcalls_before s.Pass.ps_rtcalls_after
+             (match s.Pass.ps_ir_changed with
+             | None -> ""
+             | Some ir -> Printf.sprintf ", \"ir_changed\": %b" ir)))
+      c.Pipeline.pass_stats;
+    Buffer.add_string b "\n  ],\n  \"analysis_cache\": [";
+    List.iteri
+      (fun i (name, h, m) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\n    {\"analysis\": %S, \"hits\": %d, \"misses\": %d}"
+             name h m))
+      c.Pipeline.cache_stats;
+    Buffer.add_string b "\n  ]\n}\n";
+    print_string (Buffer.contents b)
+
 let print_result (r : Interp.result) ~trace =
   print_string r.Interp.output;
   Fmt.pr "--- exit code   : %Ld@." r.Interp.exit_code;
@@ -199,16 +342,25 @@ let print_result (r : Interp.result) ~trace =
 
 let run_cmd =
   let doc = "Compile and run a CGC program under a given execution mode" in
-  let f file mode trace profile faults device_mem sanitize chaos engine jobs =
+  let f file mode trace profile faults device_mem sanitize chaos engine jobs
+      passes dump_ir pass_stats analysis =
     guarded @@ fun () ->
     let src = read_file file in
     let faults = parse_faults faults in
     let engine, jobs = resolve_engine engine jobs in
+    let plan = parse_passes passes in
+    let dump = parse_dump_ir dump_ir in
+    let stats_out = ref None in
     let r =
-      if profile || chaos <> None then begin
+      if
+        profile || chaos <> None || plan <> None || dump <> None
+        || pass_stats <> None
+        || analysis <> Manager.Cached
+      then begin
         (* re-run through the pipeline by hand: profiling needs a custom
-           config, and --chaos must mutate the module between compile and
-           run *)
+           config, --chaos must mutate the module between compile and
+           run, and the pass-pipeline surfaces need compile-time knobs
+           Pipeline.run does not expose *)
         let level, imode =
           match mode with
           | Pipeline.Sequential -> (Pipeline.Unmanaged, Interp.Unified)
@@ -229,7 +381,11 @@ let run_cmd =
             { Cgcm_gpusim.Cost_model.default with device_mem_bytes = bytes }
           | None -> Cgcm_gpusim.Cost_model.default
         in
-        let c = Pipeline.compile ~parallel ~level src in
+        let c =
+          Pipeline.compile ~parallel ~level ?plan ~analysis
+            ~hooks:(dump_hooks dump) src
+        in
+        stats_out := Some c;
         (match chaos with
         | Some spec ->
           let intrinsic, n = parse_chaos spec in
@@ -254,6 +410,9 @@ let run_cmd =
              src)
     in
     print_result r ~trace;
+    (match (pass_stats, !stats_out) with
+    | Some format, Some c -> print_pass_stats format c
+    | _ -> ());
     if profile then begin
       Fmt.pr "--- per-function dynamic instructions:@.";
       List.iter
@@ -264,7 +423,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const f $ file_arg $ mode_arg $ trace_arg $ profile_arg $ faults_arg
-      $ device_mem_arg $ sanitize_arg $ chaos_arg $ engine_arg $ jobs_arg)
+      $ device_mem_arg $ sanitize_arg $ chaos_arg $ engine_arg $ jobs_arg
+      $ passes_arg $ dump_ir_arg $ pass_stats_arg $ analysis_arg)
 
 let level_conv =
   Arg.enum
@@ -281,13 +441,24 @@ let level_arg =
     & info [ "level"; "l" ] ~doc:"Pipeline level: unmanaged, managed, optimized")
 
 let ir_cmd =
-  let doc = "Dump the IR after the selected pipeline level" in
-  let f file level =
+  let doc = "Dump the IR after the selected pipeline level (or pass plan)" in
+  let f file level passes dump_ir pass_stats analysis =
     guarded @@ fun () ->
-    let c = Pipeline.compile ~level (read_file file) in
-    print_string (Cgcm_ir.Printer.modul_to_string c.Pipeline.modul)
+    let plan = parse_passes passes in
+    let dump = parse_dump_ir dump_ir in
+    let c =
+      Pipeline.compile ~level ?plan ~analysis ~hooks:(dump_hooks dump)
+        (read_file file)
+    in
+    print_string (Cgcm_ir.Printer.modul_to_string c.Pipeline.modul);
+    match pass_stats with
+    | Some format -> print_pass_stats format c
+    | None -> ()
   in
-  Cmd.v (Cmd.info "ir" ~doc) Term.(const f $ file_arg $ level_arg)
+  Cmd.v (Cmd.info "ir" ~doc)
+    Term.(
+      const f $ file_arg $ level_arg $ passes_arg $ dump_ir_arg
+      $ pass_stats_arg $ analysis_arg)
 
 let ast_cmd =
   let doc = "Dump the AST (after DOALL outlining unless --no-doall)" in
@@ -459,13 +630,23 @@ let fuzz_cmd =
              differential check (default 4 so kernels shard even on \
              single-core hosts)")
   in
-  let f count seed out jobs =
+  let plan_rounds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "plan-rounds" ] ~docv:"N"
+          ~doc:
+            "Rounds of fuzzed pass plans per program (each round adds a \
+             schedule-ordered subset plan run under split memory and a \
+             random subset/permutation plan run in unified memory); 0 \
+             disables pass-plan fuzzing")
+  in
+  let f count seed out jobs plan_rounds =
     guarded @@ fun () ->
     let reports =
       Cgcm_fuzz.Fuzz.campaign
         ~progress:(fun k ->
           if k mod 10 = 0 then Fmt.epr "fuzz: program %d/%d...@." k count)
-        ~jobs ~count ~seed ()
+        ~jobs ~plan_rounds ~count ~seed ()
     in
     let rendered = List.map Cgcm_fuzz.Fuzz.render_report reports in
     List.iter (Fmt.pr "%s@.") rendered;
@@ -482,7 +663,9 @@ let fuzz_cmd =
     end
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const f $ count_arg $ seed_arg $ out_arg $ fuzz_jobs_arg)
+    Term.(
+      const f $ count_arg $ seed_arg $ out_arg $ fuzz_jobs_arg
+      $ plan_rounds_arg)
 
 let figure2_cmd =
   let doc = "Render the Figure 2 execution schedules" in

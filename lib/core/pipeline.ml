@@ -10,6 +10,8 @@ module Doall = Cgcm_frontend.Doall
 module Lower = Cgcm_frontend.Lower
 module Ir = Cgcm_ir.Ir
 module Interp = Cgcm_interp.Interp
+module Pass = Cgcm_transform.Pass
+module Manager = Cgcm_analysis.Manager
 
 (* How much of CGCM runs after parallelization. *)
 type level =
@@ -22,24 +24,47 @@ type compiled = {
   doall : Doall.report;
   level : level;
   parallel : Doall.mode;
+  pass_stats : Pass.pass_stat list;  (* one row per pass execution *)
+  cache_stats : (string * int * int) list;  (* analysis, hits, misses *)
 }
 
-let compile ?(parallel = Doall.Auto) ?(level = Optimized) (source : string) :
-    compiled =
+let plan_of_level = function
+  | Unmanaged -> Pass.unmanaged_plan
+  | Managed -> Pass.managed_pipeline
+  | Optimized -> Pass.optimized_pipeline
+
+let compile ?(parallel = Doall.Auto) ?(level = Optimized) ?plan
+    ?(analysis = Manager.Cached) ?hooks ?verify (source : string) : compiled =
   let ast = Parser.parse_string source in
   let ast, doall = Doall.transform ~mode:parallel ast in
   let modul = Lower.lower_program ast in
-  (* The pass manager runs the §5.3 schedule; simplification runs in every
-     configuration (including the sequential baseline) so cost comparisons
-     stay fair. *)
-  let pipeline =
-    match level with
-    | Unmanaged -> [ Cgcm_transform.Pass.simplify ]
-    | Managed -> Cgcm_transform.Pass.managed_pipeline
-    | Optimized -> Cgcm_transform.Pass.optimized_pipeline
+  (* The pass framework runs the §5.3 schedule over a caching analysis
+     manager; simplification runs in every configuration (including the
+     sequential baseline) so cost comparisons stay fair. An explicit
+     [plan] overrides the level's; the level still names what the
+     interpreter should expect of the module. *)
+  let plan = match plan with Some p -> p | None -> plan_of_level level in
+  let mgr = Manager.create ~mode:analysis modul in
+  let stats = ref [] in
+  let base = match hooks with Some h -> h | None -> Pass.default_hooks in
+  let hooks =
+    {
+      base with
+      Pass.on_stat =
+        (fun s ->
+          stats := s :: !stats;
+          base.Pass.on_stat s);
+    }
   in
-  Cgcm_transform.Pass.run_pipeline pipeline modul;
-  { modul; doall; level; parallel }
+  Pass.run_plan ~hooks ?verify mgr plan;
+  {
+    modul;
+    doall;
+    level;
+    parallel;
+    pass_stats = List.rev !stats;
+    cache_stats = Manager.stats mgr;
+  }
 
 (* The paper's execution configurations. *)
 type execution =

@@ -18,11 +18,30 @@ type compiled = {
   doall : Doall.report;  (** kernels created, loops rejected, and why *)
   level : level;
   parallel : Doall.mode;
+  pass_stats : Cgcm_transform.Pass.pass_stat list;
+      (** one row per pass execution, in execution order *)
+  cache_stats : (string * int * int) list;
+      (** per-analysis (name, cache hits, misses) from the manager *)
 }
 
-val compile : ?parallel:Doall.mode -> ?level:level -> string -> compiled
+val plan_of_level : level -> Cgcm_transform.Pass.plan
+
+val compile :
+  ?parallel:Doall.mode ->
+  ?level:level ->
+  ?plan:Cgcm_transform.Pass.plan ->
+  ?analysis:Cgcm_analysis.Manager.mode ->
+  ?hooks:Cgcm_transform.Pass.hooks ->
+  ?verify:Cgcm_transform.Pass.verify_policy ->
+  string ->
+  compiled
 (** Compile CGC source text. The module is verified after lowering and
-    after every transformation. Raises the frontend/transform exceptions
+    (by default) after every transformation. [plan] overrides the pass
+    plan the [level] implies — e.g. a custom [--passes] spec; [analysis]
+    selects the manager's cache discipline ([Uncached] is the
+    restart-from-scratch baseline the benchmarks compare against,
+    [Paranoid] cross-checks every cached result); [hooks] observes each
+    pass execution. Raises the frontend/transform exceptions
     ([Parse_error], [Sema_error], [Doall_error], [Ill_formed]) on bad
     input or (for the latter) a compiler bug. *)
 

@@ -397,7 +397,129 @@ let check_source ?(jobs = 4) (src : string) : failure option =
     in
     List.find_map check_one configs
 
-let check ?jobs (p : prog) : failure option = check_source ?jobs (render p)
+(* ------------------------------------------------------------------ *)
+(* Pass-plan configurations: the fixed configs above always run the
+   stock level pipelines; these additionally compile under fuzzed pass
+   plans. Two families:
+
+   - a schedule-ordered *subset* of the optimized pipeline that keeps
+     comm-mgmt (management present exactly once — the pass is not
+     idempotent), run under split memory with the sanitizer armed;
+   - an arbitrary *permutation* of an arbitrary subset, run in unified
+     memory where management is not needed for correctness, so any
+     legal-IR ordering must preserve program output.
+
+   Plans derive deterministically from the program seed, so shrinking
+   re-checks a candidate under the exact same plans. *)
+
+module Pass = Cgcm_transform.Pass
+
+let split_subset_plan rng : Pass.plan =
+  let maybe_fix item =
+    if Rng.bool rng then [ Pass.fixpoint [ item ] ] else [ item ]
+  in
+  List.concat
+    [
+      (if Rng.bool rng then [ Pass.Atom Pass.simplify ] else []);
+      [ Pass.Atom Pass.comm_mgmt ];
+      (if Rng.bool rng then [ Pass.Atom Pass.glue_kernels ] else []);
+      (if Rng.bool rng then maybe_fix (Pass.Atom Pass.alloca_promotion)
+       else []);
+      (if Rng.bool rng then maybe_fix (Pass.Atom Pass.map_promotion) else []);
+    ]
+
+let unified_perm_plan rng : Pass.plan =
+  let subset = List.filter (fun _ -> Rng.bool rng) Pass.all in
+  let arr = Array.of_list subset in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Array.to_list arr |> List.map (fun p -> Pass.Atom p)
+
+let plan_configs ~rounds ~seed =
+  let rng = Rng.create (seed lxor 0x9E3779B9) in
+  List.concat
+    (List.init rounds (fun k ->
+         [
+           (Printf.sprintf "plan-split-%d" k, `Split, split_subset_plan rng);
+           (Printf.sprintf "plan-unified-%d" k, `Unified, unified_perm_plan rng);
+         ]))
+
+let check_plans ~rounds ~seed (src : string) : failure option =
+  if rounds <= 0 then None
+  else
+    let run_one name f =
+      match f () with
+      | r -> Ok (r : Interp.result)
+      | exception e -> (
+        match Cgcm_core.Diagnostics.classify e with
+        | Some (code, msg) ->
+          Error
+            { f_config = name; f_kind = Printf.sprintf "error (exit %d)" code;
+              f_detail = msg }
+        | None -> raise e)
+    in
+    match
+      run_one "sequential" (fun () -> snd (Pipeline.run Pipeline.Sequential src))
+    with
+    | Error f -> Some f
+    | Ok reference ->
+      let check_one (name, mem, plan) =
+        let label =
+          Printf.sprintf "%s [%s]" name (Pass.plan_to_string plan)
+        in
+        match
+          run_one label (fun () ->
+              let c = Pipeline.compile ~plan src in
+              let mode =
+                match mem with
+                | `Split -> Interp.Split
+                | `Unified -> Interp.Unified
+              in
+              Interp.run
+                ~config:
+                  { Interp.default_config with
+                    Interp.mode;
+                    sanitize = (mem = `Split);
+                  }
+                c.Pipeline.modul)
+        with
+        | Error f -> Some f
+        | Ok r ->
+          if
+            r.Interp.output <> reference.Interp.output
+            || r.Interp.exit_code <> reference.Interp.exit_code
+          then
+            Some
+              { f_config = label; f_kind = "output mismatch";
+                f_detail =
+                  Printf.sprintf "sequential printed:\n%sbut %s printed:\n%s"
+                    reference.Interp.output label r.Interp.output }
+          else
+            let leaks = r.Interp.leaks in
+            if
+              mem = `Split
+              && (leaks.Cgcm_runtime.Runtime.resident_nonglobal > 0
+                 || leaks.Cgcm_runtime.Runtime.leaked_dev_blocks > 0)
+            then
+              Some
+                { f_config = label; f_kind = "leak";
+                  f_detail =
+                    Printf.sprintf "%d resident units, %d device blocks leaked"
+                      leaks.Cgcm_runtime.Runtime.resident_nonglobal
+                      leaks.Cgcm_runtime.Runtime.leaked_dev_blocks }
+            else None
+      in
+      List.find_map check_one (plan_configs ~rounds ~seed)
+
+let check ?jobs ?(plan_rounds = 1) (p : prog) : failure option =
+  let src = render p in
+  match check_source ?jobs src with
+  | Some f -> Some f
+  | None -> check_plans ~rounds:plan_rounds ~seed:p.seed src
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking: greedy first-improvement to a fixpoint, bounded. A
@@ -518,8 +640,9 @@ let render_report (r : report) : string =
     r.r_failure.f_detail
     (render r.r_minimal)
 
-let campaign ?(progress = fun _ -> ()) ?jobs ~count ~seed () : report list =
-  let check = check ?jobs in
+let campaign ?(progress = fun _ -> ()) ?jobs ?plan_rounds ~count ~seed () :
+    report list =
+  let check = check ?jobs ?plan_rounds in
   let failures = ref [] in
   for k = 0 to count - 1 do
     progress k;

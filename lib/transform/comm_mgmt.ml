@@ -82,30 +82,46 @@ let manage_launch (f : Ir.func) (types : Typeinfer.kernel_types)
   @ [ Ir.Launch { kernel; trip; args = new_args } ]
   @ !post
 
-(* Manage every launch in the module. *)
-let run (m : Ir.modul) =
-  let kernel_types = Hashtbl.create 8 in
-  List.iter
-    (fun (f : Ir.func) ->
-      if f.Ir.fkind = Ir.Kernel then
-        Hashtbl.replace kernel_types f.Ir.fname (Typeinfer.infer_kernel f))
-    m.Ir.funcs;
+(* Manage every launch in the module. The kernel classifications come
+   through the manager, so a later glue-kernels or fuzz re-run reuses
+   them; launches never feed the loop, dominator, call-graph or mod/ref
+   analyses, so wrapping them preserves all four. *)
+let step (mgr : Cgcm_analysis.Manager.t) : bool =
+  let open Cgcm_analysis in
+  let m = Manager.modul mgr in
+  let types_of kernel =
+    match Ir.find_func m kernel with
+    | Some k when k.Ir.fkind = Ir.Kernel -> Manager.kernel_types mgr k
+    | Some _ | None -> raise (Unmanageable ("unknown kernel " ^ kernel))
+  in
+  let changed = ref false in
   List.iter
     (fun (f : Ir.func) ->
       if f.Ir.fkind = Ir.Cpu then begin
         register_escaping_allocas f;
+        let touched = ref false in
         Rewrite.expand_instrs f (fun _bi i ->
             match i with
             | Ir.Launch { kernel; trip; args } ->
-              let types =
-                match Hashtbl.find_opt kernel_types kernel with
-                | Some t -> t
-                | None -> raise (Unmanageable ("unknown kernel " ^ kernel))
-              in
-              manage_launch f types ~kernel ~trip ~args
-            | i -> [ i ])
+              touched := true;
+              manage_launch f (types_of kernel) ~kernel ~trip ~args
+            | i -> [ i ]);
+        if !touched then begin
+          changed := true;
+          Manager.invalidate_function mgr
+            ~preserve:
+              [
+                Manager.Loops; Manager.Dominance; Manager.Callgraph;
+                Manager.Modref; Manager.Kernel_types;
+              ]
+            f
+        end
       end)
     m.Ir.funcs;
+  !changed
+
+let run (m : Ir.modul) =
+  ignore (step (Cgcm_analysis.Manager.create m));
   Cgcm_ir.Verifier.verify_modul m
 
 (* Fault injection for the sanitizer's mutation tests: delete the [n]th

@@ -40,3 +40,8 @@ val drop_nth_call : Cgcm_ir.Ir.modul -> intrinsic:string -> n:int -> bool
     pointer operand; unit-returning intrinsics are removed outright. The
     module is intentionally not re-verified. Returns [true] iff a call
     was dropped. *)
+
+val step : Cgcm_analysis.Manager.t -> bool
+(** Manage every launch through the analysis manager (no verify);
+    [true] iff a launch was wrapped. Not idempotent: re-running it
+    would wrap the already-translated launch operands again. *)

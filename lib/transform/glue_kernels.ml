@@ -166,8 +166,8 @@ let outline_region (m : Ir.modul) ~(host : Ir.func) ~(name : string)
   k
 
 (* Scan one block for an outlining opportunity. Returns true on change. *)
-let try_block (m : Ir.modul) (f : Ir.func) (bi : int)
-    ~(max_insts : int) : bool =
+let try_block (mgr : Cgcm_analysis.Manager.t) (m : Ir.modul) (f : Ir.func)
+    (bi : int) ~(max_insts : int) : bool =
   let b = f.Ir.blocks.(bi) in
   let instrs = Array.of_list b.Ir.instrs in
   let n = Array.length instrs in
@@ -224,7 +224,7 @@ let try_block (m : Ir.modul) (f : Ir.func) (bi : int)
       let live_ins = region_live_ins moved in
       let k = outline_region m ~host:f ~name moved live_ins in
       (* Wrap the new launch in management calls right away. *)
-      let types = Typeinfer.infer_kernel k in
+      let types = Cgcm_analysis.Manager.kernel_types mgr k in
       let managed =
         Comm_mgmt.manage_launch f types ~kernel:name ~trip:(Ir.imm 1)
           ~args:live_ins
@@ -245,19 +245,44 @@ let try_block (m : Ir.modul) (f : Ir.func) (bi : int)
       true
   end
 
-let run ?(max_insts = default_max_insts) (m : Ir.modul) =
+(* Manager-driven step: outline to convergence, per CPU function. The
+   rewrites stay within existing blocks (no CFG edit) and never touch an
+   existing kernel, so loop, dominator and kernel-type results survive;
+   the moved loads/stores change the host function's mod/ref summary and
+   the new kernel functions change the call-graph node set. *)
+let step_with ~max_insts (mgr : Cgcm_analysis.Manager.t) : bool =
+  let open Cgcm_analysis in
+  let m = Manager.modul mgr in
+  let any = ref false in
   List.iter
     (fun (f : Ir.func) ->
       if f.Ir.fkind = Ir.Cpu then begin
         let changed = ref true in
+        let touched = ref false in
         while !changed do
           changed := false;
           Array.iteri
             (fun bi _ ->
               if bi < Array.length f.Ir.blocks then
-                if try_block m f bi ~max_insts then changed := true)
+                if try_block mgr m f bi ~max_insts then begin
+                  changed := true;
+                  touched := true
+                end)
             f.Ir.blocks
-        done
+        done;
+        if !touched then begin
+          any := true;
+          Manager.invalidate_function mgr
+            ~preserve:
+              [ Manager.Loops; Manager.Dominance; Manager.Kernel_types ]
+            f
+        end
       end)
     m.Ir.funcs;
+  !any
+
+let step mgr = step_with ~max_insts:default_max_insts mgr
+
+let run ?(max_insts = default_max_insts) (m : Ir.modul) =
+  ignore (step_with ~max_insts (Cgcm_analysis.Manager.create m));
   Cgcm_ir.Verifier.verify_modul m

@@ -25,6 +25,7 @@ module Loops = Cgcm_analysis.Loops
 module Alias = Cgcm_analysis.Alias
 module Callgraph = Cgcm_analysis.Callgraph
 module Modref = Cgcm_analysis.Modref
+module Manager = Cgcm_analysis.Manager
 
 type family = Scalar_family | Array_family
 
@@ -193,12 +194,17 @@ let delete_unmaps (f : Ir.func) ~in_region ~value ~family =
         []
       | i -> [ i ])
 
-(* Try to promote one candidate out of [loop]; returns true on change. *)
-let promote_loop_candidate (f : Ir.func) (modref : Modref.t) (loops : Loops.t)
-    (l : Loops.loop) (c : candidate) : bool =
+(* Try to promote one candidate out of loop [li]; returns true on
+   change. The alias result comes through the manager — in the cached
+   mode the per-candidate lookups the old code paid for become hits, and
+   the CFG edits patch the cached loop analysis instead of forcing the
+   restart below to recompute it. *)
+let promote_loop_candidate (mgr : Manager.t) (f : Ir.func) (modref : Modref.t)
+    (loops : Loops.t) ~li (c : candidate) : bool =
+  let l = loops.Loops.loops.(li) in
   if not c.has_unmap then false
   else begin
-    let alias = Alias.analyze f in
+    let alias = Manager.alias mgr f in
     let in_region bi = Loops.in_loop l bi in
     let db = def_blocks f in
     let chain = ref [] in
@@ -211,7 +217,7 @@ let promote_loop_candidate (f : Ir.func) (modref : Modref.t) (loops : Loops.t)
       let obj = Alias.underlying alias c.value in
       if mod_or_ref f alias modref ~in_region obj then false
       else begin
-        match Rewrite.make_preheader f loops l with
+        match Rewrite.make_preheader ~mgr f loops ~li with
         | None -> false
         | Some ph ->
           let mapf, unmapf, releasef = fns_of_family c.family in
@@ -223,7 +229,7 @@ let promote_loop_candidate (f : Ir.func) (modref : Modref.t) (loops : Loops.t)
           List.iter
             (fun (from_, to_) ->
               ignore
-                (Rewrite.split_edge f ~from_ ~to_
+                (Rewrite.split_edge ~mgr f ~from_ ~to_
                    ~instrs:
                      [
                        Ir.Call (None, unmapf, [ v' ]);
@@ -234,20 +240,24 @@ let promote_loop_candidate (f : Ir.func) (modref : Modref.t) (loops : Loops.t)
       end
   end
 
-(* One pass over all loops of a function, innermost first; restarts the
-   loop analysis after each change (the CFG mutates). *)
-let promote_loops (f : Ir.func) (modref : Modref.t) : bool =
+(* One pass over all loops of a function, innermost first; restarts from
+   the loop analysis after each change (the CFG mutates). Under the
+   cached manager the restart is served by the patched result; the
+   uncached mode recomputes here exactly like the old code did. *)
+let promote_loops (mgr : Manager.t) (f : Ir.func) (modref : Modref.t) : bool =
   let changed = ref false in
   let continue_ = ref true in
   while !continue_ do
     continue_ := false;
-    let loops = Loops.analyze f in
+    let loops = Manager.loops mgr f in
     let order = Loops.innermost_first loops in
     let try_one li =
       let l = loops.Loops.loops.(li) in
       let in_region bi = Loops.in_loop l bi in
       let cands = candidates_in f ~in_region in
-      List.exists (fun c -> promote_loop_candidate f modref loops l c) cands
+      List.exists
+        (fun c -> promote_loop_candidate mgr f modref loops ~li c)
+        cands
     in
     match List.find_opt try_one order with
     | Some _ ->
@@ -290,8 +300,8 @@ let resolve_to_entry (f : Ir.func) (alias : Alias.t) (v : Ir.value) :
     | _ -> None)
   | _ -> None
 
-let promote_function (m : Ir.modul) (modref : Modref.t) (cg : Callgraph.t)
-    (f : Ir.func) : bool =
+let promote_function (mgr : Manager.t) (m : Ir.modul) (modref : Modref.t)
+    (cg : Callgraph.t) (f : Ir.func) : bool =
   if f.Ir.fname = "main" || f.Ir.fkind = Ir.Kernel then false
   else if Callgraph.is_recursive cg f.Ir.fname then false
   else begin
@@ -299,7 +309,7 @@ let promote_function (m : Ir.modul) (modref : Modref.t) (cg : Callgraph.t)
     if sites = [] then false
     else begin
       let in_region _ = true in
-      let alias = Alias.analyze f in
+      let alias = Manager.alias mgr f in
       let cands =
         candidates_in f ~in_region
         |> List.filter_map (fun c ->
@@ -353,6 +363,22 @@ let promote_function (m : Ir.modul) (modref : Modref.t) (cg : Callgraph.t)
                   !pre @ [ i ] @ !post
                 | i -> [ i ]))
           caller_names;
+        (* Instruction-only edits: the deleted unmaps and inserted
+           wrappers are management intrinsics the call graph and
+           mod/ref summaries ignore, but the callee and every caller
+           got new instructions and registers. *)
+        let preserve =
+          [
+            Manager.Loops; Manager.Dominance; Manager.Callgraph;
+            Manager.Modref; Manager.Kernel_types;
+          ]
+        in
+        Manager.invalidate_function mgr ~preserve f;
+        List.iter
+          (fun caller_name ->
+            Manager.invalidate_function mgr ~preserve
+              (Ir.find_func_exn m caller_name))
+          caller_names;
         true
       end
     end
@@ -360,25 +386,39 @@ let promote_function (m : Ir.modul) (modref : Modref.t) (cg : Callgraph.t)
 
 (* ------------------------------------------------------------------ *)
 
+(* Manager-driven step: one round of loop- plus function-level
+   promotion. The fixpoint combinator (or the legacy [run] below)
+   iterates it so map operations climb from inner loops to outer loops
+   to callers. The mod/ref and call-graph fetches sit exactly where the
+   old code recomputed them — once per sweep — so the uncached mode
+   reproduces the restart-from-scratch cost and the cached mode turns
+   the re-fetches into hits (promotions only add or delete management
+   intrinsics, which both summaries ignore). *)
+let step (mgr : Manager.t) : bool =
+  let m = Manager.modul mgr in
+  let changed = ref false in
+  let modref = Manager.modref mgr in
+  List.iter
+    (fun (f : Ir.func) ->
+      if f.Ir.fkind = Ir.Cpu then
+        if promote_loops mgr f modref then changed := true)
+    m.Ir.funcs;
+  let cg = Manager.callgraph mgr in
+  let modref = Manager.modref mgr in
+  List.iter
+    (fun (f : Ir.func) ->
+      if f.Ir.fkind = Ir.Cpu then
+        if promote_function mgr m modref cg f then changed := true)
+    m.Ir.funcs;
+  !changed
+
 (* Iterate loop- and function-level promotion to convergence. *)
 let run ?(max_iterations = 12) (m : Ir.modul) =
+  let mgr = Manager.create m in
   let continue_ = ref true in
   let iter = ref 0 in
   while !continue_ && !iter < max_iterations do
     incr iter;
-    continue_ := false;
-    let modref = Modref.compute m in
-    List.iter
-      (fun (f : Ir.func) ->
-        if f.Ir.fkind = Ir.Cpu then
-          if promote_loops f modref then continue_ := true)
-      m.Ir.funcs;
-    let cg = Callgraph.compute m in
-    let modref = Modref.compute m in
-    List.iter
-      (fun (f : Ir.func) ->
-        if f.Ir.fkind = Ir.Cpu then
-          if promote_function m modref cg f then continue_ := true)
-      m.Ir.funcs
+    continue_ := step mgr
   done;
   Cgcm_ir.Verifier.verify_modul m

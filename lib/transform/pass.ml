@@ -1,8 +1,10 @@
-(* Pass manager: named module transformations composed into pipelines,
-   with optional logging and per-pass timing (via the [logs] library at
-   debug level), and verification between passes. *)
+(* Pass framework: passes declare requires/preserves and run over the
+   caching analysis manager, composed into plans with fixpoint iteration
+   and executed under instrumentation hooks (per-pass timing, IR deltas,
+   optional snapshot diffing, configurable verification). *)
 
 module Ir = Cgcm_ir.Ir
+module Manager = Cgcm_analysis.Manager
 
 let src = Logs.Src.create "cgcm.pass" ~doc:"CGCM pass manager"
 
@@ -11,69 +13,288 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type t = {
   name : string;
   description : string;
-  run : Ir.modul -> unit;
+  requires : Manager.kind list;
+  preserves : Manager.kind list;
+  step : Manager.t -> bool;
 }
 
-let make ~name ~description run = { name; description; run }
+let make ~name ~description ?(requires = []) ?(preserves = []) step =
+  { name; description; requires; preserves; step }
 
-(* The standard CGCM passes, in their §5.3 schedule order. *)
+let per_function ?(kinds = [ Ir.Cpu; Ir.Kernel ]) body (mgr : Manager.t) =
+  List.fold_left
+    (fun acc (f : Ir.func) ->
+      if List.mem f.Ir.fkind kinds then body mgr f || acc else acc)
+    false (Manager.modul mgr).Ir.funcs
+
+(* The standard CGCM passes, in their §5.3 schedule order. Each pass's
+   [preserves] set is its contract: what stays valid given the
+   fine-grained invalidation its step already performed. *)
 let simplify =
   make ~name:"simplify"
     ~description:"constant folding, algebraic identities, dead code"
-    Simplify.run
+    ~preserves:[ Manager.Loops; Manager.Dominance; Manager.Callgraph ]
+    Simplify.step
 
 let comm_mgmt =
   make ~name:"comm-mgmt"
     ~description:
       "insert map/unmap/release around every launch (use-based type \
        inference); mark escaping allocas"
-    Comm_mgmt.run
+    ~requires:[ Manager.Kernel_types ]
+    ~preserves:
+      [
+        Manager.Loops; Manager.Dominance; Manager.Callgraph; Manager.Modref;
+        Manager.Kernel_types;
+      ]
+    Comm_mgmt.step
 
 let glue_kernels =
   make ~name:"glue-kernels"
-    ~description:
-      "outline small CPU regions between launches onto the GPU"
-    (fun m -> Glue_kernels.run m)
+    ~description:"outline small CPU regions between launches onto the GPU"
+    ~requires:[ Manager.Kernel_types ]
+    ~preserves:[ Manager.Loops; Manager.Dominance; Manager.Kernel_types ]
+    Glue_kernels.step
 
 let alloca_promotion =
   make ~name:"alloca-promotion"
     ~description:"preallocate escaping locals in callers' frames"
-    (fun m -> Alloca_promotion.run m)
+    ~requires:[ Manager.Callgraph ]
+    ~preserves:
+      [
+        Manager.Loops; Manager.Dominance; Manager.Callgraph;
+        Manager.Kernel_types;
+      ]
+    Alloca_promotion.step
 
 let map_promotion =
   make ~name:"map-promotion"
     ~description:
       "hoist run-time calls out of loops and up the call graph (acyclic \
        communication)"
-    (fun m -> Map_promotion.run m)
+    ~requires:
+      [
+        Manager.Loops; Manager.Dominance; Manager.Alias; Manager.Callgraph;
+        Manager.Modref;
+      ]
+    ~preserves:
+      [
+        Manager.Loops; Manager.Dominance; Manager.Callgraph; Manager.Modref;
+        Manager.Kernel_types;
+      ]
+    Map_promotion.step
 
-(* Pipelines per optimization level. *)
-let managed_pipeline = [ simplify; comm_mgmt ]
+(* The single registry: [find] and the CLI enumerate from here. *)
+let all =
+  [ simplify; comm_mgmt; glue_kernels; alloca_promotion; map_promotion ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+type plan_item = Atom of t | Fixpoint of { max_iter : int; body : plan }
+and plan = plan_item list
+
+let default_fixpoint_iters = 12
+
+let fixpoint ?(max_iter = default_fixpoint_iters) body =
+  Fixpoint { max_iter; body }
+
+let unmanaged_plan = [ Atom simplify ]
+let managed_pipeline = [ Atom simplify; Atom comm_mgmt ]
 
 let optimized_pipeline =
-  [ simplify; comm_mgmt; glue_kernels; alloca_promotion; map_promotion ]
+  [
+    Atom simplify;
+    Atom comm_mgmt;
+    Atom glue_kernels;
+    fixpoint ~max_iter:8 [ Atom alloca_promotion ];
+    fixpoint ~max_iter:12 [ Atom map_promotion ];
+  ]
+
+let named_plans =
+  [
+    ("unmanaged", unmanaged_plan);
+    ("managed", managed_pipeline);
+    ("optimized", optimized_pipeline);
+  ]
+
+(* Split [s] on commas at parenthesis depth 0. *)
+let split_top s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts
+
+let rec parse_plan (s : string) : (plan, string) result =
+  let items = split_top s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: _ -> Error "empty pass name in spec"
+    | tok :: rest -> (
+      let n = String.length tok in
+      if
+        n > 10
+        && String.sub tok 0 9 = "fixpoint("
+        && tok.[n - 1] = ')'
+      then
+        match parse_plan (String.sub tok 9 (n - 10)) with
+        | Ok body -> go (fixpoint body :: acc) rest
+        | Error e -> Error e
+      else
+        match find tok with
+        | Some p -> go (Atom p :: acc) rest
+        | None -> (
+          match List.assoc_opt tok named_plans with
+          | Some plan -> go (List.rev_append plan acc) rest
+          | None ->
+            Error
+              (Fmt.str "unknown pass %S (available: %s)" tok
+                 (String.concat ", " (List.map (fun p -> p.name) all)))))
+  in
+  go [] items
+
+let rec plan_to_string (plan : plan) =
+  String.concat ","
+    (List.map
+       (function
+         | Atom p -> p.name
+         | Fixpoint { body; _ } -> Fmt.str "fixpoint(%s)" (plan_to_string body))
+       plan)
+
+(* ------------------------------------------------------------------ *)
+(* Module metrics *)
 
 let instr_count (m : Ir.modul) =
   List.fold_left
     (fun acc f -> Ir.fold_instrs (fun n _ _ -> n + 1) acc f)
     0 m.Ir.funcs
 
-(* Run a pipeline, verifying after every pass (each pass also verifies
-   internally; the double check is cheap and catches manager bugs). *)
-let run_pipeline (passes : t list) (m : Ir.modul) =
-  List.iter
-    (fun p ->
-      let before = instr_count m in
-      let t0 = Sys.time () in
-      p.run m;
-      Cgcm_ir.Verifier.verify_modul m;
-      Log.debug (fun k ->
-          k "%s: %d -> %d instructions (%.1f ms)" p.name before
-            (instr_count m)
-            ((Sys.time () -. t0) *. 1000.0)))
-    passes
+let launch_count (m : Ir.modul) =
+  List.fold_left
+    (fun acc f ->
+      Ir.fold_instrs
+        (fun n _ i -> match i with Ir.Launch _ -> n + 1 | _ -> n)
+        acc f)
+    0 m.Ir.funcs
 
-let find name =
-  List.find_opt (fun p -> p.name = name) optimized_pipeline
+let runtime_call_count (m : Ir.modul) =
+  List.fold_left
+    (fun acc f ->
+      Ir.fold_instrs
+        (fun n _ i ->
+          match i with
+          | Ir.Call (_, name, _) when Ir.Intrinsic.is_cgcm name -> n + 1
+          | _ -> n)
+        acc f)
+    0 m.Ir.funcs
 
-let all = optimized_pipeline
+(* ------------------------------------------------------------------ *)
+(* Instrumented execution *)
+
+type verify_policy = Always | On_change | Final
+
+type pass_stat = {
+  ps_pass : string;
+  ps_wall_ms : float;
+  ps_changed : bool;
+  ps_instrs_before : int;
+  ps_instrs_after : int;
+  ps_launches_before : int;
+  ps_launches_after : int;
+  ps_rtcalls_before : int;
+  ps_rtcalls_after : int;
+  ps_ir_changed : bool option;
+}
+
+type hooks = {
+  on_stat : pass_stat -> unit;
+  after_pass : string -> Ir.modul -> unit;
+  snapshot : bool;
+}
+
+let default_hooks =
+  { on_stat = ignore; after_pass = (fun _ _ -> ()); snapshot = false }
+
+let run_plan ?(hooks = default_hooks) ?(verify = Always) (mgr : Manager.t)
+    (plan : plan) =
+  let m = Manager.modul mgr in
+  let exec_atom p =
+    let before =
+      if hooks.snapshot then Some (Cgcm_ir.Printer.modul_to_string m)
+      else None
+    in
+    let ib = instr_count m in
+    let lb = launch_count m in
+    let rb = runtime_call_count m in
+    let t0 = Sys.time () in
+    let changed = p.step mgr in
+    let dt = (Sys.time () -. t0) *. 1000.0 in
+    if changed then Manager.invalidate_module mgr ~preserve:p.preserves ();
+    (match verify with
+    | Always -> Cgcm_ir.Verifier.verify_modul m
+    | On_change -> if changed then Cgcm_ir.Verifier.verify_modul m
+    | Final -> ());
+    let ir_changed =
+      Option.map (fun s -> s <> Cgcm_ir.Printer.modul_to_string m) before
+    in
+    hooks.on_stat
+      {
+        ps_pass = p.name;
+        ps_wall_ms = dt;
+        ps_changed = changed;
+        ps_instrs_before = ib;
+        ps_instrs_after = instr_count m;
+        ps_launches_before = lb;
+        ps_launches_after = launch_count m;
+        ps_rtcalls_before = rb;
+        ps_rtcalls_after = runtime_call_count m;
+        ps_ir_changed = ir_changed;
+      };
+    hooks.after_pass p.name m;
+    Log.debug (fun k ->
+        k "%s: %d -> %d instructions (%.1f ms)%s" p.name ib (instr_count m)
+          dt
+          (if changed then "" else " [no change]"));
+    changed
+  in
+  let rec exec_item = function
+    | Atom p -> exec_atom p
+    | Fixpoint { max_iter; body } ->
+      let any = ref false in
+      let continue_ = ref true in
+      let iter = ref 0 in
+      while !continue_ && !iter < max_iter do
+        incr iter;
+        continue_ := false;
+        List.iter
+          (fun item ->
+            if exec_item item then begin
+              continue_ := true;
+              any := true
+            end)
+          body
+      done;
+      !any
+  in
+  List.iter (fun item -> ignore (exec_item item)) plan;
+  if verify = Final then Cgcm_ir.Verifier.verify_modul m
+
+let run_pipeline (plan : plan) (m : Ir.modul) =
+  run_plan (Manager.create m) plan

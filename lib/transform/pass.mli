@@ -1,15 +1,29 @@
-(** Pass manager: named module transformations composed into pipelines,
-    with debug-level logging of per-pass instruction deltas and timing,
-    and verification between passes. *)
+(** Pass framework: passes as records declaring what they require and
+    preserve, composed into plans (with fixpoint iteration) and run over
+    a caching {!Cgcm_analysis.Manager} under instrumentation hooks. *)
+
+module Manager = Cgcm_analysis.Manager
 
 type t = {
   name : string;
   description : string;
-  run : Cgcm_ir.Ir.modul -> unit;
+  requires : Manager.kind list;
+      (** analyses the pass consults (documentation; fetches go through
+          the manager either way) *)
+  preserves : Manager.kind list;
+      (** analyses still valid after the pass ran and did its own
+          fine-grained invalidation/patching; everything else is
+          dropped module-wide when the pass reports a change *)
+  step : Manager.t -> bool;  (** [true] iff the pass changed the IR *)
 }
 
 val make :
-  name:string -> description:string -> (Cgcm_ir.Ir.modul -> unit) -> t
+  name:string ->
+  description:string ->
+  ?requires:Manager.kind list ->
+  ?preserves:Manager.kind list ->
+  (Manager.t -> bool) ->
+  t
 
 (** The standard CGCM passes. *)
 
@@ -19,17 +33,101 @@ val glue_kernels : t
 val alloca_promotion : t
 val map_promotion : t
 
-val managed_pipeline : t list
-(** simplify + communication management: unoptimized CGCM. *)
-
-val optimized_pipeline : t list
-(** The full §5.3 schedule: simplify, comm-mgmt, glue kernels, alloca
-    promotion, map promotion. *)
-
-val run_pipeline : t list -> Cgcm_ir.Ir.modul -> unit
-(** Run each pass and re-verify the module after it. *)
-
-val instr_count : Cgcm_ir.Ir.modul -> int
+val all : t list
+(** The single pass registry: every pass, in §5.3 schedule order.
+    [find] and the CLI's [--passes] enumerate from here. *)
 
 val find : string -> t option
-val all : t list
+
+(** {1 Plans} *)
+
+(** A plan is a tree of passes: atoms run once, fixpoints iterate their
+    body until no pass reports a change (or [max_iter] is hit). *)
+type plan_item = Atom of t | Fixpoint of { max_iter : int; body : plan }
+
+and plan = plan_item list
+
+val default_fixpoint_iters : int
+
+val fixpoint : ?max_iter:int -> plan -> plan_item
+(** The convergence combinator that subsumes the hand-rolled loops the
+    promotion passes used to carry. *)
+
+val per_function :
+  ?kinds:Cgcm_ir.Ir.fkind list ->
+  (Manager.t -> Cgcm_ir.Ir.func -> bool) ->
+  Manager.t ->
+  bool
+(** Lift a per-function step over the module's functions (all kinds by
+    default); [true] iff any function changed. *)
+
+val unmanaged_plan : plan
+(** Simplify only: the sequential baseline's pipeline. *)
+
+val managed_pipeline : plan
+(** simplify + communication management: unoptimized CGCM. *)
+
+val optimized_pipeline : plan
+(** The full §5.3 schedule — simplify, comm-mgmt, glue kernels, then
+    alloca promotion and map promotion each iterated to convergence. *)
+
+val named_plans : (string * plan) list
+(** [unmanaged]/[managed]/[optimized]. *)
+
+val parse_plan : string -> (plan, string) result
+(** Parse a custom spec like ["simplify,comm-mgmt,fixpoint(map-promotion)"]:
+    comma-separated pass names, with [fixpoint(...)] wrapping a sub-plan.
+    A named plan's name is also accepted as an item. *)
+
+val plan_to_string : plan -> string
+(** Inverse of {!parse_plan} (canonical spelling). *)
+
+(** {1 Instrumented execution} *)
+
+(** When to run {!Cgcm_ir.Verifier.verify_modul}: after every pass
+    execution (the historical behaviour), only after one that changed
+    the IR, or once when the whole plan finishes. *)
+type verify_policy = Always | On_change | Final
+
+type pass_stat = {
+  ps_pass : string;
+  ps_wall_ms : float;
+  ps_changed : bool;
+  ps_instrs_before : int;
+  ps_instrs_after : int;
+  ps_launches_before : int;
+  ps_launches_after : int;
+  ps_rtcalls_before : int;
+  ps_rtcalls_after : int;  (** management-intrinsic call count *)
+  ps_ir_changed : bool option;
+      (** printed-IR diff verdict; [Some _] only under [snapshot] hooks *)
+}
+
+type hooks = {
+  on_stat : pass_stat -> unit;
+  after_pass : string -> Cgcm_ir.Ir.modul -> unit;
+      (** called after every pass execution (for [--dump-ir after:p]) *)
+  snapshot : bool;
+      (** print the module before/after each pass and diff the text *)
+}
+
+val default_hooks : hooks
+
+val run_plan :
+  ?hooks:hooks -> ?verify:verify_policy -> Manager.t -> plan -> unit
+(** Execute [plan] over the manager's module. After each pass execution
+    that changed the IR, analyses outside the pass's [preserves] set are
+    invalidated module-wide (the pass's own finer-grained invalidation
+    already ran inside [step]). *)
+
+val run_pipeline : plan -> Cgcm_ir.Ir.modul -> unit
+(** Convenience: run over a fresh cached manager with default hooks and
+    the [Always] verify policy. *)
+
+(** {1 Module metrics} *)
+
+val instr_count : Cgcm_ir.Ir.modul -> int
+val launch_count : Cgcm_ir.Ir.modul -> int
+
+val runtime_call_count : Cgcm_ir.Ir.modul -> int
+(** Static count of management-intrinsic call sites. *)

@@ -144,17 +144,38 @@ let dce_once (f : Ir.func) : bool =
       | _ -> [ i ]);
   !changed
 
-(* Folded constants leave dead definition chains; iterate to a fixpoint. *)
+(* Folded constants leave dead definition chains; iterate to a fixpoint.
+   Returns whether anything changed. *)
 let run_func (f : Ir.func) =
+  let changed = ref false in
   let continue_ = ref true in
   let budget = ref 16 in
   while !continue_ && !budget > 0 do
     decr budget;
     let a = fold_once f in
     let b = dce_once f in
-    continue_ := a || b
-  done
+    continue_ := a || b;
+    if a || b then changed := true
+  done;
+  !changed
+
+(* Manager-driven step. Simplify never touches the CFG or a call
+   instruction, so loop, dominator and call-graph results survive;
+   substitution and DCE clobber everything keyed to instructions. *)
+let step (mgr : Cgcm_analysis.Manager.t) : bool =
+  let open Cgcm_analysis in
+  List.fold_left
+    (fun acc (f : Ir.func) ->
+      if run_func f then begin
+        Manager.invalidate_function mgr
+          ~preserve:[ Manager.Loops; Manager.Dominance; Manager.Callgraph ]
+          f;
+        true
+      end
+      else acc)
+    false
+    (Manager.modul mgr).Ir.funcs
 
 let run (m : Ir.modul) =
-  List.iter run_func m.Ir.funcs;
+  List.iter (fun f -> ignore (run_func f)) m.Ir.funcs;
   Cgcm_ir.Verifier.verify_modul m

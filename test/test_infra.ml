@@ -22,6 +22,32 @@ let test_pass_registry () =
     (List.length Pass.managed_pipeline + 3)
     (List.length Pass.optimized_pipeline)
 
+let test_plan_parsing () =
+  (match Pass.parse_plan "simplify,comm-mgmt,fixpoint(map-promotion)" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    check Alcotest.string "round-trips"
+      "simplify,comm-mgmt,fixpoint(map-promotion)"
+      (Pass.plan_to_string plan));
+  (match Pass.parse_plan "managed,fixpoint(alloca-promotion,map-promotion)" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    check Alcotest.string "named plans inline"
+      "simplify,comm-mgmt,fixpoint(alloca-promotion,map-promotion)"
+      (Pass.plan_to_string plan));
+  (match Pass.parse_plan "optimized" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    check Alcotest.string "optimized plan spelling"
+      (Pass.plan_to_string Pass.optimized_pipeline)
+      (Pass.plan_to_string plan));
+  check Alcotest.bool "unknown pass rejected" true
+    (match Pass.parse_plan "simplify,nope" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check Alcotest.bool "empty item rejected" true
+    (match Pass.parse_plan "simplify,," with Error _ -> true | Ok _ -> false)
+
 let test_pass_pipeline_runs () =
   let src = Cgcm_progs.Polybench.gemm ~n:6 () in
   let c = Pipeline.compile ~level:Pipeline.Unmanaged src in
@@ -76,8 +102,7 @@ let test_make_preheader () =
   let f = Builder.finish b in
   let loops = Cgcm_analysis.Loops.analyze f in
   check Alcotest.int "one loop" 1 (Array.length loops.Cgcm_analysis.Loops.loops);
-  let l = loops.Cgcm_analysis.Loops.loops.(0) in
-  match Rewrite.make_preheader f loops l with
+  match Rewrite.make_preheader f loops ~li:0 with
   | None -> Alcotest.fail "expected a preheader"
   | Some ph ->
     (* the entry edge now goes through the preheader; the back edge stays *)
@@ -122,6 +147,7 @@ let test_validator_detects_failures () =
 let tests =
   [
     Alcotest.test_case "pass registry" `Quick test_pass_registry;
+    Alcotest.test_case "plan parsing" `Quick test_plan_parsing;
     Alcotest.test_case "pass pipeline runs" `Quick test_pass_pipeline_runs;
     Alcotest.test_case "split edge" `Quick test_split_edge;
     Alcotest.test_case "make preheader" `Quick test_make_preheader;

@@ -21,6 +21,7 @@ let () =
       ("parallel", Test_parallel.tests);
       ("reader", Test_reader.tests);
       ("infra", Test_infra.tests);
+      ("midend", Test_midend.tests);
       ("faults", Test_faults.tests);
       ("sanitizer", Test_sanitizer.tests);
       ("fuzz", Test_fuzz.tests);

@@ -1,0 +1,245 @@
+(* Tests for the mid-end architecture: the caching analysis manager
+   (hit/miss accounting, invalidation, preservation contracts, paranoid
+   staleness detection), golden per-pass IR dumps, and a qcheck property
+   that legal pass subsets/orders preserve program output. *)
+
+module Ir = Cgcm_ir.Ir
+module Builder = Cgcm_ir.Builder
+module Loops = Cgcm_analysis.Loops
+module Manager = Cgcm_analysis.Manager
+module Pass = Cgcm_transform.Pass
+module Rewrite = Cgcm_transform.Rewrite
+module Pipeline = Cgcm_core.Pipeline
+module Fuzz = Cgcm_fuzz.Fuzz
+
+let check = Alcotest.check
+
+let stat mgr name =
+  match List.find_opt (fun (n, _, _) -> n = name) (Manager.stats mgr) with
+  | Some (_, h, m) -> (h, m)
+  | None -> Alcotest.fail ("no such analysis counter: " ^ name)
+
+let cpu_func (m : Ir.modul) =
+  List.find (fun (f : Ir.func) -> f.Ir.fkind = Ir.Cpu) m.Ir.funcs
+
+(* entry -> header; header -> header | exit *)
+let loop_func () =
+  let b = Builder.create ~name:"f" ~nargs:1 ~kind:Ir.Cpu in
+  let header = Builder.new_block b in
+  let exit_ = Builder.new_block b in
+  Builder.br b header;
+  Builder.position_at b header;
+  Builder.cbr b (Ir.Reg 0) header exit_;
+  Builder.position_at b exit_;
+  Builder.ret b None;
+  Builder.finish b
+
+let diamond () =
+  let b = Builder.create ~name:"f" ~nargs:1 ~kind:Ir.Cpu in
+  let b1 = Builder.new_block b in
+  let b2 = Builder.new_block b in
+  let b3 = Builder.new_block b in
+  Builder.cbr b (Ir.Reg 0) b1 b2;
+  Builder.position_at b b1;
+  Builder.br b b3;
+  Builder.position_at b b2;
+  Builder.br b b3;
+  Builder.position_at b b3;
+  Builder.ret b None;
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Analysis-manager unit tests *)
+
+let test_cache_hit_after_noop_pass () =
+  (* Unmanaged compilation already ran simplify to a fixpoint, so
+     re-running it is a no-op: the framework must not invalidate, and
+     analyses fetched before the pass must be served from cache after. *)
+  let c =
+    Pipeline.compile ~level:Pipeline.Unmanaged
+      (Cgcm_progs.Polybench.gemm ~n:6 ())
+  in
+  let mgr = Manager.create c.Pipeline.modul in
+  let f = cpu_func c.Pipeline.modul in
+  ignore (Manager.loops mgr f);
+  ignore (Manager.callgraph mgr);
+  Manager.reset_stats mgr;
+  Pass.run_plan mgr [ Pass.Atom Pass.simplify ];
+  ignore (Manager.loops mgr f);
+  ignore (Manager.callgraph mgr);
+  check (Alcotest.pair Alcotest.int Alcotest.int)
+    "loops served from cache" (1, 0) (stat mgr "loops");
+  check (Alcotest.pair Alcotest.int Alcotest.int)
+    "callgraph served from cache" (1, 0) (stat mgr "callgraph")
+
+let test_cfg_edit_invalidation () =
+  (* A CFG edit through the rewrite helpers must drop dominance but
+     patch loop info in place — and the patch must match a fresh
+     analysis. *)
+  let f = loop_func () in
+  let m = { Ir.globals = []; funcs = [ f ] } in
+  let mgr = Manager.create m in
+  ignore (Manager.dominance mgr f);
+  let loops = Manager.loops mgr f in
+  Manager.reset_stats mgr;
+  (match Rewrite.make_preheader ~mgr f loops ~li:0 with
+  | None -> Alcotest.fail "expected a preheader"
+  | Some _ -> ());
+  let cached = Manager.loops mgr f in
+  check (Alcotest.pair Alcotest.int Alcotest.int)
+    "loops patched, not recomputed" (1, 0) (stat mgr "loops");
+  ignore (Manager.dominance mgr f);
+  check (Alcotest.pair Alcotest.int Alcotest.int)
+    "dominance dropped by the CFG edit" (0, 1) (stat mgr "dominance");
+  let fresh = Loops.analyze f in
+  check Alcotest.bool "patched loop info matches a fresh analysis" true
+    (Loops.equal cached fresh)
+
+let test_preserves_honored () =
+  (* comm-mgmt preserves the call graph (it adds no calls between
+     module functions) but clobbers instruction-keyed analyses like
+     alias. The framework's module-wide invalidation must honor exactly
+     that contract. *)
+  let c =
+    Pipeline.compile ~level:Pipeline.Unmanaged
+      (Cgcm_progs.Polybench.gemm ~n:6 ())
+  in
+  let mgr = Manager.create c.Pipeline.modul in
+  let f = cpu_func c.Pipeline.modul in
+  ignore (Manager.callgraph mgr);
+  ignore (Manager.alias mgr f);
+  Manager.reset_stats mgr;
+  Pass.run_plan mgr [ Pass.Atom Pass.comm_mgmt ];
+  ignore (Manager.callgraph mgr);
+  ignore (Manager.alias mgr f);
+  let cg_h, cg_m = stat mgr "callgraph" in
+  check Alcotest.bool "callgraph preserved across comm-mgmt" true
+    (cg_h >= 1 && cg_m = 0);
+  let _, al_m = stat mgr "alias" in
+  check Alcotest.bool "alias dropped by comm-mgmt" true (al_m >= 1)
+
+let test_paranoid_detects_stale () =
+  (* Mutating the CFG behind the manager's back must trip the paranoid
+     cross-check on the next query. *)
+  let f = diamond () in
+  let m = { Ir.globals = []; funcs = [ f ] } in
+  let mgr = Manager.create ~mode:Manager.Paranoid m in
+  ignore (Manager.dominance mgr f);
+  Rewrite.redirect_edge f ~from_:0 ~to_:1 ~to_':3;
+  (match Manager.dominance mgr f with
+  | _ -> Alcotest.fail "expected Manager.Stale"
+  | exception Manager.Stale _ -> ());
+  (* the same edit through the helpers (which invalidate) is fine *)
+  let f2 = diamond () in
+  let m2 = { Ir.globals = []; funcs = [ f2 ] } in
+  let mgr2 = Manager.create ~mode:Manager.Paranoid m2 in
+  ignore (Manager.dominance mgr2 f2);
+  ignore (Rewrite.split_edge ~mgr:mgr2 f2 ~from_:1 ~to_:3 ~instrs:[]);
+  ignore (Manager.dominance mgr2 f2)
+
+let test_uncached_never_hits () =
+  let f = loop_func () in
+  let m = { Ir.globals = []; funcs = [ f ] } in
+  let mgr = Manager.create ~mode:Manager.Uncached m in
+  ignore (Manager.loops mgr f);
+  ignore (Manager.loops mgr f);
+  let h, misses = stat mgr "loops" in
+  check Alcotest.int "no hits in uncached mode" 0 h;
+  check Alcotest.int "every query recomputes" 2 misses
+
+(* ------------------------------------------------------------------ *)
+(* Golden per-pass IR dumps *)
+
+let golden_programs =
+  [
+    ("gemm-n6", Cgcm_progs.Polybench.gemm ~n:6 ());
+    ("atax-n8", Cgcm_progs.Polybench.atax ~n:8 ());
+    ("gemver-n8", Cgcm_progs.Polybench.gemver ~n:8 ());
+  ]
+
+let dump_passes src =
+  let buf = Buffer.create 4096 in
+  let hooks =
+    {
+      Pass.default_hooks with
+      Pass.after_pass =
+        (fun name m ->
+          Buffer.add_string buf (Printf.sprintf ";; === after %s ===\n" name);
+          Buffer.add_string buf (Cgcm_ir.Printer.modul_to_string m));
+    }
+  in
+  ignore (Pipeline.compile ~hooks src);
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_dump (name, src) () =
+  let got = dump_passes src in
+  let file = name ^ ".passes.ir" in
+  match Sys.getenv_opt "CGCM_UPDATE_GOLDEN" with
+  | Some dir ->
+    let oc = open_out_bin (Filename.concat dir file) in
+    output_string oc got;
+    close_out oc
+  | None ->
+    (* dune runtest runs in the test directory with golden/ staged as a
+       dep; dune exec from the repo root sees the source tree instead *)
+    let path =
+      List.find_opt Sys.file_exists
+        [ Filename.concat "golden" file;
+          Filename.concat (Filename.concat "test" "golden") file ]
+    in
+    (match path with
+    | None ->
+      Alcotest.fail
+        (Printf.sprintf
+           "golden file %s missing — regenerate with \
+            CGCM_UPDATE_GOLDEN=test/golden dune exec test/test_main.exe -- \
+            test midend"
+           file)
+    | Some path ->
+      check Alcotest.string ("per-pass IR dump: " ^ name) (read_file path) got)
+
+(* ------------------------------------------------------------------ *)
+(* Pass subset/order property *)
+
+(* Any legal plan preserves program output: schedule-ordered subsets
+   containing comm-mgmt run under split memory, arbitrary permutations
+   of arbitrary subsets run against the unified-memory oracle. Plans
+   derive from the program seed; compilation verifies the module after
+   every pass (the default policy), so a plan that produces ill-formed
+   IR also fails here. *)
+let prop_pass_orders_preserve_output =
+  QCheck.Test.make ~count:10 ~name:"legal pass subsets/orders preserve output"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let p = Fuzz.generate ~seed in
+      match Fuzz.check_plans ~rounds:2 ~seed (Fuzz.render p) with
+      | None -> true
+      | Some f ->
+        QCheck.Test.fail_reportf "seed %d, %s: %s\n%s" seed f.Fuzz.f_config
+          f.Fuzz.f_kind f.Fuzz.f_detail)
+
+let tests =
+  [
+    Alcotest.test_case "cache hit after no-op pass" `Quick
+      test_cache_hit_after_noop_pass;
+    Alcotest.test_case "CFG edit invalidates through the manager" `Quick
+      test_cfg_edit_invalidation;
+    Alcotest.test_case "preserves sets honored" `Quick test_preserves_honored;
+    Alcotest.test_case "paranoid mode detects staleness" `Quick
+      test_paranoid_detects_stale;
+    Alcotest.test_case "uncached mode never hits" `Quick
+      test_uncached_never_hits;
+  ]
+  @ List.map
+      (fun (name, src) ->
+        Alcotest.test_case ("golden per-pass IR: " ^ name) `Quick
+          (test_golden_dump (name, src)))
+      golden_programs
+  @ [ QCheck_alcotest.to_alcotest prop_pass_orders_preserve_output ]
