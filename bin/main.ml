@@ -640,13 +640,22 @@ let fuzz_cmd =
              random subset/permutation plan run in unified memory); 0 \
              disables pass-plan fuzzing")
   in
-  let f count seed out jobs plan_rounds =
+  let shrink_budget_arg =
+    Arg.(
+      value & opt float 60_000.0
+      & info [ "shrink-budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for shrinking each failing program; when \
+             it lapses the smallest counterexample found so far is \
+             reported")
+  in
+  let f count seed out jobs plan_rounds shrink_budget_ms =
     guarded @@ fun () ->
     let reports =
       Cgcm_fuzz.Fuzz.campaign
         ~progress:(fun k ->
           if k mod 10 = 0 then Fmt.epr "fuzz: program %d/%d...@." k count)
-        ~jobs ~plan_rounds ~count ~seed ()
+        ~jobs ~plan_rounds ~shrink_budget_ms ~count ~seed ()
     in
     let rendered = List.map Cgcm_fuzz.Fuzz.render_report reports in
     List.iter (Fmt.pr "%s@.") rendered;
@@ -665,19 +674,225 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const f $ count_arg $ seed_arg $ out_arg $ fuzz_jobs_arg
-      $ plan_rounds_arg)
+      $ plan_rounds_arg $ shrink_budget_arg)
 
 let figure2_cmd =
   let doc = "Render the Figure 2 execution schedules" in
   let f () = print_string (Cgcm_core.Experiments.figure2 ()) in
   Cmd.v (Cmd.info "figure2" ~doc) Term.(const f $ const ())
 
+(* --- the serve daemon and its client -------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/cgcm-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path of the daemon")
+
+let serve_cmd =
+  let doc =
+    "Run the compile-and-run daemon: a unix-socket service accepting \
+     requests from named tenants, with a cross-request compilation cache, \
+     per-tenant warm device residency, admission control, per-request \
+     deadlines, transient-fault retry and per-tenant circuit breakers"
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int Cgcm_serve.Engine.default_config.Cgcm_serve.Engine.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Admission bound: shed requests beyond this queue depth")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt int
+          Cgcm_serve.Engine.default_config.Cgcm_serve.Engine.default_deadline
+      & info [ "deadline" ] ~docv:"FUEL"
+          ~doc:
+            "Default per-request deadline, in interpreter fuel \
+             (instructions); a request's own deadline overrides it")
+  in
+  let max_retries_arg =
+    Arg.(
+      value
+      & opt int Cgcm_serve.Engine.default_config.Cgcm_serve.Engine.max_retries
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Extra attempts for injected (transient) driver faults")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base backoff between retry attempts; doubles per attempt")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int
+          Cgcm_serve.Engine.default_config.Cgcm_serve.Engine.circuit_threshold
+      & info [ "circuit-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive device-path failures that trip a tenant's \
+             circuit breaker (degrading it to CPU-only execution)")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int
+          Cgcm_serve.Engine.default_config.Cgcm_serve.Engine.cache_capacity
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Compiled-module LRU cache capacity")
+  in
+  let f socket max_queue device_mem deadline max_retries backoff threshold
+      cache_entries faults =
+    guarded @@ fun () ->
+    let config =
+      {
+        Cgcm_serve.Engine.default_config with
+        Cgcm_serve.Engine.max_queue;
+        device_mem = Option.value device_mem ~default:max_int;
+        default_deadline = deadline;
+        max_retries;
+        backoff_ms = backoff;
+        circuit_threshold = threshold;
+        cache_capacity = cache_entries;
+        faults = parse_faults faults;
+      }
+    in
+    let server =
+      Cgcm_serve.Server.create ~engine_config:config
+        ~log:(fun s -> Fmt.epr "%s@." s)
+        ~socket_path:socket ()
+    in
+    let stop _ = Cgcm_serve.Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Fmt.epr "cgcm serve: listening on %s@." socket;
+    let line, residual = Cgcm_serve.Server.run server in
+    Fmt.pr "%s@." line;
+    if residual <> 0 then exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const f $ socket_arg $ max_queue_arg $ device_mem_arg $ deadline_arg
+      $ max_retries_arg $ backoff_arg $ threshold_arg $ cache_arg $ faults_arg)
+
+let request_cmd =
+  let doc =
+    "Send one request to a running serve daemon and print the program \
+     output; typed rejections exit with their own codes (overloaded 9, \
+     deadline exceeded 10, circuit open 11)"
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"CGC source file (omit for --ping etc.)")
+  in
+  let tenant_arg =
+    Arg.(
+      value & opt string "anonymous"
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant this request bills to")
+  in
+  let smode_arg =
+    Arg.(
+      value
+      & opt (enum (List.map (fun m -> (m, m)) [ "seq"; "unopt"; "opt"; "ie";
+                                                "unified" ]))
+          "opt"
+      & info [ "mode"; "m" ] ~doc:"Execution mode: seq, unopt, opt, ie, unified")
+  in
+  let req_deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"FUEL"
+          ~doc:"Per-request deadline in interpreter fuel")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail with exit code 11 when the tenant's circuit breaker is \
+             open, instead of degrading to CPU-only execution")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Just check the daemon is alive")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag & info [ "stats" ] ~doc:"Print the daemon's stats as JSON")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit")
+  in
+  let f socket file tenant mode deadline strict faults ping stats shutdown =
+    guarded @@ fun () ->
+    if ping then begin
+      if Cgcm_serve.Client.ping ~socket_path:socket then Fmt.pr "pong@."
+      else begin
+        Fmt.epr "cgcm request: no daemon at %s@." socket;
+        exit 1
+      end
+    end
+    else if stats then
+      Fmt.pr "%s@."
+        (Cgcm_serve.Json.print (Cgcm_serve.Client.stats ~socket_path:socket))
+    else if shutdown then begin
+      if not (Cgcm_serve.Client.shutdown ~socket_path:socket) then begin
+        Fmt.epr "cgcm request: no daemon at %s@." socket;
+        exit 1
+      end
+    end
+    else begin
+      let file =
+        match file with
+        | Some f -> f
+        | None -> failwith "cgcm request: FILE required (or --ping/--stats/--shutdown)"
+      in
+      let req =
+        {
+          Cgcm_serve.Wire.rq_id = Unix.getpid ();
+          rq_tenant = tenant;
+          rq_source = read_file file;
+          rq_mode = mode;
+          rq_deadline = deadline;
+          rq_strict = strict;
+          rq_faults = faults;
+        }
+      in
+      let reply = Cgcm_serve.Client.request ~socket_path:socket req in
+      print_string reply.Cgcm_serve.Wire.rp_output;
+      Fmt.epr "--- status : %s (cache %s%s%s)@."
+        (Cgcm_serve.Wire.status_name reply.Cgcm_serve.Wire.rp_status)
+        reply.Cgcm_serve.Wire.rp_cache
+        (if reply.Cgcm_serve.Wire.rp_degraded then ", degraded" else "")
+        (if reply.Cgcm_serve.Wire.rp_retries > 0 then
+           Printf.sprintf ", %d retries" reply.Cgcm_serve.Wire.rp_retries
+         else "");
+      match reply.Cgcm_serve.Wire.rp_status with
+      | Cgcm_serve.Wire.Ok -> ()
+      | _ ->
+        Fmt.epr "%s@." reply.Cgcm_serve.Wire.rp_error;
+        exit reply.Cgcm_serve.Wire.rp_exit_code
+    end
+  in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(
+      const f $ socket_arg $ file_opt_arg $ tenant_arg $ smode_arg
+      $ req_deadline_arg $ strict_arg $ faults_arg $ ping_arg $ stats_arg
+      $ shutdown_arg)
+
 let main_cmd =
   let doc = "CGCM: automatic CPU-GPU communication management (PLDI 2011)" in
   Cmd.group (Cmd.info "cgcm" ~version:"0.1.0" ~doc)
     [
       run_cmd; run_ir_cmd; ir_cmd; ast_cmd; fmt_cmd; report_cmd; suite_cmd;
-      fuzz_cmd; figure2_cmd;
+      fuzz_cmd; figure2_cmd; serve_cmd; request_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

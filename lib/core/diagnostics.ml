@@ -14,6 +14,9 @@ let exit_exec = 5 (* dynamic execution error *)
 let exit_memory = 6 (* memory-model fault (bounds, use-after-free) *)
 let exit_internal = 7 (* IR verifier rejection: a compiler bug *)
 let exit_sanitizer = 8 (* coherence sanitizer caught a stale/lost byte *)
+let exit_overloaded = 9 (* serve: request shed by admission control *)
+let exit_deadline = 10 (* serve: per-request deadline (fuel) exceeded *)
+let exit_circuit_open = 11 (* serve: tenant circuit breaker open *)
 
 let classify = function
   | Cgcm_frontend.Lexer.Lex_error (msg, pos) ->
@@ -47,4 +50,11 @@ let classify = function
   | Cgcm_ir.Verifier.Ill_formed msg ->
     Some (exit_internal, Fmt.str "cgcm: internal error (ill-formed IR): %s" msg)
   | Errors.Coherence_violation v -> Some (exit_sanitizer, Errors.render_violation v)
+  | Errors.Serve_overloaded o -> Some (exit_overloaded, Errors.render_overload o)
+  | Errors.Serve_deadline { dl_deadline } ->
+    Some (exit_deadline, Errors.render_deadline ~deadline:dl_deadline)
+  | Errors.Serve_circuit_open { co_tenant; co_failures } ->
+    Some
+      ( exit_circuit_open,
+        Errors.render_circuit_open ~tenant:co_tenant ~failures:co_failures )
   | _ -> None

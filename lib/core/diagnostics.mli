@@ -29,6 +29,18 @@ val exit_sanitizer : int
 (** 8 — the coherence sanitizer flagged a stale read, lost update,
     premature release or double free *)
 
+val exit_overloaded : int
+(** 9 — [cgcm serve] shed the request at admission (queue depth or
+    simulated device memory contended) *)
+
+val exit_deadline : int
+(** 10 — [cgcm serve] killed the request at its deadline (the
+    interpreter's fuel budget ran out) *)
+
+val exit_circuit_open : int
+(** 11 — the tenant's circuit breaker is open after repeated failures;
+    only degraded CPU-fallback execution is available *)
+
 val classify : exn -> (int * string) option
 (** [classify e] is [Some (code, message)] when [e] is a known failure
     class, [None] for everything else (which the CLI re-raises). *)

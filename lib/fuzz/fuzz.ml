@@ -599,16 +599,25 @@ let candidates (p : prog) : prog list =
   in
   drop_phases @ drop_units @ halve_sizes @ simplify_phases
 
-let shrink ?(budget = 200) ~(check : prog -> failure option) (p : prog)
-    (f : failure) : prog * failure =
+let shrink ?(budget = 200) ?(budget_ms = 60_000.0)
+    ~(check : prog -> failure option) (p : prog) (f : failure) :
+    prog * failure =
+  (* Two bounds: a count of check evaluations, and a wall-clock budget.
+     The count bounds work on fast programs; the wall clock matters when
+     a counterexample's checks are individually slow (every candidate
+     re-runs the whole differential harness), where 200 evaluations
+     could take minutes. Both are best-so-far cutoffs: the smallest
+     failing program found before the budget lapsed is returned. *)
+  let deadline = Unix.gettimeofday () +. (budget_ms /. 1000.0) in
   let cur = ref p and fail = ref f and fuel = ref budget in
+  let exhausted () = !fuel <= 0 || Unix.gettimeofday () >= deadline in
   let improved = ref true in
-  while !improved && !fuel > 0 do
+  while !improved && not (exhausted ()) do
     improved := false;
     let rec try_cands = function
       | [] -> ()
       | c :: rest ->
-        if !fuel <= 0 then ()
+        if exhausted () then ()
         else begin
           decr fuel;
           match check c with
@@ -640,8 +649,8 @@ let render_report (r : report) : string =
     r.r_failure.f_detail
     (render r.r_minimal)
 
-let campaign ?(progress = fun _ -> ()) ?jobs ?plan_rounds ~count ~seed () :
-    report list =
+let campaign ?(progress = fun _ -> ()) ?jobs ?plan_rounds ?shrink_budget_ms
+    ~count ~seed () : report list =
   let check = check ?jobs ?plan_rounds in
   let failures = ref [] in
   for k = 0 to count - 1 do
@@ -650,7 +659,7 @@ let campaign ?(progress = fun _ -> ()) ?jobs ?plan_rounds ~count ~seed () :
     match check p with
     | None -> ()
     | Some f ->
-      let minimal, f = shrink ~check p f in
+      let minimal, f = shrink ?budget_ms:shrink_budget_ms ~check p f in
       failures := { r_seed = seed; r_index = k; r_failure = f; r_minimal = minimal } :: !failures
   done;
   List.rev !failures

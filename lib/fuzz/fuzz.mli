@@ -87,14 +87,17 @@ val candidates : prog -> prog list
 
 val shrink :
   ?budget:int ->
+  ?budget_ms:float ->
   check:(prog -> failure option) ->
   prog ->
   failure ->
   prog * failure
 (** Greedy first-improvement shrinking to a fixpoint, bounded by
-    [budget] (default 200) check evaluations. A candidate is kept when
-    it still fails in {e any} way — hopping between failure kinds is
-    fine, smaller is what matters. *)
+    [budget] (default 200) check evaluations and [budget_ms] (default
+    60000) wall-clock milliseconds — whichever lapses first ends the
+    search with the best (smallest still-failing) program found so far.
+    A candidate is kept when it still fails in {e any} way — hopping
+    between failure kinds is fine, smaller is what matters. *)
 
 type report = {
   r_seed : int;
@@ -111,10 +114,12 @@ val campaign :
   ?progress:(int -> unit) ->
   ?jobs:int ->
   ?plan_rounds:int ->
+  ?shrink_budget_ms:float ->
   count:int ->
   seed:int ->
   unit ->
   report list
 (** Generate and check [count] programs derived from [seed], shrinking
-    every failure. [jobs] and [plan_rounds] are forwarded to {!check}.
+    every failure. [jobs] and [plan_rounds] are forwarded to {!check};
+    [shrink_budget_ms] bounds each failure's shrink by wall clock.
     An empty list is a clean campaign. *)

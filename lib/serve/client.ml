@@ -1,0 +1,48 @@
+(* Client side of the serve protocol: one connection per operation.
+
+   The daemon replies on the connection that carried the request, so a
+   connect-send-receive-close client never needs request/reply
+   correlation beyond the echoed id. *)
+
+let with_conn socket_path f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      f fd)
+
+let roundtrip socket_path (v : Json.t) : Json.t =
+  with_conn socket_path (fun fd ->
+      Wire.write_frame fd v;
+      Wire.read_frame fd)
+
+let request ~socket_path (req : Wire.request) : Wire.reply =
+  Wire.reply_of_json (roundtrip socket_path (Wire.request_to_json req))
+
+let ping ~socket_path =
+  match roundtrip socket_path (Obj [ ("op", Json.Str "ping") ]) with
+  | v -> Json.str_field ~default:"" "status" v = "ok"
+  | exception _ -> false
+
+let stats ~socket_path : Json.t =
+  roundtrip socket_path (Obj [ ("op", Json.Str "stats") ])
+
+let shutdown ~socket_path =
+  match roundtrip socket_path (Obj [ ("op", Json.Str "shutdown") ]) with
+  | v -> Json.bool_field ~default:false "stopping" v
+  | exception _ -> false
+
+(* Poll until the daemon answers pings — the two-process handshake used
+   by the bench driver and the CI soak job after forking the daemon. *)
+let wait_ready ?(timeout_s = 10.0) ~socket_path () =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if ping ~socket_path then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()

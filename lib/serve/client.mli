@@ -1,0 +1,15 @@
+(** Client side of the serve protocol ([cgcm request] and the load
+    generator): one connection per operation, blocking frame I/O. *)
+
+val request : socket_path:string -> Wire.request -> Wire.reply
+(** Raises [Unix.Unix_error] when the daemon is unreachable and
+    [Wire.Protocol_error] on a malformed reply. *)
+
+val ping : socket_path:string -> bool
+val stats : socket_path:string -> Json.t
+
+val shutdown : socket_path:string -> bool
+(** Ask the daemon to drain and exit; true when it acknowledged. *)
+
+val wait_ready : ?timeout_s:float -> socket_path:string -> unit -> bool
+(** Poll {!ping} until the daemon answers or the timeout lapses. *)

@@ -1,0 +1,492 @@
+(* The serve daemon's request engine, independent of any transport.
+
+   Everything the robustness envelope promises lives here so tests can
+   drive it in-process, without sockets:
+
+   - admission control: requests beyond the queue bound, or arriving
+     while warm residency crowds the simulated device past the
+     high-water mark, are shed with a typed [Overloaded] reply (never
+     queued, never executed) — and a device-memory shed evicts one
+     least-recently-used warm unit so the system degrades instead of
+     wedging;
+   - deadlines: every execution runs under a fuel budget (the request's
+     own, else the daemon default), and fuel exhaustion becomes a typed
+     [Deadline_exceeded] reply instead of an error;
+   - retry with backoff: injected (transient) driver faults re-run the
+     request with a fresh fault substream, up to a bound, with
+     exponential backoff accounted in the stats;
+   - circuit breaking: a tenant whose executions keep failing trips to
+     [Open]; strict requests are rejected with [Circuit_open], the rest
+     degrade to CPU-only (sequential) execution until a probation of
+     degraded runs earns a half-open probe;
+   - crash-only discipline: each request executes in a fresh interpreter
+     instance (exactly what single-shot [cgcm run] does, so outputs are
+     bit-identical by construction), is leak-checked on completion, and
+     the shared residency state is invariant-audited between requests.
+
+   Compiled modules are cached across requests and tenants in a bounded
+   LRU keyed by a digest of (compile plan, source). *)
+
+module Pipeline = Cgcm_core.Pipeline
+module Diagnostics = Cgcm_core.Diagnostics
+module Interp = Cgcm_interp.Interp
+module Runtime = Cgcm_runtime.Runtime
+module Faults = Cgcm_gpusim.Faults
+module Doall = Cgcm_frontend.Doall
+module Ir = Cgcm_ir.Ir
+module Errors = Cgcm_support.Errors
+module Rng = Cgcm_support.Rng
+
+type config = {
+  max_queue : int;  (* admission bound: shed beyond this queue depth *)
+  device_mem : int;  (* daemon device capacity; [max_int] = unbounded *)
+  high_water : float;  (* warm-bytes fraction of capacity that sheds *)
+  default_deadline : int;  (* fuel budget for requests without one *)
+  max_retries : int;  (* extra attempts on injected transient faults *)
+  backoff_ms : float;  (* base backoff between attempts; doubles *)
+  circuit_threshold : int;  (* consecutive failures that trip a tenant *)
+  circuit_probation : int;  (* degraded runs before a half-open probe *)
+  cache_capacity : int;  (* compiled-module LRU entries *)
+  faults : Faults.spec option;  (* daemon-wide injected-fault plan *)
+}
+
+let default_config =
+  {
+    max_queue = 64;
+    device_mem = max_int;
+    high_water = 0.9;
+    default_deadline = 50_000_000;
+    max_retries = 3;
+    backoff_ms = 0.0;
+    circuit_threshold = 3;
+    circuit_probation = 2;
+    cache_capacity = 128;
+    faults = None;
+  }
+
+type breaker =
+  | Closed
+  | Open of int  (* degraded runs left before half-open *)
+  | Half_open
+
+type tenant_state = {
+  t_name : string;
+  mutable t_consec : int;  (* consecutive circuit-countable failures *)
+  mutable t_breaker : breaker;
+  mutable t_trips : int;
+}
+
+type stats = {
+  mutable received : int;
+  mutable ok : int;
+  mutable shed : int;
+  mutable deadline_exceeded : int;
+  mutable circuit_rejected : int;
+  mutable failed : int;
+  mutable degraded_runs : int;
+  mutable retries : int;
+  mutable backoff_total_ms : float;
+  mutable circuit_trips : int;
+}
+
+type t = {
+  cfg : config;
+  cache : (string, Pipeline.compiled) Cache.t;
+  res : Residency.t;
+  queue : (Wire.request * (Wire.reply -> unit)) Queue.t;
+  tenants : (string, tenant_state) Hashtbl.t;
+  stats : stats;
+  mutable attempt_counter : int;
+      (* distinct fault substream per execution attempt, so a retry
+         re-rolls its fate deterministically *)
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    res = Residency.create ~device_mem:config.device_mem ();
+    queue = Queue.create ();
+    tenants = Hashtbl.create 8;
+    stats =
+      {
+        received = 0;
+        ok = 0;
+        shed = 0;
+        deadline_exceeded = 0;
+        circuit_rejected = 0;
+        failed = 0;
+        degraded_runs = 0;
+        retries = 0;
+        backoff_total_ms = 0.0;
+        circuit_trips = 0;
+      };
+    attempt_counter = 0;
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+let residency t = t.res
+let cache_stats t = Cache.stats t.cache
+let cache_hit_rate t = Cache.hit_rate t.cache
+let pending t = Queue.length t.queue
+
+let tenant_state t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some st -> st
+  | None ->
+    let st = { t_name = name; t_consec = 0; t_breaker = Closed; t_trips = 0 } in
+    Hashtbl.replace t.tenants name st;
+    st
+
+let breaker_of t name = (tenant_state t name).t_breaker
+let trips_of t name = (tenant_state t name).t_trips
+
+(* ------------------------------------------------------------------ *)
+(* Compilation plans and the cross-request cache                       *)
+
+(* Requests name the paper's execution configurations; "opt" and
+   "unified" share a compiled module, so the cache keys by the compile
+   plan, not the request mode. *)
+let plan_of_mode = function
+  | "seq" -> (Doall.Off, Pipeline.Unmanaged, Interp.Unified, false)
+  | "unopt" -> (Doall.Auto, Pipeline.Managed, Interp.Split, false)
+  | "opt" -> (Doall.Auto, Pipeline.Optimized, Interp.Split, true)
+  | "ie" -> (Doall.Auto, Pipeline.Unmanaged, Interp.Inspector_executor, false)
+  | "unified" -> (Doall.Auto, Pipeline.Optimized, Interp.Unified, false)
+  | m ->
+    raise
+      (Wire.Protocol_error
+         (Printf.sprintf "unknown mode %S (want seq|unopt|opt|ie|unified)" m))
+
+let compile_tag parallel level =
+  Printf.sprintf "%s/%s"
+    (match parallel with Doall.Off -> "off" | _ -> "auto")
+    (match level with
+    | Pipeline.Unmanaged -> "unmanaged"
+    | Pipeline.Managed -> "managed"
+    | Pipeline.Optimized -> "optimized")
+
+let cache_key parallel level source =
+  Digest.to_hex (Digest.string (compile_tag parallel level ^ "\x00" ^ source))
+
+let compiled_of t ~parallel ~level source =
+  Cache.find_or_add t.cache
+    (cache_key parallel level source)
+    (fun () -> Pipeline.compile ~parallel ~level source)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan derivation and failure triage                            *)
+
+let derive_seed base i = Rng.int (Rng.stream ~seed:base i) 0x3FFF_FFFF
+
+let device_fault_of = function
+  | Errors.Device_error f -> Some f
+  | Runtime.Runtime_error { device = Some f; _ } -> Some f
+  | _ -> None
+
+let is_injected exn =
+  match device_fault_of exn with
+  | Some
+      ( Errors.Oom { injected = true; _ }
+      | Errors.Transfer_failed { injected = true; _ }
+      | Errors.Launch_failed { injected = true; _ } ) ->
+    true
+  | _ -> false
+
+let is_capacity_oom exn =
+  match device_fault_of exn with
+  | Some (Errors.Oom { injected = false; _ }) -> true
+  | _ -> false
+
+(* Failures that indict the tenant's device path (and feed its breaker),
+   as opposed to the program's own bugs (parse errors, division by zero,
+   wild pointers), which say nothing about service health. *)
+let is_circuit_failure exn =
+  match exn with
+  | Errors.Device_error _ | Runtime.Runtime_error _ -> true
+  | _ -> false
+
+let fuel_exhausted_prefix = "instruction budget exhausted"
+
+let is_fuel_exhausted = function
+  | Interp.Exec_error msg ->
+    String.length msg >= String.length fuel_exhausted_prefix
+    && String.sub msg 0 (String.length fuel_exhausted_prefix)
+       = fuel_exhausted_prefix
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+
+let reply ?(output = "") ?(exit_code = 0) ?(error = "") ?(cache = "-")
+    ?(degraded = false) ?(retries = 0) ~id ~wall_ms status : Wire.reply =
+  {
+    rp_id = id;
+    rp_status = status;
+    rp_output = output;
+    rp_exit_code = exit_code;
+    rp_error = error;
+    rp_cache = cache;
+    rp_degraded = degraded;
+    rp_retries = retries;
+    rp_wall_ms = wall_ms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+let overload_info t ~reason : Errors.overload_info =
+  {
+    ov_queue_depth = Queue.length t.queue;
+    ov_queue_limit = t.cfg.max_queue;
+    ov_warm_bytes = Residency.warm_bytes t.res;
+    ov_capacity = t.cfg.device_mem;
+    ov_reason = reason;
+  }
+
+let shed t (req : Wire.request) deliver ~reason =
+  let info = overload_info t ~reason in
+  t.stats.shed <- t.stats.shed + 1;
+  deliver
+    (reply ~id:req.rq_id ~wall_ms:0.0
+       ~exit_code:Diagnostics.exit_overloaded
+       ~error:(Errors.render_overload info) Wire.Overloaded)
+
+let submit t (req : Wire.request) deliver =
+  t.stats.received <- t.stats.received + 1;
+  if Queue.length t.queue >= t.cfg.max_queue then begin
+    shed t req deliver ~reason:"queue";
+    `Shed
+  end
+  else if
+    t.cfg.device_mem < max_int
+    && float_of_int (Residency.warm_bytes t.res)
+       >= t.cfg.high_water *. float_of_int t.cfg.device_mem
+  then begin
+    (* Shed, but also relieve: drop one LRU warm unit so the condition
+       clears instead of rejecting every future request. *)
+    shed t req deliver ~reason:"device-mem";
+    ignore (Residency.evict_lru_unit t.res : bool);
+    `Shed
+  end
+  else begin
+    Queue.add (req, deliver) t.queue;
+    `Queued
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+let run_config t ~imode ~dirty_spans ~fuel ~faults =
+  let avail =
+    if t.cfg.device_mem = max_int then max_int
+    else max 4096 (t.cfg.device_mem - Residency.warm_bytes t.res)
+  in
+  {
+    Interp.default_config with
+    mode = imode;
+    cost =
+      { Cgcm_gpusim.Cost_model.default with device_mem_bytes = avail };
+    fuel;
+    dirty_spans;
+    faults;
+  }
+
+(* Warm this tenant's writable globals after a successful device-side
+   run: their device residency survives the request, which is what the
+   next request's transfers save. *)
+let warm_after t ~tenant ~key (compiled : Pipeline.compiled) =
+  let globals =
+    compiled.modul.Ir.globals
+    |> List.filter (fun (g : Ir.global) -> not g.Ir.gread_only)
+    |> List.map (fun (g : Ir.global) -> (g.Ir.gname, g.Ir.gsize))
+  in
+  if globals <> [] then
+    ignore (Residency.warm t.res ~tenant ~key ~globals () : bool)
+
+type outcome =
+  | O_ok of Interp.result * int  (* retries taken *)
+  | O_deadline
+  | O_failed of exn * int
+
+let execute t (req : Wire.request) ~mode =
+  let parallel, level, imode, dirty_spans = plan_of_mode mode in
+  let key = cache_key parallel level req.rq_source in
+  let compiled, hitmiss = compiled_of t ~parallel ~level req.rq_source in
+  let fuel =
+    match req.rq_deadline with
+    | Some d -> max 1 d
+    | None -> t.cfg.default_deadline
+  in
+  let base_faults =
+    match req.rq_faults with
+    | Some s -> Some (Faults.parse s)
+    | None -> t.cfg.faults
+  in
+  let device_used = match imode with Interp.Unified -> false | _ -> true in
+  let rec attempt n retries =
+    t.attempt_counter <- t.attempt_counter + 1;
+    let faults =
+      if not device_used then None
+      else
+        Option.map
+          (fun (sp : Faults.spec) ->
+            { sp with Faults.seed = derive_seed sp.seed t.attempt_counter })
+          base_faults
+    in
+    let config = run_config t ~imode ~dirty_spans ~fuel ~faults in
+    match Interp.run ~config compiled.Pipeline.modul with
+    | r -> O_ok (r, retries)
+    | exception exn when is_fuel_exhausted exn -> O_deadline
+    | exception exn when is_capacity_oom exn ->
+      (* Genuine device-memory pressure: the warm footprint crowded this
+         run out. Evict other tenants' warmth first (the cross-tenant
+         policy), then the requester's own; doesn't consume a
+         transient-fault retry, and terminates because every eviction
+         frees at least one unit. *)
+      if
+        Residency.evict_lru_unit ~except:req.rq_tenant t.res
+        || Residency.evict_lru_unit t.res
+      then attempt n retries
+      else O_failed (exn, retries)
+    | exception exn when is_injected exn && n <= t.cfg.max_retries ->
+      let pause = t.cfg.backoff_ms *. (2.0 ** float_of_int (n - 1)) in
+      t.stats.backoff_total_ms <- t.stats.backoff_total_ms +. pause;
+      if pause > 0.0 then Unix.sleepf (pause /. 1000.0);
+      t.stats.retries <- t.stats.retries + 1;
+      attempt (n + 1) (retries + 1)
+    | exception exn -> O_failed (exn, retries)
+  in
+  (attempt 1 0, key, compiled, hitmiss, fuel, device_used)
+
+let finish_breaker st ~threshold ~probation ~trips exn_opt =
+  match exn_opt with
+  | None ->
+    st.t_consec <- 0;
+    if st.t_breaker = Half_open then st.t_breaker <- Closed
+  | Some exn when is_circuit_failure exn ->
+    st.t_consec <- st.t_consec + 1;
+    if st.t_breaker = Half_open || st.t_consec >= threshold then begin
+      st.t_breaker <- Open probation;
+      st.t_trips <- st.t_trips + 1;
+      incr trips
+    end
+  | Some _ -> ()
+
+let process t (req : Wire.request) : Wire.reply =
+  let st = tenant_state t req.rq_tenant in
+  let t0 = Unix.gettimeofday () in
+  let wall_ms () = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let degraded, mode =
+    match st.t_breaker with
+    | Open _ when not req.rq_strict -> (true, "seq")
+    | _ -> (false, req.rq_mode)
+  in
+  match st.t_breaker with
+  | Open _ when req.rq_strict ->
+    t.stats.circuit_rejected <- t.stats.circuit_rejected + 1;
+    reply ~id:req.rq_id ~wall_ms:(wall_ms ())
+      ~exit_code:Diagnostics.exit_circuit_open
+      ~error:
+        (Errors.render_circuit_open ~tenant:st.t_name ~failures:st.t_consec)
+      Wire.Circuit_open
+  | _ -> (
+    let trips = ref 0 in
+    match execute t req ~mode with
+    | outcome, key, compiled, hitmiss, fuel, device_used ->
+      let cache = match hitmiss with `Hit -> "hit" | `Miss -> "miss" in
+      (* An open breaker heals through degraded runs: each one consumes
+         probation; at zero the next request probes the device path. *)
+      if degraded then begin
+        t.stats.degraded_runs <- t.stats.degraded_runs + 1;
+        match st.t_breaker with
+        | Open left when left <= 1 -> st.t_breaker <- Half_open
+        | Open left -> st.t_breaker <- Open (left - 1)
+        | _ -> ()
+      end;
+      let r =
+        match outcome with
+        | O_ok (r, retries) ->
+          (if not degraded then
+             finish_breaker st ~threshold:t.cfg.circuit_threshold
+               ~probation:t.cfg.circuit_probation ~trips None);
+          if
+            r.Interp.leaks.Runtime.resident_nonglobal <> 0
+            || r.Interp.leaks.Runtime.leaked_dev_blocks <> 0
+          then begin
+            t.stats.failed <- t.stats.failed + 1;
+            reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~cache
+              ~exit_code:Diagnostics.exit_runtime
+              ~error:"cgcm serve: request leaked device residency"
+              Wire.Error
+          end
+          else begin
+            t.stats.ok <- t.stats.ok + 1;
+            if device_used && not degraded then
+              warm_after t ~tenant:req.rq_tenant ~key compiled;
+            reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~cache ~degraded
+              ~retries ~output:r.Interp.output
+              ~exit_code:(Int64.to_int r.Interp.exit_code) Wire.Ok
+          end
+        | O_deadline ->
+          t.stats.deadline_exceeded <- t.stats.deadline_exceeded + 1;
+          reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~cache ~degraded
+            ~exit_code:Diagnostics.exit_deadline
+            ~error:(Errors.render_deadline ~deadline:fuel)
+            Wire.Deadline_exceeded
+        | O_failed (exn, retries) ->
+          (if not degraded then
+             finish_breaker st ~threshold:t.cfg.circuit_threshold
+               ~probation:t.cfg.circuit_probation ~trips (Some exn));
+          t.stats.failed <- t.stats.failed + 1;
+          let code, msg =
+            match Diagnostics.classify exn with
+            | Some cm -> cm
+            | None -> (Diagnostics.exit_internal, Printexc.to_string exn)
+          in
+          reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~cache ~degraded
+            ~retries ~exit_code:code ~error:msg Wire.Error
+      in
+      t.stats.circuit_trips <- t.stats.circuit_trips + !trips;
+      r
+    | exception exn ->
+      (* Compilation (or plan resolution) failed before any execution:
+         the program's fault, not the tenant's. *)
+      t.stats.failed <- t.stats.failed + 1;
+      let code, msg =
+        match Diagnostics.classify exn with
+        | Some cm -> cm
+        | None -> (Diagnostics.exit_internal, Printexc.to_string exn)
+      in
+      reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~exit_code:code ~error:msg
+        Wire.Error)
+
+(* Crash-only discipline: every request leaves the shared state audited.
+   An invariant violation here is a daemon bug and must escape loudly
+   rather than serve further requests from corrupt state. *)
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some (req, deliver) ->
+    let r = process t req in
+    Residency.check_invariants t.res;
+    deliver r;
+    true
+
+let drain t = while step t do () done
+
+let shutdown t =
+  drain t;
+  Residency.shutdown t.res
+
+let final_line t ~residual =
+  let s = t.stats in
+  Printf.sprintf
+    "serve: received=%d ok=%d shed=%d deadline=%d circuit_open=%d errors=%d \
+     degraded=%d retries=%d trips=%d cross_evictions=%d cache_hit_rate=%.2f \
+     backoff_ms=%.1f device_leaks=%d"
+    s.received s.ok s.shed s.deadline_exceeded s.circuit_rejected s.failed
+    s.degraded_runs s.retries s.circuit_trips
+    (Residency.cross_evictions t.res)
+    (cache_hit_rate t) s.backoff_total_ms residual

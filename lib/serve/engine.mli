@@ -1,0 +1,80 @@
+(** The serve daemon's request engine, independent of any transport.
+
+    Holds the robustness envelope — admission control with typed
+    [Overloaded] sheds, per-request deadlines via the interpreter's fuel
+    budget, retry-with-backoff for injected transient faults, per-tenant
+    circuit breakers that degrade to CPU-only execution, and crash-only
+    invariant audits between requests — plus the cross-request compiled-
+    module LRU and the shared {!Residency} state. The socket server is a
+    thin shell over {!submit}/{!step}; tests drive the engine directly. *)
+
+type config = {
+  max_queue : int;  (** admission bound: shed beyond this queue depth *)
+  device_mem : int;  (** daemon device capacity; [max_int] = unbounded *)
+  high_water : float;  (** warm-bytes fraction of capacity that sheds *)
+  default_deadline : int;  (** fuel budget for requests without one *)
+  max_retries : int;  (** extra attempts on injected transient faults *)
+  backoff_ms : float;  (** base backoff between attempts; doubles *)
+  circuit_threshold : int;
+      (** consecutive circuit-countable failures that trip a tenant *)
+  circuit_probation : int;  (** degraded runs before a half-open probe *)
+  cache_capacity : int;  (** compiled-module LRU entries *)
+  faults : Cgcm_gpusim.Faults.spec option;
+      (** daemon-wide injected-fault plan; each execution attempt gets a
+          derived seed substream *)
+}
+
+val default_config : config
+
+type breaker = Closed | Open of int | Half_open
+
+type stats = {
+  mutable received : int;
+  mutable ok : int;
+  mutable shed : int;
+  mutable deadline_exceeded : int;
+  mutable circuit_rejected : int;  (** strict requests under an open breaker *)
+  mutable failed : int;
+  mutable degraded_runs : int;  (** CPU-only runs under an open breaker *)
+  mutable retries : int;
+  mutable backoff_total_ms : float;
+  mutable circuit_trips : int;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+val stats : t -> stats
+val residency : t -> Residency.t
+val cache_stats : t -> Cache.stats
+val cache_hit_rate : t -> float
+val pending : t -> int
+val breaker_of : t -> string -> breaker
+val trips_of : t -> string -> int
+
+val submit :
+  t -> Wire.request -> (Wire.reply -> unit) -> [ `Queued | `Shed ]
+(** Admission: either enqueue the request or deliver an [Overloaded]
+    reply immediately (queue full, or warm residency past the
+    high-water mark — the latter also evicts one LRU warm unit so the
+    pressure clears). *)
+
+val step : t -> bool
+(** Execute one queued request, deliver its reply, and audit the shared
+    residency invariants. False when the queue is empty. *)
+
+val drain : t -> unit
+
+val process : t -> Wire.request -> Wire.reply
+(** Execute one request immediately, bypassing the queue (used by
+    {!step} and by tests that want synchronous replies). *)
+
+val shutdown : t -> int
+(** Drain the queue, then tear down all warm residency and return the
+    number of device blocks still live (0 = clean). *)
+
+val final_line : t -> residual:int -> string
+(** The daemon's final stats line: received/ok/shed/deadline/
+    circuit_open/errors/degraded/retries/trips/cross-evictions/cache hit
+    rate/backoff/leaks. *)

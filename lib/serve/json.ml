@@ -1,0 +1,286 @@
+(* A minimal JSON codec for the serve wire protocol.
+
+   The daemon cannot pull in an external JSON library (the container is
+   what it is), and the protocol only needs objects of scalars plus the
+   odd nested object — so this is a small, total, recursive-descent
+   implementation: every value [print]s to a string that [parse]s back
+   to an equal value. Integers are kept distinct from floats (request
+   ids and exit codes must round-trip exactly). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec print_buf b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    (* %.17g round-trips any float; normalize nan/inf to null (the
+       protocol never needs them, but a latency of 0/0 must not emit
+       unparseable text) *)
+    if Float.is_nan f || f = infinity || f = neg_infinity then
+      Buffer.add_string b "null"
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Str s -> escape_string b s
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        print_buf b v)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        print_buf b v)
+      fields;
+    Buffer.add_char b '}'
+
+let print v =
+  let b = Buffer.create 256 in
+  print_buf b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail msg = raise (Parse_error msg)
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail (Printf.sprintf "expected %c, found %c at %d" ch x c.pos)
+  | None -> fail (Printf.sprintf "expected %c, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail (Printf.sprintf "bad literal at %d" c.pos)
+
+let parse_string_body c =
+  expect c '"';
+  let b = Buffer.create 32 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string"
+    | Some '"' ->
+      advance c;
+      Buffer.contents b
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> fail "unterminated escape"
+      | Some e ->
+        advance c;
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if c.pos + 4 > String.length c.s then fail "truncated \\u escape";
+          let hex = String.sub c.s c.pos 4 in
+          c.pos <- c.pos + 4;
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape"
+          in
+          (* the printer only emits \u for control bytes; decode the
+             BMP point as UTF-8 so foreign peers stay readable *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | e -> fail (Printf.sprintf "bad escape \\%c" e));
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance c;
+      go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub c.s start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      (* out-of-range integer literal: degrade to float *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" text))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string_body c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value c ] in
+      skip_ws c;
+      while peek c = Some ',' do
+        advance c;
+        items := parse_value c :: !items;
+        skip_ws c
+      done;
+      expect c ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws c;
+      while peek c = Some ',' do
+        advance c;
+        fields := field () :: !fields;
+        skip_ws c
+      done;
+      expect c '}';
+      Obj (List.rev !fields)
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail (Printf.sprintf "unexpected character %c at %d" ch c.pos)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    fail (Printf.sprintf "trailing garbage at %d" c.pos);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let str_field ?default key v =
+  match (member key v, default) with
+  | Some (Str s), _ -> s
+  | (Some _ | None), Some d -> d
+  | _, None -> fail (Printf.sprintf "missing string field %S" key)
+
+let int_field ?default key v =
+  match (member key v, default) with
+  | Some (Int i), _ -> i
+  | (Some _ | None), Some d -> d
+  | _, None -> fail (Printf.sprintf "missing int field %S" key)
+
+let bool_field ?(default = false) key v =
+  match member key v with Some (Bool b) -> b | _ -> default
+
+let float_field ?default key v =
+  match (member key v, default) with
+  | Some (Float f), _ -> f
+  | Some (Int i), _ -> float_of_int i
+  | (Some _ | None), Some d -> d
+  | _, None -> fail (Printf.sprintf "missing float field %S" key)
+
+let opt_str_field key v =
+  match member key v with Some (Str s) -> Some s | _ -> None
+
+let opt_int_field key v =
+  match member key v with Some (Int i) -> Some i | _ -> None

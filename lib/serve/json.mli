@@ -1,0 +1,37 @@
+(** Minimal JSON codec for the serve wire protocol.
+
+    Self-contained (no external JSON dependency): every {!t} printed by
+    {!print} parses back to an equal value with {!parse}. Integers stay
+    distinct from floats so request ids and exit codes round-trip
+    exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val print : t -> string
+(** Compact one-line rendering (no insignificant whitespace). *)
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+(** {2 Accessors}
+
+    The [_field] accessors look a key up in an [Obj]; without a
+    [default] they raise {!Parse_error} when the key is missing or has
+    the wrong shape. *)
+
+val member : string -> t -> t option
+val str_field : ?default:string -> string -> t -> string
+val int_field : ?default:int -> string -> t -> int
+val bool_field : ?default:bool -> string -> t -> bool
+val float_field : ?default:float -> string -> t -> float
+val opt_str_field : string -> t -> string option
+val opt_int_field : string -> t -> int option

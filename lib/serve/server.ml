@@ -1,0 +1,212 @@
+(* The cgcm serve daemon: a single-threaded unix-socket server over the
+   request {!Engine}.
+
+   One select-driven event loop owns everything — accepting connections,
+   framing, admission, execution, write-back — so there is no locking
+   and the crash-only discipline is easy to state: between any two
+   event-loop iterations the shared state (compile cache, residency,
+   breakers) is consistent, and a fatal error can simply kill the
+   process without a recovery protocol. Requests are admitted (or shed)
+   the moment their frame arrives; one queued request executes per loop
+   iteration, so admission keeps rejecting new load with [Overloaded]
+   replies while a burst drains instead of buffering it invisibly. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  mutable out : Bytes.t list;  (* pending write-back, oldest first *)
+  mutable out_off : int;  (* progress into the head buffer *)
+}
+
+type t = {
+  engine : Engine.t;
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  log : string -> unit;
+  mutable stopping : bool;
+}
+
+let create ?(engine_config = Engine.default_config) ?(log = ignore)
+    ~socket_path () =
+  (if Sys.file_exists socket_path then
+     (* A previous daemon died without unlinking: crash-only startup
+        reclaims the name rather than demanding manual cleanup. *)
+     try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  {
+    engine = Engine.create ~config:engine_config ();
+    socket_path;
+    listen_fd;
+    conns = Hashtbl.create 16;
+    log;
+    stopping = false;
+  }
+
+let engine t = t.engine
+let stop t = t.stopping <- true
+
+let drop_conn t c =
+  Hashtbl.remove t.conns c.fd;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send t c (v : Json.t) =
+  ignore t;
+  c.out <- c.out @ [ Wire.encode_frame v ]
+
+(* Flush as much buffered write-back as the socket accepts. A dead peer
+   (EPIPE) just loses its replies; the daemon carries on. *)
+let flush_conn t c =
+  try
+    let continue = ref true in
+    while !continue && c.out <> [] do
+      match c.out with
+      | [] -> continue := false
+      | b :: rest ->
+        let n =
+          Unix.write c.fd b c.out_off (Bytes.length b - c.out_off)
+        in
+        c.out_off <- c.out_off + n;
+        if c.out_off >= Bytes.length b then begin
+          c.out <- rest;
+          c.out_off <- 0
+        end
+    done
+  with
+  | Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+  | Unix.Unix_error _ -> drop_conn t c
+
+let stats_json t : Json.t =
+  let s = Engine.stats t.engine in
+  let c = Engine.cache_stats t.engine in
+  Obj
+    [
+      ("status", Json.Str "ok");
+      ("received", Json.Int s.Engine.received);
+      ("ok", Json.Int s.Engine.ok);
+      ("shed", Json.Int s.Engine.shed);
+      ("deadline_exceeded", Json.Int s.Engine.deadline_exceeded);
+      ("circuit_open", Json.Int s.Engine.circuit_rejected);
+      ("errors", Json.Int s.Engine.failed);
+      ("degraded", Json.Int s.Engine.degraded_runs);
+      ("retries", Json.Int s.Engine.retries);
+      ("trips", Json.Int s.Engine.circuit_trips);
+      ("pending", Json.Int (Engine.pending t.engine));
+      ("cache_hits", Json.Int c.Cache.hits);
+      ("cache_misses", Json.Int c.Cache.misses);
+      ("cache_hit_rate", Json.Float (Engine.cache_hit_rate t.engine));
+      ("warm_bytes", Json.Int (Residency.warm_bytes (Engine.residency t.engine)));
+      ( "cross_evictions",
+        Json.Int (Residency.cross_evictions (Engine.residency t.engine)) );
+    ]
+
+let handle_frame t c (v : Json.t) =
+  match Json.str_field ~default:"run" "op" v with
+  | "run" ->
+    let req = Wire.request_of_json v in
+    ignore
+      (Engine.submit t.engine req (fun reply ->
+           send t c (Wire.reply_to_json reply))
+        : [ `Queued | `Shed ])
+  | "ping" -> send t c (Obj [ ("status", Json.Str "ok") ])
+  | "stats" -> send t c (stats_json t)
+  | "shutdown" ->
+    t.stopping <- true;
+    send t c (Obj [ ("status", Json.Str "ok"); ("stopping", Json.Bool true) ])
+  | op ->
+    send t c
+      (Obj
+         [
+           ("status", Json.Str "error");
+           ("error", Json.Str (Printf.sprintf "unknown op %S" op));
+         ])
+
+let read_conn t c =
+  let buf = Bytes.create 8192 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> drop_conn t c
+  | n -> (
+    Wire.decoder_feed c.dec buf n;
+    match Wire.decoder_drain c.dec with
+    | frames -> List.iter (handle_frame t c) frames
+    | exception Wire.Protocol_error msg ->
+      t.log (Printf.sprintf "serve: protocol error, dropping peer: %s" msg);
+      drop_conn t c)
+  | exception
+      Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+    ()
+  | exception Unix.Unix_error _ -> drop_conn t c
+  | exception Wire.Protocol_error msg ->
+    t.log (Printf.sprintf "serve: protocol error, dropping peer: %s" msg);
+    drop_conn t c
+
+let accept_ready t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      Hashtbl.replace t.conns fd
+        { fd; dec = Wire.decoder (); out = []; out_off = 0 }
+    | exception
+        Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      continue := false
+  done
+
+let iterate t =
+  let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
+  let wfds =
+    Hashtbl.fold (fun fd c acc -> if c.out <> [] then fd :: acc else acc)
+      t.conns []
+  in
+  (* Block only when idle; with work queued, poll and keep executing. *)
+  let timeout = if Engine.pending t.engine > 0 then 0.0 else 0.05 in
+  let rfds, wready, _ =
+    try Unix.select (t.listen_fd :: conn_fds) wfds [] timeout
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  if List.mem t.listen_fd rfds then accept_ready t;
+  List.iter
+    (fun fd ->
+      if fd <> t.listen_fd then
+        match Hashtbl.find_opt t.conns fd with
+        | Some c -> read_conn t c
+        | None -> ())
+    rfds;
+  ignore (Engine.step t.engine : bool);
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.conns fd with
+      | Some c -> flush_conn t c
+      | None -> ())
+    (wready @ conn_fds)
+
+let pending_writes t =
+  Hashtbl.fold (fun _ c acc -> acc || c.out <> []) t.conns false
+
+(* Run until asked to stop, then drain: queued requests still execute
+   and their replies flush before teardown. *)
+let run t =
+  while not t.stopping do
+    iterate t
+  done;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (Engine.pending t.engine > 0 || pending_writes t)
+    && Unix.gettimeofday () < deadline
+  do
+    iterate t
+  done;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    t.conns;
+  Hashtbl.reset t.conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  let residual = Engine.shutdown t.engine in
+  let line = Engine.final_line t.engine ~residual in
+  t.log line;
+  (line, residual)

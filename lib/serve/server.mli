@@ -1,0 +1,31 @@
+(** The [cgcm serve] daemon: a single-threaded, select-driven
+    unix-socket server over the request {!Engine}.
+
+    One event loop owns accepting, framing, admission, execution and
+    write-back, so shared state is consistent between iterations —
+    crash-only by construction. Admission happens the moment a request
+    frame arrives; one queued request executes per iteration, so bursts
+    are shed at the door rather than buffered invisibly. *)
+
+type t
+
+val create :
+  ?engine_config:Engine.config ->
+  ?log:(string -> unit) ->
+  socket_path:string ->
+  unit ->
+  t
+(** Bind and listen on [socket_path] (a stale socket file from a
+    crashed daemon is reclaimed). *)
+
+val engine : t -> Engine.t
+
+val stop : t -> unit
+(** Ask {!run} to wind down after the current iteration (signal-handler
+    safe: it only sets a flag). *)
+
+val run : t -> string * int
+(** Serve until {!stop} or a [shutdown] frame, then drain queued
+    requests, flush replies, tear down all warm residency, unlink the
+    socket and return the final stats line and the residual device
+    block count (0 = leak-free). *)

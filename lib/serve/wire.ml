@@ -1,0 +1,213 @@
+(* The serve wire protocol: length-prefixed JSON frames over a unix
+   socket, and the typed request/reply messages they carry.
+
+   A frame is a 4-byte big-endian payload length followed by that many
+   bytes of compact JSON. Length-prefixing (rather than newline
+   delimiting) lets program sources travel verbatim, and caps frame
+   size up front so a misbehaving peer cannot make the daemon buffer
+   unboundedly. *)
+
+exception Protocol_error of string
+
+let max_frame_bytes = 8 * 1024 * 1024
+(* A compile request is dominated by its program source; 8 MiB is two
+   orders of magnitude above anything the suite or fuzzer produces. *)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking frame I/O (client side and tests)                          *)
+
+let really_write fd buf off len =
+  let off = ref off and left = ref len in
+  while !left > 0 do
+    let n = Unix.write fd buf !off !left in
+    off := !off + n;
+    left := !left - n
+  done
+
+let really_read fd buf off len =
+  let off = ref off and left = ref len in
+  while !left > 0 do
+    let n = Unix.read fd buf !off !left in
+    if n = 0 then raise (Protocol_error "peer closed mid-frame");
+    off := !off + n;
+    left := !left - n
+  done
+
+let encode_frame (v : Json.t) : Bytes.t =
+  let payload = Json.print v in
+  let n = String.length payload in
+  if n > max_frame_bytes then
+    raise (Protocol_error (Printf.sprintf "frame of %d bytes exceeds limit" n));
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (n land 0xFF);
+  Bytes.blit_string payload 0 b 4 n;
+  b
+
+let write_frame fd v =
+  let b = encode_frame v in
+  really_write fd b 0 (Bytes.length b)
+
+let decode_len b off =
+  (Bytes.get_uint8 b off lsl 24)
+  lor (Bytes.get_uint8 b (off + 1) lsl 16)
+  lor (Bytes.get_uint8 b (off + 2) lsl 8)
+  lor Bytes.get_uint8 b (off + 3)
+
+let read_frame fd : Json.t =
+  let hdr = Bytes.create 4 in
+  really_read fd hdr 0 4;
+  let n = decode_len hdr 0 in
+  if n < 0 || n > max_frame_bytes then
+    raise (Protocol_error (Printf.sprintf "bad frame length %d" n));
+  let payload = Bytes.create n in
+  really_read fd payload 0 n;
+  try Json.parse (Bytes.unsafe_to_string payload)
+  with Json.Parse_error msg -> raise (Protocol_error ("bad frame: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frame decoding (the daemon's non-blocking reader)       *)
+
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder () = { buf = Bytes.create 4096; len = 0 }
+
+let decoder_feed d chunk n =
+  if d.len + n > Bytes.length d.buf then begin
+    let cap = max (d.len + n) (2 * Bytes.length d.buf) in
+    if cap > max_frame_bytes + 4 then
+      raise (Protocol_error "peer exceeded the frame size limit");
+    let b = Bytes.create cap in
+    Bytes.blit d.buf 0 b 0 d.len;
+    d.buf <- b
+  end;
+  Bytes.blit chunk 0 d.buf d.len n;
+  d.len <- d.len + n
+
+(* Pop every complete frame currently buffered. *)
+let decoder_drain d : Json.t list =
+  let frames = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if d.len - !pos < 4 then continue := false
+    else begin
+      let n = decode_len d.buf !pos in
+      if n < 0 || n > max_frame_bytes then
+        raise (Protocol_error (Printf.sprintf "bad frame length %d" n));
+      if d.len - !pos - 4 < n then continue := false
+      else begin
+        let payload = Bytes.sub_string d.buf (!pos + 4) n in
+        (match Json.parse payload with
+        | v -> frames := v :: !frames
+        | exception Json.Parse_error msg ->
+          raise (Protocol_error ("bad frame: " ^ msg)));
+        pos := !pos + 4 + n
+      end
+    end
+  done;
+  if !pos > 0 then begin
+    Bytes.blit d.buf !pos d.buf 0 (d.len - !pos);
+    d.len <- d.len - !pos
+  end;
+  List.rev !frames
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+
+type request = {
+  rq_id : int;
+  rq_tenant : string;
+  rq_source : string;
+  rq_mode : string;  (* seq | unopt | opt | ie | unified *)
+  rq_deadline : int option;  (* fuel budget for the run *)
+  rq_strict : bool;  (* reject (Circuit_open) instead of degrading *)
+  rq_faults : string option;  (* per-request fault plan, mostly for tests *)
+}
+
+type status = Ok | Overloaded | Deadline_exceeded | Circuit_open | Error
+
+let status_name = function
+  | Ok -> "ok"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Circuit_open -> "circuit_open"
+  | Error -> "error"
+
+let status_of_name = function
+  | "ok" -> Ok
+  | "overloaded" -> Overloaded
+  | "deadline_exceeded" -> Deadline_exceeded
+  | "circuit_open" -> Circuit_open
+  | "error" -> Error
+  | s -> raise (Protocol_error (Printf.sprintf "unknown status %S" s))
+
+type reply = {
+  rp_id : int;
+  rp_status : status;
+  rp_output : string;  (* program stdout, empty unless Ok *)
+  rp_exit_code : int;  (* program exit code (Ok) or diagnostic code *)
+  rp_error : string;  (* rendered diagnostic, empty unless a rejection *)
+  rp_cache : string;  (* "hit" | "miss" | "-" *)
+  rp_degraded : bool;  (* executed CPU-only under an open circuit *)
+  rp_retries : int;  (* attempts beyond the first (transient faults) *)
+  rp_wall_ms : float;  (* daemon-side execution time *)
+}
+
+let request_to_json r : Json.t =
+  Obj
+    ([
+       ("op", Json.Str "run");
+       ("id", Json.Int r.rq_id);
+       ("tenant", Json.Str r.rq_tenant);
+       ("mode", Json.Str r.rq_mode);
+       ("source", Json.Str r.rq_source);
+       ("strict", Json.Bool r.rq_strict);
+     ]
+    @ (match r.rq_deadline with
+      | Some d -> [ ("deadline", Json.Int d) ]
+      | None -> [])
+    @
+    match r.rq_faults with
+    | Some f -> [ ("faults", Json.Str f) ]
+    | None -> [])
+
+let request_of_json v =
+  {
+    rq_id = Json.int_field ~default:0 "id" v;
+    rq_tenant = Json.str_field ~default:"anonymous" "tenant" v;
+    rq_source = Json.str_field "source" v;
+    rq_mode = Json.str_field ~default:"opt" "mode" v;
+    rq_deadline = Json.opt_int_field "deadline" v;
+    rq_strict = Json.bool_field ~default:false "strict" v;
+    rq_faults = Json.opt_str_field "faults" v;
+  }
+
+let reply_to_json r : Json.t =
+  Obj
+    [
+      ("id", Json.Int r.rp_id);
+      ("status", Json.Str (status_name r.rp_status));
+      ("output", Json.Str r.rp_output);
+      ("exit_code", Json.Int r.rp_exit_code);
+      ("error", Json.Str r.rp_error);
+      ("cache", Json.Str r.rp_cache);
+      ("degraded", Json.Bool r.rp_degraded);
+      ("retries", Json.Int r.rp_retries);
+      ("wall_ms", Json.Float r.rp_wall_ms);
+    ]
+
+let reply_of_json v =
+  {
+    rp_id = Json.int_field ~default:0 "id" v;
+    rp_status = status_of_name (Json.str_field "status" v);
+    rp_output = Json.str_field ~default:"" "output" v;
+    rp_exit_code = Json.int_field ~default:0 "exit_code" v;
+    rp_error = Json.str_field ~default:"" "error" v;
+    rp_cache = Json.str_field ~default:"-" "cache" v;
+    rp_degraded = Json.bool_field ~default:false "degraded" v;
+    rp_retries = Json.int_field ~default:0 "retries" v;
+    rp_wall_ms = Json.float_field ~default:0.0 "wall_ms" v;
+  }

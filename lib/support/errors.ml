@@ -141,6 +141,53 @@ let render_violation v =
       (List.rev h));
   Buffer.contents b
 
+(* ------------------------------------------------------------------ *)
+(* Service rejections (the cgcm serve daemon)                          *)
+
+(* The serve daemon never lets one request take down or starve the rest:
+   a request can be shed at admission (queue or device-memory
+   contention), killed at its deadline (the interpreter's fuel budget),
+   or rejected because its tenant's circuit breaker is open. Each is a
+   typed, rendered, distinctly-exit-coded outcome — not an anonymous
+   failure — so clients can implement backoff and fallback policies. *)
+
+type overload_info = {
+  ov_queue_depth : int;
+  ov_queue_limit : int;
+  ov_warm_bytes : int;  (* cross-request device residency held by tenants *)
+  ov_capacity : int;  (* simulated device capacity; max_int = unbounded *)
+  ov_reason : string;  (* "queue" | "device-mem" *)
+}
+
+exception Serve_overloaded of overload_info
+
+exception Serve_deadline of { dl_deadline : int (* fuel units granted *) }
+
+exception
+  Serve_circuit_open of {
+    co_tenant : string;
+    co_failures : int;  (* consecutive failures that tripped the breaker *)
+  }
+
+let render_overload o =
+  Printf.sprintf
+    "cgcm serve: overloaded (%s): queue %d of %d, %d warm bytes of %s device \
+     capacity; request shed"
+    o.ov_reason o.ov_queue_depth o.ov_queue_limit o.ov_warm_bytes
+    (if o.ov_capacity = max_int then "unbounded"
+     else string_of_int o.ov_capacity)
+
+let render_deadline ~deadline =
+  Printf.sprintf
+    "cgcm serve: deadline exceeded: request used up its budget of %d fuel"
+    deadline
+
+let render_circuit_open ~tenant ~failures =
+  Printf.sprintf
+    "cgcm serve: circuit open for tenant %s after %d consecutive failures; \
+     only degraded (CPU-fallback) execution is available"
+    tenant failures
+
 (* Full diagnostic: one header line, then the unit, the device fault, and
    the allocation map — everything needed to diagnose a refcount or
    residency bug from the error alone. *)

@@ -76,6 +76,35 @@ type violation = {
 
 exception Coherence_violation of violation
 
+(** {2 Service rejections}
+
+    Raised (client-side) and classified for the [cgcm serve] daemon's
+    typed rejection replies: load shed at admission, a per-request
+    deadline enforced through the interpreter's fuel budget, or a
+    tenant whose circuit breaker tripped after repeated failures. They
+    live here so [Cgcm_core.Diagnostics] can map them to exit codes
+    without depending on the serve library. *)
+
+type overload_info = {
+  ov_queue_depth : int;
+  ov_queue_limit : int;
+  ov_warm_bytes : int;
+      (** cross-request device residency held by tenants at shed time *)
+  ov_capacity : int;  (** simulated device capacity; [max_int] = unbounded *)
+  ov_reason : string;  (** ["queue"] or ["device-mem"] *)
+}
+
+exception Serve_overloaded of overload_info
+
+exception Serve_deadline of { dl_deadline : int (** fuel units granted *) }
+
+exception
+  Serve_circuit_open of { co_tenant : string; co_failures : int }
+
+val render_overload : overload_info -> string
+val render_deadline : deadline:int -> string
+val render_circuit_open : tenant:string -> failures:int -> string
+
 val render_unit : unit_snapshot -> string
 val render_device_fault : device_fault -> string
 

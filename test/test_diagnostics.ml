@@ -33,7 +33,10 @@ let test_exit_codes () =
   check Alcotest.int "exec" 5 Diagnostics.exit_exec;
   check Alcotest.int "memory" 6 Diagnostics.exit_memory;
   check Alcotest.int "internal" 7 Diagnostics.exit_internal;
-  check Alcotest.int "sanitizer" 8 Diagnostics.exit_sanitizer
+  check Alcotest.int "sanitizer" 8 Diagnostics.exit_sanitizer;
+  check Alcotest.int "overloaded" 9 Diagnostics.exit_overloaded;
+  check Alcotest.int "deadline" 10 Diagnostics.exit_deadline;
+  check Alcotest.int "circuit open" 11 Diagnostics.exit_circuit_open
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: bad input through the real pipeline. *)
@@ -143,19 +146,63 @@ let test_verifier_text () =
   golden "verifier" (7, "cgcm: internal error (ill-formed IR): boom")
     (fun () -> raise (Cgcm_ir.Verifier.Ill_formed "boom"))
 
+(* The serve daemon's typed rejections: shed at admission, deadline via
+   the fuel budget, tenant circuit breaker. *)
+let test_serve_rejection_text () =
+  golden "overloaded"
+    ( 9,
+      "cgcm serve: overloaded (queue): queue 64 of 64, 4096 warm bytes of \
+       65536 device capacity; request shed" )
+    (fun () ->
+      raise
+        (Errors.Serve_overloaded
+           {
+             Errors.ov_queue_depth = 64;
+             ov_queue_limit = 64;
+             ov_warm_bytes = 4096;
+             ov_capacity = 65536;
+             ov_reason = "queue";
+           }));
+  golden "overloaded unbounded"
+    ( 9,
+      "cgcm serve: overloaded (device-mem): queue 3 of 16, 512 warm bytes \
+       of unbounded device capacity; request shed" )
+    (fun () ->
+      raise
+        (Errors.Serve_overloaded
+           {
+             Errors.ov_queue_depth = 3;
+             ov_queue_limit = 16;
+             ov_warm_bytes = 512;
+             ov_capacity = max_int;
+             ov_reason = "device-mem";
+           }));
+  golden "deadline"
+    ( 10,
+      "cgcm serve: deadline exceeded: request used up its budget of 20000 \
+       fuel" )
+    (fun () -> raise (Errors.Serve_deadline { dl_deadline = 20000 }));
+  golden "circuit open"
+    ( 11,
+      "cgcm serve: circuit open for tenant alice after 3 consecutive \
+       failures; only degraded (CPU-fallback) execution is available" )
+    (fun () ->
+      raise (Errors.Serve_circuit_open { co_tenant = "alice"; co_failures = 3 }))
+
 let test_unknown_exceptions_pass_through () =
   check Alcotest.bool "Not_found unclassified" true
     (Diagnostics.classify Not_found = None)
 
 let tests =
   [
-    Alcotest.test_case "exit codes 2-8" `Quick test_exit_codes;
+    Alcotest.test_case "exit codes 2-11" `Quick test_exit_codes;
     Alcotest.test_case "frontend diagnostics" `Quick test_frontend_diagnostics;
     Alcotest.test_case "dynamic diagnostics" `Quick test_dynamic_diagnostics;
     Alcotest.test_case "runtime error text" `Quick test_runtime_error_text;
     Alcotest.test_case "device fault text" `Quick test_device_fault_text;
     Alcotest.test_case "coherence violation text" `Quick test_violation_text;
     Alcotest.test_case "verifier text" `Quick test_verifier_text;
+    Alcotest.test_case "serve rejection text" `Quick test_serve_rejection_text;
     Alcotest.test_case "unknown exceptions pass through" `Quick
       test_unknown_exceptions_pass_through;
   ]

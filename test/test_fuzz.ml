@@ -84,6 +84,35 @@ let test_shrinker_budget () =
   let _ = Fuzz.shrink ~budget:10 ~check:counting p (Option.get (always p)) in
   check Alcotest.bool "bounded" true (!calls <= 10)
 
+(* The wall-clock budget: with slow checks and a tiny budget, shrinking
+   must terminate early and still report the best candidate found so
+   far (a strict improvement over the input when one was accepted). *)
+let test_shrinker_wall_clock_budget () =
+  let phases p = List.length p.Fuzz.phases in
+  let slow_always p =
+    Unix.sleepf 0.02;
+    ignore p;
+    Some { Fuzz.f_config = "synthetic"; f_kind = "always"; f_detail = "" }
+  in
+  let rec find seed =
+    let p = Fuzz.generate ~seed in
+    if phases p > 1 then p else find (seed + 1)
+  in
+  let p = find 0 in
+  let f = Option.get (slow_always p) in
+  let t0 = Unix.gettimeofday () in
+  (* 50 ms budget, 20 ms per check: at most a handful of evaluations out
+     of a nominal budget of 10000 run before the clock cuts in. *)
+  let minimal, f' =
+    Fuzz.shrink ~budget:10_000 ~budget_ms:50.0 ~check:slow_always p f
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "terminated early" true (elapsed < 2.0);
+  check Alcotest.string "failure kind preserved" f.Fuzz.f_kind f'.Fuzz.f_kind;
+  (* every candidate fails, so the first (most aggressive) candidate was
+     accepted before the budget lapsed: best-so-far, not the input *)
+  check Alcotest.bool "best-so-far reported" true (phases minimal < phases p)
+
 (* End to end: a check function that mis-runs the program (wrong
    engine comparison is impossible here, so simulate a miscompile by
    lying about the reference) must produce a report whose minimal
@@ -114,6 +143,8 @@ let tests =
       test_shrinker_reaches_minimum;
     Alcotest.test_case "shrinker respects its budget" `Quick
       test_shrinker_budget;
+    Alcotest.test_case "shrinker respects its wall-clock budget" `Quick
+      test_shrinker_wall_clock_budget;
     Alcotest.test_case "check_source accepts healthy programs" `Quick
       test_check_source_detects_mismatch;
   ]

@@ -26,4 +26,5 @@ let () =
       ("sanitizer", Test_sanitizer.tests);
       ("fuzz", Test_fuzz.tests);
       ("diagnostics", Test_diagnostics.tests);
+      ("serve", Test_serve.tests);
     ]
