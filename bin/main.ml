@@ -649,8 +649,33 @@ let fuzz_cmd =
              it lapses the smallest counterexample found so far is \
              reported")
   in
-  let f count seed out jobs plan_rounds shrink_budget_ms =
+  let wire_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "wire" ] ~docv:"N"
+          ~doc:
+            "Also fuzz the serve wire protocol with N cases: random frame \
+             streams — pristine and corrupted (bit flips, truncation, \
+             hostile length headers, injected garbage) — fed to the \
+             incremental decoder in random chunks; the decoder must \
+             decode pristine streams exactly and reject hostile ones \
+             with nothing but a protocol error")
+  in
+  let f count seed out jobs plan_rounds shrink_budget_ms wire =
     guarded @@ fun () ->
+    let wire_reports =
+      if wire <= 0 then []
+      else
+        Cgcm_fuzz.Wire_fuzz.campaign
+          ~progress:(fun k ->
+            if k mod 100 = 0 then Fmt.epr "fuzz: wire case %d/%d...@." k wire)
+          ~count:wire ~seed ()
+    in
+    List.iter
+      (fun r -> Fmt.pr "%s@." (Cgcm_fuzz.Wire_fuzz.render_report r))
+      wire_reports;
+    if wire > 0 && wire_reports = [] then
+      Fmt.pr "fuzz: %d wire cases clean (seed %d)@." wire seed;
     let reports =
       Cgcm_fuzz.Fuzz.campaign
         ~progress:(fun k ->
@@ -666,15 +691,14 @@ let fuzz_cmd =
       close_out oc
     | None -> ());
     if reports = [] then Fmt.pr "fuzz: %d programs clean (seed %d)@." count seed
-    else begin
+    else
       Fmt.epr "fuzz: %d of %d programs failed@." (List.length reports) count;
-      exit 1
-    end
+    if reports <> [] || wire_reports <> [] then exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const f $ count_arg $ seed_arg $ out_arg $ fuzz_jobs_arg
-      $ plan_rounds_arg $ shrink_budget_arg)
+      $ plan_rounds_arg $ shrink_budget_arg $ wire_arg)
 
 let figure2_cmd =
   let doc = "Render the Figure 2 execution schedules" in
@@ -743,8 +767,20 @@ let serve_cmd =
       & info [ "cache-entries" ] ~docv:"N"
           ~doc:"Compiled-module LRU cache capacity")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead journal of recoverable state (compiled modules, \
+             warm residency, circuit breakers). If the file already holds \
+             records from a previous run — crashed or clean — the daemon \
+             replays them on startup and rebuilds its warm state before \
+             accepting connections.")
+  in
   let f socket max_queue device_mem deadline max_retries backoff threshold
-      cache_entries faults =
+      cache_entries faults journal_path =
     guarded @@ fun () ->
     let config =
       {
@@ -759,11 +795,39 @@ let serve_cmd =
         faults = parse_faults faults;
       }
     in
+    let replayed =
+      Option.bind journal_path (fun path -> Cgcm_serve.Journal.replay ~path)
+    in
+    let journal =
+      Option.map
+        (fun path ->
+          Cgcm_serve.Journal.create ~path
+            ?initial:
+              (Option.map (fun r -> r.Cgcm_serve.Journal.rp_state) replayed)
+            ())
+        journal_path
+    in
     let server =
-      Cgcm_serve.Server.create ~engine_config:config
+      Cgcm_serve.Server.create ~engine_config:config ?journal
         ~log:(fun s -> Fmt.epr "%s@." s)
         ~socket_path:socket ()
     in
+    Option.iter
+      (fun rp ->
+        let r =
+          Cgcm_serve.Engine.recover (Cgcm_serve.Server.engine server) rp
+        in
+        Fmt.epr
+          "cgcm serve: recovered %d journal records (%d modules recompiled, \
+           %d rewarmed, %d tenants%s%s)@."
+          r.Cgcm_serve.Engine.rec_records r.Cgcm_serve.Engine.rec_compiled
+          r.Cgcm_serve.Engine.rec_rewarmed r.Cgcm_serve.Engine.rec_tenants
+          (if r.Cgcm_serve.Engine.rec_torn then ", torn tail dropped" else "")
+          (if r.Cgcm_serve.Engine.rec_skipped > 0 then
+             Printf.sprintf ", %d stale records skipped"
+               r.Cgcm_serve.Engine.rec_skipped
+           else ""))
+      replayed;
     let stop _ = Cgcm_serve.Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -776,13 +840,14 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const f $ socket_arg $ max_queue_arg $ device_mem_arg $ deadline_arg
-      $ max_retries_arg $ backoff_arg $ threshold_arg $ cache_arg $ faults_arg)
+      $ max_retries_arg $ backoff_arg $ threshold_arg $ cache_arg $ faults_arg
+      $ journal_arg)
 
 let request_cmd =
   let doc =
     "Send one request to a running serve daemon and print the program \
      output; typed rejections exit with their own codes (overloaded 9, \
-     deadline exceeded 10, circuit open 11)"
+     deadline exceeded 10, circuit open 11, reply timeout 13)"
   in
   let file_opt_arg =
     Arg.(
@@ -830,7 +895,17 @@ let request_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit")
   in
-  let f socket file tenant mode deadline strict faults ping stats shutdown =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:
+            "Give up waiting for the reply after this many milliseconds \
+             (exit code 13) instead of hanging on a wedged daemon")
+  in
+  let f socket file tenant mode deadline strict faults ping stats shutdown
+      timeout_ms =
     guarded @@ fun () ->
     if ping then begin
       if Cgcm_serve.Client.ping ~socket_path:socket then Fmt.pr "pong@."
@@ -865,7 +940,9 @@ let request_cmd =
           rq_faults = faults;
         }
       in
-      let reply = Cgcm_serve.Client.request ~socket_path:socket req in
+      let reply =
+        Cgcm_serve.Client.request ?timeout_ms ~socket_path:socket req
+      in
       print_string reply.Cgcm_serve.Wire.rp_output;
       Fmt.epr "--- status : %s (cache %s%s%s)@."
         (Cgcm_serve.Wire.status_name reply.Cgcm_serve.Wire.rp_status)
@@ -885,14 +962,86 @@ let request_cmd =
     Term.(
       const f $ socket_arg $ file_opt_arg $ tenant_arg $ smode_arg
       $ req_deadline_arg $ strict_arg $ faults_arg $ ping_arg $ stats_arg
-      $ shutdown_arg)
+      $ shutdown_arg $ timeout_arg)
+
+let chaos_cmd =
+  let doc =
+    "Kill-restart chaos harness for the serve daemon: fork a journal-armed \
+     daemon, drive a seeded request burst, kill -9 it mid-burst (optionally \
+     tearing the journal tail), restart it with recovery, and gate on \
+     bit-identical replies, journal durability, zero invariant violations \
+     and zero device leaks; failing schedules are shrunk to a minimal \
+     reproduction"
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' int) [ 1; 7; 42 ]
+      & info [ "seeds" ] ~docv:"A,B,C" ~doc:"Comma-separated schedule seeds")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per schedule")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat (Filename.get_temp_dir_name ()) "cgcm-chaos")
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Working directory for sockets, journals and daemon logs")
+  in
+  let no_torn_arg =
+    Arg.(
+      value & flag
+      & info [ "no-torn-tail" ]
+          ~doc:"Skip the injected torn journal record before the restart")
+  in
+  let f seeds requests dir no_torn =
+    guarded @@ fun () ->
+    let failed = ref false in
+    List.iter
+      (fun seed ->
+        let cfg =
+          {
+            (Cgcm_serve.Chaos.default_config ~seed ~dir) with
+            Cgcm_serve.Chaos.ch_requests = requests;
+            ch_torn_tail = not no_torn;
+          }
+        in
+        let outcome = Cgcm_serve.Chaos.run cfg in
+        Fmt.pr "%s@." (Cgcm_serve.Chaos.render_outcome outcome);
+        if outcome.Cgcm_serve.Chaos.oc_violations <> [] then begin
+          failed := true;
+          Fmt.epr "chaos seed=%d: shrinking the failing schedule...@." seed;
+          let sched, shrunk =
+            Cgcm_serve.Chaos.shrink
+              ~run:(Cgcm_serve.Chaos.run_schedule cfg)
+              outcome.Cgcm_serve.Chaos.oc_schedule outcome
+          in
+          Fmt.epr "%s@." (Cgcm_serve.Chaos.render_schedule sched);
+          Fmt.epr "%s@." (Cgcm_serve.Chaos.render_outcome shrunk);
+          let art = Filename.concat dir (Printf.sprintf "repro-%d.txt" seed) in
+          let oc = open_out art in
+          output_string oc (Cgcm_serve.Chaos.render_schedule sched);
+          output_string oc (Cgcm_serve.Chaos.render_outcome shrunk);
+          output_string oc "\n";
+          close_out oc;
+          Fmt.epr "chaos seed=%d: minimal reproduction written to %s@." seed
+            art
+        end)
+      seeds;
+    if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const f $ seeds_arg $ requests_arg $ dir_arg $ no_torn_arg)
 
 let main_cmd =
   let doc = "CGCM: automatic CPU-GPU communication management (PLDI 2011)" in
   Cmd.group (Cmd.info "cgcm" ~version:"0.1.0" ~doc)
     [
       run_cmd; run_ir_cmd; ir_cmd; ast_cmd; fmt_cmd; report_cmd; suite_cmd;
-      fuzz_cmd; figure2_cmd; serve_cmd; request_cmd;
+      fuzz_cmd; figure2_cmd; serve_cmd; request_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

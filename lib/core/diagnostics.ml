@@ -17,6 +17,8 @@ let exit_sanitizer = 8 (* coherence sanitizer caught a stale/lost byte *)
 let exit_overloaded = 9 (* serve: request shed by admission control *)
 let exit_deadline = 10 (* serve: per-request deadline (fuel) exceeded *)
 let exit_circuit_open = 11 (* serve: tenant circuit breaker open *)
+let exit_socket_busy = 12 (* serve: socket answered by a live daemon *)
+let exit_request_timeout = 13 (* request: daemon never replied in time *)
 
 let classify = function
   | Cgcm_frontend.Lexer.Lex_error (msg, pos) ->
@@ -57,4 +59,11 @@ let classify = function
     Some
       ( exit_circuit_open,
         Errors.render_circuit_open ~tenant:co_tenant ~failures:co_failures )
+  | Errors.Serve_socket_busy { sb_path } ->
+    Some (exit_socket_busy, Errors.render_socket_busy ~path:sb_path)
+  | Errors.Serve_request_timeout { rt_socket; rt_timeout_ms } ->
+    Some
+      ( exit_request_timeout,
+        Errors.render_request_timeout ~socket:rt_socket
+          ~timeout_ms:rt_timeout_ms )
   | _ -> None

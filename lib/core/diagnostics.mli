@@ -41,6 +41,14 @@ val exit_circuit_open : int
 (** 11 — the tenant's circuit breaker is open after repeated failures;
     only degraded CPU-fallback execution is available *)
 
+val exit_socket_busy : int
+(** 12 — [cgcm serve] refused to start: the socket path is answered by
+    a live daemon (a dead daemon's stale socket is reclaimed silently) *)
+
+val exit_request_timeout : int
+(** 13 — [cgcm request --timeout] got no reply from the daemon within
+    the budget *)
+
 val classify : exn -> (int * string) option
 (** [classify e] is [Some (code, message)] when [e] is a known failure
     class, [None] for everything else (which the CLI re-raises). *)

@@ -1,0 +1,242 @@
+(* Wire-protocol fuzzer: random frame streams, random corruption,
+   random chunking — the decoder must either decode or raise
+   [Wire.Protocol_error], never anything else. See wire_fuzz.mli. *)
+
+module Rng = Cgcm_support.Rng
+module Json = Cgcm_serve.Json
+module Wire = Cgcm_serve.Wire
+
+type case = {
+  wc_seed : int;
+  wc_frames : Json.t list;
+  wc_bytes : string;
+  wc_mutated : bool;
+  wc_mutation : string;
+}
+
+type wfailure = { wf_detail : string }
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+
+let gen_string rng =
+  let n = Rng.int rng 12 in
+  String.init n (fun _ ->
+      (* printable ASCII plus the JSON-escaped troublemakers *)
+      match Rng.int rng 20 with
+      | 0 -> '"'
+      | 1 -> '\\'
+      | 2 -> '\n'
+      | 3 -> '\t'
+      | _ -> Char.chr (32 + Rng.int rng 95))
+
+let rec gen_json rng depth : Json.t =
+  match Rng.int rng (if depth >= 2 then 5 else 7) with
+  | 0 -> Json.Null
+  | 1 -> Json.Bool (Rng.int rng 2 = 0)
+  | 2 -> Json.Int (Rng.int rng 2_000_000 - 1_000_000)
+  | 3 -> Json.Float (float_of_int (Rng.int rng 4096) /. 8.0)
+  | 4 -> Json.Str (gen_string rng)
+  | 5 -> Json.List (List.init (Rng.int rng 4) (fun _ -> gen_json rng (depth + 1)))
+  | _ ->
+    Json.Obj
+      (List.init
+         (1 + Rng.int rng 3)
+         (fun i -> (Printf.sprintf "k%d" i, gen_json rng (depth + 1))))
+
+let frames_bytes frames =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun v -> Buffer.add_bytes b (Wire.encode_frame v))
+    frames;
+  Buffer.contents b
+
+(* The mutation menu. Each takes pristine bytes and returns a hostile
+   variant; all are pure byte surgery so shrinking stays byte-level. *)
+let mutate rng s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  match Rng.int rng 6 with
+  | 0 ->
+    let i = Rng.int rng n in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+    ("bit flip", Bytes.to_string b)
+  | 1 -> ("truncation", String.sub s 0 (Rng.int rng n))
+  | 2 ->
+    (* oversized length header at stream start *)
+    Bytes.set b 0 '\x7f';
+    Bytes.set b 1 '\xff';
+    Bytes.set b 2 '\xff';
+    Bytes.set b 3 '\xff';
+    ("oversized length", Bytes.to_string b)
+  | 3 ->
+    (* sign bit set: a negative length on the wire *)
+    Bytes.set b 0 '\xff';
+    ("negative length", Bytes.to_string b)
+  | 4 ->
+    Bytes.set b 0 '\x00';
+    Bytes.set b 1 '\x00';
+    Bytes.set b 2 '\x00';
+    Bytes.set b 3 '\x00';
+    ("zero length", Bytes.to_string b)
+  | _ ->
+    let i = Rng.int rng (n + 1) in
+    let garbage = String.init (1 + Rng.int rng 8) (fun _ -> Char.chr (Rng.int rng 256)) in
+    ("injected garbage", String.sub s 0 i ^ garbage ^ String.sub s i (n - i))
+
+let case ~seed =
+  let rng = Rng.stream ~seed 100 in
+  let frames = List.init (1 + Rng.int rng 4) (fun _ -> gen_json rng 0) in
+  let bytes = frames_bytes frames in
+  if Rng.int rng 2 = 0 then
+    { wc_seed = seed; wc_frames = frames; wc_bytes = bytes;
+      wc_mutated = false; wc_mutation = "none" }
+  else
+    let label, mutated = mutate rng bytes in
+    { wc_seed = seed; wc_frames = frames; wc_bytes = mutated;
+      wc_mutated = true; wc_mutation = label }
+
+(* ------------------------------------------------------------------ *)
+(* The property                                                        *)
+
+let check (c : case) : wfailure option =
+  let rng = Rng.stream ~seed:c.wc_seed 200 in
+  let dec = Wire.decoder () in
+  let got = ref [] in
+  let s = c.wc_bytes in
+  let n = String.length s in
+  let result =
+    try
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min (n - !pos) (1 + Rng.int rng 7) in
+        Wire.decoder_feed dec (Bytes.of_string (String.sub s !pos len)) len;
+        got := !got @ Wire.decoder_drain dec;
+        pos := !pos + len
+      done;
+      `Done
+    with
+    | Wire.Protocol_error msg -> `Protocol_error msg
+    | e -> `Crash (Printexc.to_string e)
+  in
+  match result with
+  | `Crash d ->
+    Some { wf_detail = "decoder raised a non-protocol exception: " ^ d }
+  | `Protocol_error msg ->
+    if c.wc_mutated then None
+    else Some { wf_detail = "pristine stream rejected: " ^ msg }
+  | `Done ->
+    if not c.wc_mutated then begin
+      let expect = List.map Json.print c.wc_frames in
+      let actual = List.map Json.print !got in
+      if actual <> expect then
+        Some
+          { wf_detail =
+              Printf.sprintf
+                "pristine stream decoded to %d frame(s), expected %d \
+                 (first diff: %s)"
+                (List.length actual) (List.length expect)
+                (match
+                   List.find_opt
+                     (fun (a, e) -> a <> e)
+                     (List.combine
+                        (actual @ List.init (max 0 (List.length expect - List.length actual)) (fun _ -> "<missing>"))
+                        (expect @ List.init (max 0 (List.length actual - List.length expect)) (fun _ -> "<extra>")))
+                 with
+                | Some (a, e) -> Printf.sprintf "%s vs %s" a e
+                | None -> "-")
+          }
+      else if Wire.decoder_buffered dec then
+        Some { wf_detail = "pristine stream left bytes buffered" }
+      else None
+    end
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+let candidates (c : case) : case list =
+  if not c.wc_mutated then
+    (* pristine streams shrink by dropping whole frames; bytes are
+       re-derived so the equality oracle stays aligned *)
+    List.concat_map
+      (fun i ->
+        let frames = List.filteri (fun j _ -> j <> i) c.wc_frames in
+        if frames = [] then []
+        else [ { c with wc_frames = frames; wc_bytes = frames_bytes frames } ])
+      (List.init (List.length c.wc_frames) (fun i -> i))
+  else begin
+    (* mutated streams shrink at the byte level: the oracle only says
+       "no foreign exception", so any cut is fair *)
+    let s = c.wc_bytes in
+    let n = String.length s in
+    let cut i len =
+      { c with wc_bytes = String.sub s 0 i ^ String.sub s (i + len) (n - i - len) }
+    in
+    let halves = if n > 1 then [ cut 0 (n / 2); cut (n / 2) (n - (n / 2)) ] else [] in
+    let chunks =
+      if n > 16 then List.init (n / 16) (fun i -> cut (i * 16) 16) else []
+    in
+    let bytes = if n > 1 && n <= 32 then List.init n (fun i -> cut i 1) else [] in
+    List.filter (fun c -> c.wc_bytes <> "") (halves @ chunks @ bytes)
+  end
+
+let shrink (c0 : case) (f0 : wfailure) : case * wfailure =
+  let best = ref (c0, f0) in
+  let budget = ref 400 in
+  let rec go () =
+    let c, _ = !best in
+    let improved =
+      List.exists
+        (fun cand ->
+          if !budget <= 0 then false
+          else begin
+            decr budget;
+            match check cand with
+            | Some f ->
+              best := (cand, f);
+              true
+            | None -> false
+          end)
+        (candidates c)
+    in
+    if improved && !budget > 0 then go ()
+  in
+  go ();
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+
+type wreport = { wr_seed : int; wr_failure : wfailure; wr_minimal : case }
+
+let hex s =
+  let b = Buffer.create (String.length s * 3) in
+  String.iteri
+    (fun i ch ->
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b (Printf.sprintf "%02x" (Char.code ch)))
+    s;
+  Buffer.contents b
+
+let render_report r =
+  Printf.sprintf
+    "wire fuzz failure (seed %d, mutation: %s)\n  %s\n  minimal stream (%d bytes): %s"
+    r.wr_seed r.wr_minimal.wc_mutation r.wr_failure.wf_detail
+    (String.length r.wr_minimal.wc_bytes)
+    (hex r.wr_minimal.wc_bytes)
+
+let campaign ?(progress = fun _ -> ()) ~count ~seed () =
+  let reports = ref [] in
+  for k = 0 to count - 1 do
+    progress k;
+    let c = case ~seed:(seed + k) in
+    match check c with
+    | None -> ()
+    | Some f ->
+      let minimal, mf = shrink c f in
+      reports :=
+        { wr_seed = c.wc_seed; wr_failure = mf; wr_minimal = minimal }
+        :: !reports
+  done;
+  List.rev !reports

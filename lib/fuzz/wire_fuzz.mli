@@ -1,0 +1,45 @@
+(** Wire-protocol fuzzer for the serve framing layer.
+
+    Generates random valid frame streams (seeded JSON values through
+    [Wire.encode_frame]), optionally mutates them (bit flips,
+    truncation, hostile length headers, injected garbage), and feeds the
+    bytes into the incremental {!Cgcm_serve.Wire.decoder} in random
+    chunk sizes. The property:
+
+    - an unmutated stream decodes to exactly the original frames, in
+      order, with nothing left buffered;
+    - a mutated stream may raise [Wire.Protocol_error] — and nothing
+      else: no other exception, no crash, no runaway allocation
+      (hostile length prefixes are rejected before payload buffering).
+
+    Failing cases are shrunk greedily to minimal byte streams. *)
+
+type case = {
+  wc_seed : int;
+  wc_frames : Cgcm_serve.Json.t list;  (** the intended frames *)
+  wc_bytes : string;  (** the byte stream actually fed *)
+  wc_mutated : bool;
+      (** false: the stream is pristine and must decode to [wc_frames]
+          exactly; true: only [Wire.Protocol_error] may be raised *)
+  wc_mutation : string;  (** human label of the applied mutation *)
+}
+
+type wfailure = { wf_detail : string }
+
+val case : seed:int -> case
+(** One seeded case; roughly half are mutated. *)
+
+val check : case -> wfailure option
+(** Feed the bytes in seeded random chunks; [None] = property held. *)
+
+val shrink : case -> wfailure -> case * wfailure
+(** Greedy first-improvement shrinking: drop frames (pristine streams)
+    or cut bytes (mutated streams) while any failure persists. *)
+
+type wreport = { wr_seed : int; wr_failure : wfailure; wr_minimal : case }
+
+val render_report : wreport -> string
+
+val campaign :
+  ?progress:(int -> unit) -> count:int -> seed:int -> unit -> wreport list
+(** [count] cases derived from [seed]; empty list = clean. *)

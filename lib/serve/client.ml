@@ -12,13 +12,47 @@ let with_conn socket_path f =
       Unix.connect fd (Unix.ADDR_UNIX socket_path);
       f fd)
 
-let roundtrip socket_path (v : Json.t) : Json.t =
+(* Deadline-bounded read of one frame: select before every read, so a
+   daemon that accepted the connection but never replies (wedged, or
+   killed mid-request) costs at most the timeout, not forever. *)
+let read_frame_deadline fd ~socket_path ~timeout_ms : Json.t =
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0)
+  in
+  let dec = Wire.decoder () in
+  let buf = Bytes.create 8192 in
+  let timeout () =
+    raise
+      (Cgcm_support.Errors.Serve_request_timeout
+         { rt_socket = socket_path; rt_timeout_ms = timeout_ms })
+  in
+  let rec go () =
+    match Wire.decoder_drain dec with
+    | v :: _ -> v
+    | [] ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then timeout ();
+      (match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> timeout ()
+      | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> raise (Wire.Protocol_error "peer closed mid-frame")
+        | n -> Wire.decoder_feed dec buf n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+      go ()
+  in
+  go ()
+
+let roundtrip ?timeout_ms socket_path (v : Json.t) : Json.t =
   with_conn socket_path (fun fd ->
       Wire.write_frame fd v;
-      Wire.read_frame fd)
+      match timeout_ms with
+      | None -> Wire.read_frame fd
+      | Some ms -> read_frame_deadline fd ~socket_path ~timeout_ms:ms)
 
-let request ~socket_path (req : Wire.request) : Wire.reply =
-  Wire.reply_of_json (roundtrip socket_path (Wire.request_to_json req))
+let request ?timeout_ms ~socket_path (req : Wire.request) : Wire.reply =
+  Wire.reply_of_json
+    (roundtrip ?timeout_ms socket_path (Wire.request_to_json req))
 
 let ping ~socket_path =
   match roundtrip socket_path (Obj [ ("op", Json.Str "ping") ]) with

@@ -1,9 +1,21 @@
 (** Client side of the serve protocol ([cgcm request] and the load
     generator): one connection per operation, blocking frame I/O. *)
 
-val request : socket_path:string -> Wire.request -> Wire.reply
+val with_conn : string -> (Unix.file_descr -> 'a) -> 'a
+(** Connect to the socket path, run the callback, always close. *)
+
+val read_frame_deadline :
+  Unix.file_descr -> socket_path:string -> timeout_ms:int -> Json.t
+(** One frame, or [Cgcm_support.Errors.Serve_request_timeout] once
+    [timeout_ms] lapses with no complete frame (the daemon accepted but
+    never answered — wedged, or killed mid-request). *)
+
+val request : ?timeout_ms:int -> socket_path:string -> Wire.request -> Wire.reply
 (** Raises [Unix.Unix_error] when the daemon is unreachable and
-    [Wire.Protocol_error] on a malformed reply. *)
+    [Wire.Protocol_error] on a malformed reply. With [timeout_ms], a
+    daemon that never replies raises
+    [Cgcm_support.Errors.Serve_request_timeout] instead of hanging the
+    client. *)
 
 val ping : socket_path:string -> bool
 val stats : socket_path:string -> Json.t

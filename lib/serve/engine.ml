@@ -36,6 +36,7 @@ module Doall = Cgcm_frontend.Doall
 module Ir = Cgcm_ir.Ir
 module Errors = Cgcm_support.Errors
 module Rng = Cgcm_support.Rng
+module Device = Cgcm_gpusim.Device
 
 type config = {
   max_queue : int;  (* admission bound: shed beyond this queue depth *)
@@ -89,6 +90,17 @@ type stats = {
   mutable circuit_trips : int;
 }
 
+(* What a restarted daemon reports about the state it rebuilt from the
+   journal. *)
+type recovery = {
+  rec_records : int;  (* intact journal records replayed *)
+  rec_torn : bool;  (* replay ended at a torn/corrupt record *)
+  rec_compiled : int;  (* cache entries rebuilt by recompilation *)
+  rec_rewarmed : int;  (* warm manifest entries re-established *)
+  rec_tenants : int;  (* breaker states restored *)
+  rec_skipped : int;  (* unreplayable records (corrupt mode/source) *)
+}
+
 type t = {
   cfg : config;
   cache : (string, Pipeline.compiled) Cache.t;
@@ -99,9 +111,14 @@ type t = {
   mutable attempt_counter : int;
       (* distinct fault substream per execution attempt, so a retry
          re-rolls its fate deterministically *)
+  journal : Journal.t option;
+  mutable journaling : bool;
+      (* suspended during recovery: the journal's initial snapshot
+         already covers the state being rebuilt *)
+  mutable recovered : recovery option;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?journal () =
   {
     cfg = config;
     cache = Cache.create ~capacity:config.cache_capacity;
@@ -122,6 +139,9 @@ let create ?(config = default_config) () =
         circuit_trips = 0;
       };
     attempt_counter = 0;
+    journal;
+    journaling = true;
+    recovered = None;
   }
 
 let config t = t.cfg
@@ -130,6 +150,13 @@ let residency t = t.res
 let cache_stats t = Cache.stats t.cache
 let cache_hit_rate t = Cache.hit_rate t.cache
 let pending t = Queue.length t.queue
+let journal t = t.journal
+let recovered t = t.recovered
+
+let journal_append t r =
+  match t.journal with
+  | Some j when t.journaling -> Journal.append j r
+  | _ -> ()
 
 let tenant_state t name =
   match Hashtbl.find_opt t.tenants name with
@@ -170,10 +197,24 @@ let compile_tag parallel level =
 let cache_key parallel level source =
   Digest.to_hex (Digest.string (compile_tag parallel level ^ "\x00" ^ source))
 
-let compiled_of t ~parallel ~level source =
-  Cache.find_or_add t.cache
-    (cache_key parallel level source)
-    (fun () -> Pipeline.compile ~parallel ~level source)
+let cache_key_of_mode ~mode source =
+  let parallel, level, _, _ = plan_of_mode mode in
+  cache_key parallel level source
+
+let compiled_of t ~mode ~parallel ~level source =
+  let r =
+    Cache.find_or_add t.cache
+      (cache_key parallel level source)
+      (fun () -> Pipeline.compile ~parallel ~level source)
+  in
+  (match r with
+  | _, `Miss ->
+    (* Journal the recipe, not the module: recompilation is
+       deterministic, so a restarted daemon rebuilds the same cache
+       entry from (mode, source) alone. *)
+    journal_append t (Journal.Compile { jc_mode = mode; jc_source = source })
+  | _, `Hit -> ());
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Fault-plan derivation and failure triage                            *)
@@ -275,6 +316,12 @@ let submit t (req : Wire.request) deliver =
     `Queued
   end
 
+(* A draining daemon sheds every new request with the same typed reply
+   admission uses, so clients can tell "busy" from "dead". *)
+let shed_draining t (req : Wire.request) deliver =
+  t.stats.received <- t.stats.received + 1;
+  shed t req deliver ~reason:"draining"
+
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 
@@ -296,14 +343,22 @@ let run_config t ~imode ~dirty_spans ~fuel ~faults =
 (* Warm this tenant's writable globals after a successful device-side
    run: their device residency survives the request, which is what the
    next request's transfers save. *)
-let warm_after t ~tenant ~key (compiled : Pipeline.compiled) =
+let warm_after t ~tenant ~key ~mode ~source (compiled : Pipeline.compiled) =
   let globals =
     compiled.modul.Ir.globals
     |> List.filter (fun (g : Ir.global) -> not g.Ir.gread_only)
     |> List.map (fun (g : Ir.global) -> (g.Ir.gname, g.Ir.gsize))
   in
-  if globals <> [] then
-    ignore (Residency.warm t.res ~tenant ~key ~globals () : bool)
+  if globals <> [] && Residency.warm t.res ~tenant ~key ~globals () then
+    journal_append t
+      (Journal.Warm
+         ( {
+             jw_tenant = tenant;
+             jw_key = key;
+             jw_mode = mode;
+             jw_source = source;
+           },
+           (Residency.device t.res).Device.globals_gen ))
 
 type outcome =
   | O_ok of Interp.result * int  (* retries taken *)
@@ -313,7 +368,7 @@ type outcome =
 let execute t (req : Wire.request) ~mode =
   let parallel, level, imode, dirty_spans = plan_of_mode mode in
   let key = cache_key parallel level req.rq_source in
-  let compiled, hitmiss = compiled_of t ~parallel ~level req.rq_source in
+  let compiled, hitmiss = compiled_of t ~mode ~parallel ~level req.rq_source in
   let fuel =
     match req.rq_deadline with
     | Some d -> max 1 d
@@ -374,7 +429,7 @@ let finish_breaker st ~threshold ~probation ~trips exn_opt =
     end
   | Some _ -> ()
 
-let process t (req : Wire.request) : Wire.reply =
+let process_raw t (req : Wire.request) : Wire.reply =
   let st = tenant_state t req.rq_tenant in
   let t0 = Unix.gettimeofday () in
   let wall_ms () = (Unix.gettimeofday () -. t0) *. 1000.0 in
@@ -424,7 +479,8 @@ let process t (req : Wire.request) : Wire.reply =
           else begin
             t.stats.ok <- t.stats.ok + 1;
             if device_used && not degraded then
-              warm_after t ~tenant:req.rq_tenant ~key compiled;
+              warm_after t ~tenant:req.rq_tenant ~key ~mode
+                ~source:req.rq_source compiled;
             reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~cache ~degraded
               ~retries ~output:r.Interp.output
               ~exit_code:(Int64.to_int r.Interp.exit_code) Wire.Ok
@@ -462,6 +518,35 @@ let process t (req : Wire.request) : Wire.reply =
       reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~exit_code:code ~error:msg
         Wire.Error)
 
+let breaker_to_journal = function
+  | Closed -> Journal.B_closed
+  | Open n -> Journal.B_open n
+  | Half_open -> Journal.B_half_open
+
+let breaker_of_journal = function
+  | Journal.B_closed -> Closed
+  | Journal.B_open n -> Open n
+  | Journal.B_half_open -> Half_open
+
+(* A breaker transition is a durable verdict about the tenant's device
+   path; journal it so a restarted daemon neither forgets an open
+   circuit (letting a failing tenant hammer the device again) nor
+   invents one. *)
+let process t (req : Wire.request) : Wire.reply =
+  let st = tenant_state t req.rq_tenant in
+  let before = (st.t_breaker, st.t_consec, st.t_trips) in
+  let r = process_raw t req in
+  if (st.t_breaker, st.t_consec, st.t_trips) <> before then
+    journal_append t
+      (Journal.Breaker
+         {
+           jt_name = st.t_name;
+           jt_breaker = breaker_to_journal st.t_breaker;
+           jt_consec = st.t_consec;
+           jt_trips = st.t_trips;
+         });
+  r
+
 (* Crash-only discipline: every request leaves the shared state audited.
    An invariant violation here is a daemon bug and must escape loudly
    rather than serve further requests from corrupt state. *)
@@ -478,7 +563,81 @@ let drain t = while step t do () done
 
 let shutdown t =
   drain t;
-  Residency.shutdown t.res
+  let residual = Residency.shutdown t.res in
+  Option.iter Journal.close t.journal;
+  residual
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* Rebuild from a replayed journal: recompile every journaled (mode,
+   source), rewarm the residency manifest, restore breaker states and
+   advance the device generation to its journaled high-water mark.
+
+   Soundness: compilation is deterministic, and [warm_after] always
+   establishes the same deterministic residency (the warm entries' host
+   contents are [Residency.default_init]'s per-name pattern), so the
+   rebuilt state is exactly what a fresh daemon would hold after
+   serving the same requests — which is why every post-recovery reply
+   stays bit-identical to a fresh single-shot run. Device memory
+   contents lost in the crash are not resurrected; they are re-derived.
+
+   Corrupt records (unknown mode, unparseable source, key mismatch) are
+   skipped and counted rather than fatal: recovery must always yield a
+   serving daemon. *)
+let recover t (rp : Journal.replay) : recovery =
+  let st = rp.Journal.rp_state in
+  t.journaling <- false;
+  let compiled = ref 0 and rewarmed = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (c : Journal.compile_rec) ->
+      match plan_of_mode c.jc_mode with
+      | parallel, level, _, _ -> (
+        match compiled_of t ~mode:c.jc_mode ~parallel ~level c.jc_source with
+        | _ -> incr compiled
+        | exception _ -> incr skipped)
+      | exception _ -> incr skipped)
+    st.Journal.js_compiles;
+  List.iter
+    (fun (w : Journal.warm_rec) ->
+      match plan_of_mode w.jw_mode with
+      | parallel, level, _, _ -> (
+        match compiled_of t ~mode:w.jw_mode ~parallel ~level w.jw_source with
+        | cm, _ ->
+          let key = cache_key parallel level w.jw_source in
+          if key = w.jw_key then begin
+            warm_after t ~tenant:w.jw_tenant ~key ~mode:w.jw_mode
+              ~source:w.jw_source cm;
+            incr rewarmed
+          end
+          else incr skipped
+        | exception _ -> incr skipped)
+      | exception _ -> incr skipped)
+    st.Journal.js_warm;
+  List.iter
+    (fun (tr : Journal.tenant_rec) ->
+      let ts = tenant_state t tr.jt_name in
+      ts.t_breaker <- breaker_of_journal tr.jt_breaker;
+      ts.t_consec <- tr.jt_consec;
+      ts.t_trips <- tr.jt_trips)
+    st.Journal.js_tenants;
+  let dev = Residency.device t.res in
+  dev.Device.globals_gen <-
+    max dev.Device.globals_gen st.Journal.js_globals_gen;
+  Residency.check_invariants t.res;
+  t.journaling <- true;
+  let info =
+    {
+      rec_records = rp.Journal.rp_records;
+      rec_torn = rp.Journal.rp_torn;
+      rec_compiled = !compiled;
+      rec_rewarmed = !rewarmed;
+      rec_tenants = List.length st.Journal.js_tenants;
+      rec_skipped = !skipped;
+    }
+  in
+  t.recovered <- Some info;
+  info
 
 let final_line t ~residual =
   let s = t.stats in

@@ -41,9 +41,22 @@ type stats = {
   mutable circuit_trips : int;
 }
 
+type recovery = {
+  rec_records : int;  (** intact journal records replayed *)
+  rec_torn : bool;  (** replay ended at a torn/corrupt record *)
+  rec_compiled : int;  (** cache entries rebuilt by recompilation *)
+  rec_rewarmed : int;  (** warm manifest entries re-established *)
+  rec_tenants : int;  (** breaker states restored *)
+  rec_skipped : int;  (** unreplayable records (corrupt mode/source) *)
+}
+
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?journal:Journal.t -> unit -> t
+(** With [journal], every durable fact (compile recipe, warm manifest
+    entry, breaker transition) is appended — and fsynced per the
+    journal's cadence — before the reply depending on it is sent. *)
+
 val config : t -> config
 val stats : t -> stats
 val residency : t -> Residency.t
@@ -52,6 +65,19 @@ val cache_hit_rate : t -> float
 val pending : t -> int
 val breaker_of : t -> string -> breaker
 val trips_of : t -> string -> int
+val journal : t -> Journal.t option
+val recovered : t -> recovery option
+
+val cache_key_of_mode : mode:string -> string -> string
+(** The compiled-module cache key a request with this mode and source
+    resolves to (exposed for the chaos harness's hit predictions). *)
+
+val recover : t -> Journal.replay -> recovery
+(** Rebuild the engine from a replayed journal: recompile every
+    journaled (mode, source), rewarm the residency manifest, restore
+    breaker states, and advance the device generation to its journaled
+    high-water mark. Corrupt records are skipped and counted, never
+    fatal. Call once, before serving. *)
 
 val submit :
   t -> Wire.request -> (Wire.reply -> unit) -> [ `Queued | `Shed ]
@@ -59,6 +85,11 @@ val submit :
     reply immediately (queue full, or warm residency past the
     high-water mark — the latter also evicts one LRU warm unit so the
     pressure clears). *)
+
+val shed_draining : t -> Wire.request -> (Wire.reply -> unit) -> unit
+(** Shed a request that arrived while the daemon drains for shutdown:
+    the same typed [Overloaded] reply as admission, reason
+    ["draining"]. *)
 
 val step : t -> bool
 (** Execute one queued request, deliver its reply, and audit the shared

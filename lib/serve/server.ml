@@ -9,13 +9,31 @@
    process without a recovery protocol. Requests are admitted (or shed)
    the moment their frame arrives; one queued request executes per loop
    iteration, so admission keeps rejecting new load with [Overloaded]
-   replies while a burst drains instead of buffering it invisibly. *)
+   replies while a burst drains instead of buffering it invisibly.
+
+   Lifecycle hardening:
+
+   - startup probes an existing socket file instead of clobbering it: a
+     live daemon behind it is a typed [Serve_socket_busy] refusal, a
+     dead one's stale file is reclaimed;
+   - SIGTERM (or a shutdown frame) triggers a graceful drain — the
+     listen socket closes and unlinks immediately so new connects fail
+     fast, in-flight requests finish and their replies flush, late
+     "run" frames on surviving connections get a typed shed;
+   - hostile clients are bounded: a peer holding a frame open past the
+     read deadline (slow-loris) or exceeding the write-back cap is sent
+     a typed error and dropped; oversized length prefixes never reach
+     buffering (see {!Wire.decoder_feed}). *)
+
+module Errors = Cgcm_support.Errors
 
 type conn = {
   fd : Unix.file_descr;
   dec : Wire.decoder;
   mutable out : Bytes.t list;  (* pending write-back, oldest first *)
   mutable out_off : int;  (* progress into the head buffer *)
+  mutable out_bytes : int;  (* total buffered write-back *)
+  mutable frame_t0 : float option;  (* when the pending partial frame began *)
 }
 
 type t = {
@@ -24,38 +42,75 @@ type t = {
   listen_fd : Unix.file_descr;
   conns : (Unix.file_descr, conn) Hashtbl.t;
   log : string -> unit;
+  read_deadline_s : float;
+  drain_grace_s : float;
   mutable stopping : bool;
+  mutable draining : bool;
+  mutable listening : bool;
 }
 
-let create ?(engine_config = Engine.default_config) ?(log = ignore)
+(* A peer that never reads its replies must not buffer the daemon into
+   the ground; past this, it is dropped. Generous: dozens of max-size
+   frames. *)
+let max_conn_out_bytes = 64 * 1024 * 1024
+
+(* Probe an existing socket file: a connect that succeeds means a live
+   daemon owns the name; ECONNREFUSED (or a vanished file) means a
+   crashed daemon left it behind and the name is reclaimable. *)
+let socket_live path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false)
+
+let create ?(engine_config = Engine.default_config) ?journal
+    ?(read_deadline_s = 10.0) ?(drain_grace_s = 10.0) ?(log = ignore)
     ~socket_path () =
   (if Sys.file_exists socket_path then
-     (* A previous daemon died without unlinking: crash-only startup
-        reclaims the name rather than demanding manual cleanup. *)
-     try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+     if socket_live socket_path then
+       raise (Errors.Serve_socket_busy { sb_path = socket_path })
+     else begin
+       log
+         (Printf.sprintf "serve: reclaiming stale socket %s (no live daemon)"
+            socket_path);
+       try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+     end);
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
   Unix.listen listen_fd 64;
   Unix.set_nonblock listen_fd;
   {
-    engine = Engine.create ~config:engine_config ();
+    engine = Engine.create ~config:engine_config ?journal ();
     socket_path;
     listen_fd;
     conns = Hashtbl.create 16;
     log;
+    read_deadline_s;
+    drain_grace_s;
     stopping = false;
+    draining = false;
+    listening = true;
   }
 
 let engine t = t.engine
 let stop t = t.stopping <- true
+let draining t = t.draining
 
 let drop_conn t c =
   Hashtbl.remove t.conns c.fd;
   try Unix.close c.fd with Unix.Unix_error _ -> ()
 
 let send t c (v : Json.t) =
-  ignore t;
-  c.out <- c.out @ [ Wire.encode_frame v ]
+  let b = Wire.encode_frame v in
+  c.out <- c.out @ [ b ];
+  c.out_bytes <- c.out_bytes + Bytes.length b;
+  if c.out_bytes > max_conn_out_bytes then begin
+    t.log "serve: write-back cap exceeded, dropping peer";
+    drop_conn t c
+  end
 
 (* Flush as much buffered write-back as the socket accepts. A dead peer
    (EPIPE) just loses its replies; the daemon carries on. *)
@@ -70,6 +125,7 @@ let flush_conn t c =
           Unix.write c.fd b c.out_off (Bytes.length b - c.out_off)
         in
         c.out_off <- c.out_off + n;
+        c.out_bytes <- c.out_bytes - n;
         if c.out_off >= Bytes.length b then begin
           c.out <- rest;
           c.out_off <- 0
@@ -79,38 +135,68 @@ let flush_conn t c =
   | Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) -> ()
   | Unix.Unix_error _ -> drop_conn t c
 
+(* Deliver a typed last-words error frame, then drop: a misbehaving
+   peer learns why instead of seeing a bare hangup. Best-effort — the
+   flush takes whatever the socket accepts right now. *)
+let send_error_and_drop t c msg =
+  send t c (Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ]);
+  if Hashtbl.mem t.conns c.fd then begin
+    flush_conn t c;
+    drop_conn t c
+  end
+
 let stats_json t : Json.t =
   let s = Engine.stats t.engine in
   let c = Engine.cache_stats t.engine in
   Obj
-    [
-      ("status", Json.Str "ok");
-      ("received", Json.Int s.Engine.received);
-      ("ok", Json.Int s.Engine.ok);
-      ("shed", Json.Int s.Engine.shed);
-      ("deadline_exceeded", Json.Int s.Engine.deadline_exceeded);
-      ("circuit_open", Json.Int s.Engine.circuit_rejected);
-      ("errors", Json.Int s.Engine.failed);
-      ("degraded", Json.Int s.Engine.degraded_runs);
-      ("retries", Json.Int s.Engine.retries);
-      ("trips", Json.Int s.Engine.circuit_trips);
-      ("pending", Json.Int (Engine.pending t.engine));
-      ("cache_hits", Json.Int c.Cache.hits);
-      ("cache_misses", Json.Int c.Cache.misses);
-      ("cache_hit_rate", Json.Float (Engine.cache_hit_rate t.engine));
-      ("warm_bytes", Json.Int (Residency.warm_bytes (Engine.residency t.engine)));
-      ( "cross_evictions",
-        Json.Int (Residency.cross_evictions (Engine.residency t.engine)) );
-    ]
+    ([
+       ("status", Json.Str "ok");
+       ("received", Json.Int s.Engine.received);
+       ("ok", Json.Int s.Engine.ok);
+       ("shed", Json.Int s.Engine.shed);
+       ("deadline_exceeded", Json.Int s.Engine.deadline_exceeded);
+       ("circuit_open", Json.Int s.Engine.circuit_rejected);
+       ("errors", Json.Int s.Engine.failed);
+       ("degraded", Json.Int s.Engine.degraded_runs);
+       ("retries", Json.Int s.Engine.retries);
+       ("trips", Json.Int s.Engine.circuit_trips);
+       ("pending", Json.Int (Engine.pending t.engine));
+       ("cache_hits", Json.Int c.Cache.hits);
+       ("cache_misses", Json.Int c.Cache.misses);
+       ("cache_hit_rate", Json.Float (Engine.cache_hit_rate t.engine));
+       ("warm_bytes", Json.Int (Residency.warm_bytes (Engine.residency t.engine)));
+       ( "cross_evictions",
+         Json.Int (Residency.cross_evictions (Engine.residency t.engine)) );
+       ("draining", Json.Bool t.draining);
+     ]
+    @ (match Engine.journal t.engine with
+      | Some j ->
+        let js = Journal.stats j in
+        [
+          ("journal_appends", Json.Int js.Journal.j_appends);
+          ("journal_snapshots", Json.Int js.Journal.j_snapshots);
+        ]
+      | None -> [])
+    @
+    match Engine.recovered t.engine with
+    | Some r ->
+      [
+        ("recovered", Json.Bool true);
+        ("recovered_records", Json.Int r.Engine.rec_records);
+        ("recovered_modules", Json.Int r.Engine.rec_compiled);
+        ("rewarmed", Json.Int r.Engine.rec_rewarmed);
+        ("recovered_tenants", Json.Int r.Engine.rec_tenants);
+        ("journal_torn", Json.Bool r.Engine.rec_torn);
+      ]
+    | None -> [])
 
 let handle_frame t c (v : Json.t) =
   match Json.str_field ~default:"run" "op" v with
   | "run" ->
     let req = Wire.request_of_json v in
-    ignore
-      (Engine.submit t.engine req (fun reply ->
-           send t c (Wire.reply_to_json reply))
-        : [ `Queued | `Shed ])
+    let deliver reply = send t c (Wire.reply_to_json reply) in
+    if t.draining then Engine.shed_draining t.engine req deliver
+    else ignore (Engine.submit t.engine req deliver : [ `Queued | `Shed ])
   | "ping" -> send t c (Obj [ ("status", Json.Str "ok") ])
   | "stats" -> send t c (stats_json t)
   | "shutdown" ->
@@ -129,19 +215,30 @@ let read_conn t c =
   match Unix.read c.fd buf 0 (Bytes.length buf) with
   | 0 -> drop_conn t c
   | n -> (
-    Wire.decoder_feed c.dec buf n;
-    match Wire.decoder_drain c.dec with
-    | frames -> List.iter (handle_frame t c) frames
+    match
+      Wire.decoder_feed c.dec buf n;
+      Wire.decoder_drain c.dec
+    with
+    | frames ->
+      (* Arm (or clear) the slow-loris clock: it runs only while a
+         partial frame is pending. *)
+      c.frame_t0 <-
+        (if Wire.decoder_buffered c.dec then
+           match c.frame_t0 with
+           | Some _ as s -> s
+           | None -> Some (Unix.gettimeofday ())
+         else None);
+      List.iter (handle_frame t c) frames
     | exception Wire.Protocol_error msg ->
       t.log (Printf.sprintf "serve: protocol error, dropping peer: %s" msg);
-      drop_conn t c)
+      send_error_and_drop t c ("cgcm serve: protocol error: " ^ msg))
   | exception
       Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
     ()
   | exception Unix.Unix_error _ -> drop_conn t c
   | exception Wire.Protocol_error msg ->
     t.log (Printf.sprintf "serve: protocol error, dropping peer: %s" msg);
-    drop_conn t c
+    send_error_and_drop t c ("cgcm serve: protocol error: " ^ msg)
 
 let accept_ready t =
   let continue = ref true in
@@ -150,12 +247,41 @@ let accept_ready t =
     | fd, _ ->
       Unix.set_nonblock fd;
       Hashtbl.replace t.conns fd
-        { fd; dec = Wire.decoder (); out = []; out_off = 0 }
+        {
+          fd;
+          dec = Wire.decoder ();
+          out = [];
+          out_off = 0;
+          out_bytes = 0;
+          frame_t0 = None;
+        }
     | exception
         Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
       ->
       continue := false
   done
+
+(* Drop every peer that has held a frame open past the read deadline —
+   a slow-loris cannot wedge the loop, it can only own one connection
+   slot for [read_deadline_s]. *)
+let enforce_read_deadlines t =
+  let now = Unix.gettimeofday () in
+  let stale =
+    Hashtbl.fold
+      (fun _ c acc ->
+        match c.frame_t0 with
+        | Some t0 when now -. t0 > t.read_deadline_s -> c :: acc
+        | _ -> acc)
+      t.conns []
+  in
+  List.iter
+    (fun c ->
+      t.log "serve: read deadline exceeded on a partial frame, dropping peer";
+      send_error_and_drop t c
+        (Printf.sprintf
+           "cgcm serve: read deadline exceeded: partial frame older than %g s"
+           t.read_deadline_s))
+    stale
 
 let iterate t =
   let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
@@ -163,13 +289,14 @@ let iterate t =
     Hashtbl.fold (fun fd c acc -> if c.out <> [] then fd :: acc else acc)
       t.conns []
   in
+  let rfds_in = if t.listening then t.listen_fd :: conn_fds else conn_fds in
   (* Block only when idle; with work queued, poll and keep executing. *)
   let timeout = if Engine.pending t.engine > 0 then 0.0 else 0.05 in
   let rfds, wready, _ =
-    try Unix.select (t.listen_fd :: conn_fds) wfds [] timeout
+    try Unix.select rfds_in wfds [] timeout
     with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
   in
-  if List.mem t.listen_fd rfds then accept_ready t;
+  if t.listening && List.mem t.listen_fd rfds then accept_ready t;
   List.iter
     (fun fd ->
       if fd <> t.listen_fd then
@@ -177,6 +304,7 @@ let iterate t =
         | Some c -> read_conn t c
         | None -> ())
     rfds;
+  enforce_read_deadlines t;
   ignore (Engine.step t.engine : bool);
   List.iter
     (fun fd ->
@@ -188,13 +316,27 @@ let iterate t =
 let pending_writes t =
   Hashtbl.fold (fun _ c acc -> acc || c.out <> []) t.conns false
 
-(* Run until asked to stop, then drain: queued requests still execute
-   and their replies flush before teardown. *)
+(* Stop accepting: close and unlink the listen socket so new connects
+   fail fast (ENOENT) the moment the drain begins, rather than sitting
+   in a backlog that will never be served. *)
+let close_listener t =
+  if t.listening then begin
+    t.listening <- false;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.socket_path with Unix.Unix_error _ -> ()
+  end
+
+(* Run until asked to stop, then drain gracefully: queued requests
+   still execute and their replies flush before teardown, while frames
+   that arrive during the drain are shed with a typed reply. *)
 let run t =
   while not t.stopping do
     iterate t
   done;
-  let deadline = Unix.gettimeofday () +. 10.0 in
+  t.draining <- true;
+  close_listener t;
+  t.log "serve: draining (in-flight requests finish, new work is shed)";
+  let deadline = Unix.gettimeofday () +. t.drain_grace_s in
   while
     (Engine.pending t.engine > 0 || pending_writes t)
     && Unix.gettimeofday () < deadline
@@ -204,8 +346,7 @@ let run t =
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
     t.conns;
   Hashtbl.reset t.conns;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  close_listener t;
   let residual = Engine.shutdown t.engine in
   let line = Engine.final_line t.engine ~residual in
   t.log line;

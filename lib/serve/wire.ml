@@ -68,51 +68,87 @@ let read_frame fd : Json.t =
   with Json.Parse_error msg -> raise (Protocol_error ("bad frame: " ^ msg))
 
 (* ------------------------------------------------------------------ *)
-(* Incremental frame decoding (the daemon's non-blocking reader)       *)
+(* Incremental frame decoding (the daemon's non-blocking reader)
 
-type decoder = { mutable buf : Bytes.t; mutable len : int }
+   A small state machine, hardened against hostile peers: the length
+   prefix is validated the instant its fourth byte arrives — an
+   oversized, negative (sign bit set) or zero prefix is a typed
+   [Protocol_error] before any payload buffering, so a 4-byte header
+   can never make the daemon allocate more than [max_frame_bytes].
+   The payload buffer is allocated exact-size, so the decoder's
+   footprint is bounded by one frame. *)
 
-let decoder () = { buf = Bytes.create 4096; len = 0 }
+type decoder = {
+  hdr : Bytes.t;  (* 4-byte length-prefix accumulator *)
+  mutable hdr_len : int;  (* header bytes received so far (0..4) *)
+  mutable payload : Bytes.t;  (* exact-size frame buffer, once known *)
+  mutable got : int;  (* payload bytes received so far *)
+  mutable ready : Json.t list;  (* complete frames, newest first *)
+}
+
+let decoder () =
+  { hdr = Bytes.create 4; hdr_len = 0; payload = Bytes.empty; got = 0;
+    ready = [] }
+
+(* Mid-frame: some bytes of an incomplete frame are pending. The server
+   uses this to arm its per-connection read deadline (slow-loris). *)
+let decoder_buffered d = d.hdr_len > 0 || Bytes.length d.payload > 0
+
+let check_len len =
+  (* [decode_len] reads the prefix unsigned, so a peer's negative length
+     arrives here as a value past the sign bit; report it as the signed
+     number the peer actually sent. *)
+  if len land 0x8000_0000 <> 0 then
+    raise
+      (Protocol_error
+         (Printf.sprintf "bad frame length %d" (len - 0x1_0000_0000)))
+  else if len > max_frame_bytes then
+    raise
+      (Protocol_error
+         (Printf.sprintf "frame length %d exceeds the %d-byte limit" len
+            max_frame_bytes))
+  else if len = 0 then raise (Protocol_error "empty frame")
 
 let decoder_feed d chunk n =
-  if d.len + n > Bytes.length d.buf then begin
-    let cap = max (d.len + n) (2 * Bytes.length d.buf) in
-    if cap > max_frame_bytes + 4 then
-      raise (Protocol_error "peer exceeded the frame size limit");
-    let b = Bytes.create cap in
-    Bytes.blit d.buf 0 b 0 d.len;
-    d.buf <- b
-  end;
-  Bytes.blit chunk 0 d.buf d.len n;
-  d.len <- d.len + n
-
-(* Pop every complete frame currently buffered. *)
-let decoder_drain d : Json.t list =
-  let frames = ref [] in
   let pos = ref 0 in
-  let continue = ref true in
-  while !continue do
-    if d.len - !pos < 4 then continue := false
-    else begin
-      let n = decode_len d.buf !pos in
-      if n < 0 || n > max_frame_bytes then
-        raise (Protocol_error (Printf.sprintf "bad frame length %d" n));
-      if d.len - !pos - 4 < n then continue := false
-      else begin
-        let payload = Bytes.sub_string d.buf (!pos + 4) n in
-        (match Json.parse payload with
-        | v -> frames := v :: !frames
-        | exception Json.Parse_error msg ->
-          raise (Protocol_error ("bad frame: " ^ msg)));
-        pos := !pos + 4 + n
+  while !pos < n do
+    if Bytes.length d.payload = 0 then begin
+      (* header phase *)
+      let take = min (4 - d.hdr_len) (n - !pos) in
+      Bytes.blit chunk !pos d.hdr d.hdr_len take;
+      d.hdr_len <- d.hdr_len + take;
+      pos := !pos + take;
+      if d.hdr_len = 4 then begin
+        let len = decode_len d.hdr 0 in
+        check_len len;
+        d.hdr_len <- 0;
+        d.payload <- Bytes.create len;
+        d.got <- 0
       end
     end
-  done;
-  if !pos > 0 then begin
-    Bytes.blit d.buf !pos d.buf 0 (d.len - !pos);
-    d.len <- d.len - !pos
-  end;
-  List.rev !frames
+    else begin
+      (* payload phase *)
+      let take = min (Bytes.length d.payload - d.got) (n - !pos) in
+      Bytes.blit chunk !pos d.payload d.got take;
+      d.got <- d.got + take;
+      pos := !pos + take;
+      if d.got = Bytes.length d.payload then begin
+        let s = Bytes.unsafe_to_string d.payload in
+        d.payload <- Bytes.empty;
+        d.got <- 0;
+        match Json.parse s with
+        | v -> d.ready <- v :: d.ready
+        | exception Json.Parse_error msg ->
+          raise (Protocol_error ("bad frame: " ^ msg))
+      end
+    end
+  done
+
+(* Pop every complete frame currently decoded, oldest first. *)
+let decoder_drain d : Json.t list =
+  let frames = List.rev d.ready in
+  d.ready <- [];
+  frames
 
 (* ------------------------------------------------------------------ *)
 (* Messages                                                            *)

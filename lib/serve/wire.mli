@@ -22,10 +22,19 @@ type decoder
 val decoder : unit -> decoder
 
 val decoder_feed : decoder -> Bytes.t -> int -> unit
-(** Append [n] freshly-read bytes. *)
+(** Append [n] freshly-read bytes. Hostile-header hardened: a length
+    prefix that is oversized, negative or zero raises {!Protocol_error}
+    the instant its fourth byte arrives, {e before} any payload
+    buffering — so the decoder never allocates more than one
+    [max_frame_bytes] frame. An unparseable payload raises on its final
+    byte. *)
 
 val decoder_drain : decoder -> Json.t list
-(** Pop every complete frame currently buffered, oldest first. *)
+(** Pop every complete frame currently decoded, oldest first. *)
+
+val decoder_buffered : decoder -> bool
+(** True while an incomplete frame is pending — the server's hook for
+    per-connection read deadlines (slow-loris defence). *)
 
 (** {2 Messages} *)
 

@@ -156,7 +156,7 @@ type overload_info = {
   ov_queue_limit : int;
   ov_warm_bytes : int;  (* cross-request device residency held by tenants *)
   ov_capacity : int;  (* simulated device capacity; max_int = unbounded *)
-  ov_reason : string;  (* "queue" | "device-mem" *)
+  ov_reason : string;  (* "queue" | "device-mem" | "draining" *)
 }
 
 exception Serve_overloaded of overload_info
@@ -187,6 +187,23 @@ let render_circuit_open ~tenant ~failures =
     "cgcm serve: circuit open for tenant %s after %d consecutive failures; \
      only degraded (CPU-fallback) execution is available"
     tenant failures
+
+exception Serve_socket_busy of { sb_path : string }
+
+exception
+  Serve_request_timeout of { rt_socket : string; rt_timeout_ms : int }
+
+let render_socket_busy ~path =
+  Printf.sprintf
+    "cgcm serve: socket %s is answered by a live daemon; refusing to start \
+     (stop it, or pick another --socket path)"
+    path
+
+let render_request_timeout ~socket ~timeout_ms =
+  Printf.sprintf
+    "cgcm request: no reply from the daemon at %s within %d ms; it may be \
+     wedged or dead"
+    socket timeout_ms
 
 (* Full diagnostic: one header line, then the unit, the device fault, and
    the allocation map — everything needed to diagnose a refcount or

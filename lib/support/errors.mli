@@ -91,7 +91,7 @@ type overload_info = {
   ov_warm_bytes : int;
       (** cross-request device residency held by tenants at shed time *)
   ov_capacity : int;  (** simulated device capacity; [max_int] = unbounded *)
-  ov_reason : string;  (** ["queue"] or ["device-mem"] *)
+  ov_reason : string;  (** ["queue"], ["device-mem"] or ["draining"] *)
 }
 
 exception Serve_overloaded of overload_info
@@ -101,9 +101,21 @@ exception Serve_deadline of { dl_deadline : int (** fuel units granted *) }
 exception
   Serve_circuit_open of { co_tenant : string; co_failures : int }
 
+exception Serve_socket_busy of { sb_path : string }
+(** [cgcm serve] refused to start: the socket path is answered by a
+    live daemon (a dead daemon's stale socket file is reclaimed
+    silently instead). *)
+
+exception
+  Serve_request_timeout of { rt_socket : string; rt_timeout_ms : int }
+(** [cgcm request --timeout]: the daemon accepted the connection but
+    never replied within the budget. *)
+
 val render_overload : overload_info -> string
 val render_deadline : deadline:int -> string
 val render_circuit_open : tenant:string -> failures:int -> string
+val render_socket_busy : path:string -> string
+val render_request_timeout : socket:string -> timeout_ms:int -> string
 
 val render_unit : unit_snapshot -> string
 val render_device_fault : device_fault -> string

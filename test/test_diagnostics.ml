@@ -36,7 +36,9 @@ let test_exit_codes () =
   check Alcotest.int "sanitizer" 8 Diagnostics.exit_sanitizer;
   check Alcotest.int "overloaded" 9 Diagnostics.exit_overloaded;
   check Alcotest.int "deadline" 10 Diagnostics.exit_deadline;
-  check Alcotest.int "circuit open" 11 Diagnostics.exit_circuit_open
+  check Alcotest.int "circuit open" 11 Diagnostics.exit_circuit_open;
+  check Alcotest.int "socket busy" 12 Diagnostics.exit_socket_busy;
+  check Alcotest.int "request timeout" 13 Diagnostics.exit_request_timeout
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: bad input through the real pipeline. *)
@@ -189,13 +191,31 @@ let test_serve_rejection_text () =
     (fun () ->
       raise (Errors.Serve_circuit_open { co_tenant = "alice"; co_failures = 3 }))
 
+(* Lifecycle refusals: a busy socket at startup, a wedged daemon at
+   request time. *)
+let test_serve_lifecycle_text () =
+  golden "socket busy"
+    ( 12,
+      "cgcm serve: socket /tmp/cgcm.sock is answered by a live daemon; \
+       refusing to start (stop it, or pick another --socket path)" )
+    (fun () ->
+      raise (Errors.Serve_socket_busy { sb_path = "/tmp/cgcm.sock" }));
+  golden "request timeout"
+    ( 13,
+      "cgcm request: no reply from the daemon at /tmp/cgcm.sock within 250 \
+       ms; it may be wedged or dead" )
+    (fun () ->
+      raise
+        (Errors.Serve_request_timeout
+           { rt_socket = "/tmp/cgcm.sock"; rt_timeout_ms = 250 }))
+
 let test_unknown_exceptions_pass_through () =
   check Alcotest.bool "Not_found unclassified" true
     (Diagnostics.classify Not_found = None)
 
 let tests =
   [
-    Alcotest.test_case "exit codes 2-11" `Quick test_exit_codes;
+    Alcotest.test_case "exit codes 2-13" `Quick test_exit_codes;
     Alcotest.test_case "frontend diagnostics" `Quick test_frontend_diagnostics;
     Alcotest.test_case "dynamic diagnostics" `Quick test_dynamic_diagnostics;
     Alcotest.test_case "runtime error text" `Quick test_runtime_error_text;
@@ -203,6 +223,7 @@ let tests =
     Alcotest.test_case "coherence violation text" `Quick test_violation_text;
     Alcotest.test_case "verifier text" `Quick test_verifier_text;
     Alcotest.test_case "serve rejection text" `Quick test_serve_rejection_text;
+    Alcotest.test_case "serve lifecycle text" `Quick test_serve_lifecycle_text;
     Alcotest.test_case "unknown exceptions pass through" `Quick
       test_unknown_exceptions_pass_through;
   ]

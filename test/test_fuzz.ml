@@ -132,6 +132,51 @@ let test_check_source_detects_mismatch () =
         }"
     = None)
 
+(* The wire-protocol fuzzer: pristine streams decode exactly, hostile
+   ones raise nothing but protocol errors, and the byte-level shrinker
+   keeps a failure failing. *)
+module Wire_fuzz = Cgcm_fuzz.Wire_fuzz
+
+let test_wire_campaign_clean () =
+  List.iter
+    (fun seed ->
+      match Wire_fuzz.campaign ~count:300 ~seed () with
+      | [] -> ()
+      | r :: _ ->
+        Alcotest.failf "wire campaign failed:\n%s" (Wire_fuzz.render_report r))
+    [ 1; 7 ]
+
+let test_wire_case_determinism () =
+  let a = Wire_fuzz.case ~seed:99 and b = Wire_fuzz.case ~seed:99 in
+  check Alcotest.string "same seed, same bytes" a.Wire_fuzz.wc_bytes
+    b.Wire_fuzz.wc_bytes;
+  check Alcotest.bool "same seed, same mutation" true
+    (a.Wire_fuzz.wc_mutation = b.Wire_fuzz.wc_mutation)
+
+let test_wire_shrinker_preserves_failure () =
+  (* synthetic failing case: pristine flag on a corrupted stream makes
+     the equality oracle fire, and every shrunk candidate must still
+     fail under re-check *)
+  let rec find seed =
+    if seed > 2000 then Alcotest.fail "no mutated wire case generated"
+    else
+      let c = Wire_fuzz.case ~seed in
+      if c.Wire_fuzz.wc_mutated then
+        (* lie about the mutation: the oracle now demands exact decode *)
+        let lied = { c with Wire_fuzz.wc_mutated = false } in
+        match Wire_fuzz.check lied with
+        | Some f -> (lied, f)
+        | None -> find (seed + 1)
+      else find (seed + 1)
+  in
+  let c, f = find 0 in
+  let minimal, f' = Wire_fuzz.shrink c f in
+  check Alcotest.bool "minimal case still fails" true
+    (Wire_fuzz.check minimal = Some f');
+  check Alcotest.bool "shrinker never grows the stream" true
+    (String.length minimal.Wire_fuzz.wc_bytes
+    <= String.length c.Wire_fuzz.wc_bytes)
+
 let tests =
   [
     Alcotest.test_case "generation is deterministic" `Quick test_determinism;
@@ -147,4 +192,10 @@ let tests =
       test_shrinker_wall_clock_budget;
     Alcotest.test_case "check_source accepts healthy programs" `Quick
       test_check_source_detects_mismatch;
+    Alcotest.test_case "wire fuzz campaigns are clean" `Quick
+      test_wire_campaign_clean;
+    Alcotest.test_case "wire cases are deterministic" `Quick
+      test_wire_case_determinism;
+    Alcotest.test_case "wire shrinker preserves the failure" `Quick
+      test_wire_shrinker_preserves_failure;
   ]

@@ -23,10 +23,21 @@
    - the soak: tenants x requests x seeded faults, every [Ok] reply
      bit-identical to a fresh single-shot [Pipeline.run], zero leaks,
      clean shutdown, and the final stats line showing the envelope
-     actually fired. *)
+     actually fired;
+   - crash recovery: the write-ahead journal round-trips, tolerates
+     torn tails and CRC flips, bounds itself by snapshot rotation, and
+     [Engine.recover] rebuilds caches, warm residency and breaker
+     state so post-recovery replies are cache hits bit-identical to
+     fresh runs (the forked kill -9 version is [cgcm chaos]);
+   - lifecycle hardening: hostile frame headers rejected before
+     buffering, graceful drain finishing in-flight work with typed
+     sheds for latecomers, stale sockets reclaimed and live ones
+     refused, client timeouts against wedged daemons. *)
 
 module Json = Cgcm_serve.Json
 module Wire = Cgcm_serve.Wire
+module Journal = Cgcm_serve.Journal
+module Errors = Cgcm_support.Errors
 module Cache = Cgcm_serve.Cache
 module Residency = Cgcm_serve.Residency
 module Engine = Cgcm_serve.Engine
@@ -576,6 +587,371 @@ let test_socket_round_trip () =
       (contains ~affix:"device_leaks=0" line)
   | None -> Alcotest.fail "daemon thread returned nothing"
 
+(* ------------------------------------------------------------------ *)
+(* Hostile frame headers: the decoder must reject before buffering     *)
+
+let feed_bytes dec s = Wire.decoder_feed dec (Bytes.of_string s) (String.length s)
+
+let expect_header_rejected name affix s =
+  let dec = Wire.decoder () in
+  match feed_bytes dec s with
+  | () -> Alcotest.failf "%s: hostile header accepted" name
+  | exception Wire.Protocol_error msg ->
+    check Alcotest.bool (name ^ " names the cause") true (contains ~affix msg)
+
+let test_wire_hostile_headers () =
+  (* sign bit set: reported as the negative length the peer sent *)
+  expect_header_rejected "negative length" "bad frame length -"
+    "\xff\x00\x00\x01";
+  expect_header_rejected "oversized length" "exceeds" "\x7f\xff\xff\xff";
+  expect_header_rejected "zero length" "empty frame" "\x00\x00\x00\x00";
+  (* a truncated frame is not an error — it pends, awaiting more bytes
+     (the server's read deadline bounds how long) *)
+  let full =
+    Bytes.to_string (Wire.encode_frame (Json.Obj [ ("op", Json.Str "ping") ]))
+  in
+  let dec = Wire.decoder () in
+  feed_bytes dec (String.sub full 0 (String.length full - 3));
+  check Alcotest.bool "truncated frame pends" true (Wire.decoder_buffered dec);
+  check Alcotest.int "nothing drained from a partial frame" 0
+    (List.length (Wire.decoder_drain dec));
+  (* a bit-flipped payload byte is a typed rejection on frame completion *)
+  let flipped = Bytes.of_string full in
+  Bytes.set flipped 4 (Char.chr (Char.code (Bytes.get flipped 4) lxor 0x04));
+  let dec = Wire.decoder () in
+  (match feed_bytes dec (Bytes.to_string flipped) with
+  | () -> Alcotest.fail "bit-flipped payload accepted"
+  | exception Wire.Protocol_error msg ->
+    check Alcotest.bool "flip rejection is typed" true
+      (contains ~affix:"bad frame" msg));
+  (* after rejecting garbage, a fresh decoder still decodes clean frames *)
+  let dec = Wire.decoder () in
+  feed_bytes dec full;
+  check Alcotest.int "clean frame after hostility" 1
+    (List.length (Wire.decoder_drain dec))
+
+(* ------------------------------------------------------------------ *)
+(* The write-ahead journal                                             *)
+
+let tmp_path name = Printf.sprintf "/tmp/cgcm-test-%s-%d" name (Unix.getpid ())
+
+let test_journal_round_trip () =
+  let path = tmp_path "journal" in
+  let j = Journal.create ~path () in
+  Journal.append j
+    (Journal.Compile { jc_mode = "auto/optimized"; jc_source = "src-a" });
+  Journal.append j
+    (Journal.Warm
+       ( { jw_tenant = "t0"; jw_key = "k0"; jw_mode = "opt"; jw_source = "src-a" },
+         7 ));
+  Journal.append j
+    (Journal.Breaker
+       {
+         jt_name = "alice";
+         jt_breaker = Journal.B_open 2;
+         jt_consec = 3;
+         jt_trips = 1;
+       });
+  check Alcotest.bool "every append fsynced at the default cadence" true
+    ((Journal.stats j).Journal.j_fsyncs >= 3);
+  Journal.close j;
+  (match Journal.replay ~path with
+  | None -> Alcotest.fail "journal vanished"
+  | Some rp ->
+    check Alcotest.bool "not torn" false rp.Journal.rp_torn;
+    check Alcotest.int "three records" 3 rp.Journal.rp_records;
+    let st = rp.Journal.rp_state in
+    check Alcotest.int "one compile" 1 (List.length st.Journal.js_compiles);
+    check Alcotest.int "one warm entry" 1 (List.length st.Journal.js_warm);
+    check Alcotest.int "globals_gen carried" 7 st.Journal.js_globals_gen;
+    (match st.Journal.js_tenants with
+    | [ t ] ->
+      check Alcotest.bool "breaker state survives" true
+        (t.Journal.jt_breaker = Journal.B_open 2);
+      check Alcotest.int "trips survive" 1 t.Journal.jt_trips
+    | l -> Alcotest.failf "expected one tenant, got %d" (List.length l)));
+  Unix.unlink path;
+  check Alcotest.bool "a missing journal is a fresh start" true
+    (Journal.replay ~path = None)
+
+let test_journal_torn_tail () =
+  let path = tmp_path "journal-torn" in
+  let j = Journal.create ~path () in
+  Journal.append j (Journal.Compile { jc_mode = "m"; jc_source = "one" });
+  Journal.append j (Journal.Compile { jc_mode = "m"; jc_source = "two" });
+  Journal.close j;
+  (* a kill -9 mid-append: a record header promising bytes that never
+     made it to disk *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  let garbage = Bytes.of_string "\x00\x00\x00\x64\xde\xad\xbe\xef{\"t\":" in
+  ignore (Unix.write fd garbage 0 (Bytes.length garbage) : int);
+  Unix.close fd;
+  (match Journal.replay ~path with
+  | None -> Alcotest.fail "journal vanished"
+  | Some rp ->
+    check Alcotest.bool "torn tail detected" true rp.Journal.rp_torn;
+    check Alcotest.int "intact records salvaged" 2 rp.Journal.rp_records;
+    check Alcotest.int "state reflects the intact prefix" 2
+      (List.length rp.Journal.rp_state.Journal.js_compiles));
+  (* a flipped byte inside the second record: replay keeps the first
+     and stops at the CRC mismatch *)
+  let j = Journal.create ~path () in
+  Journal.append j (Journal.Compile { jc_mode = "m"; jc_source = "one" });
+  Journal.append j (Journal.Compile { jc_mode = "m"; jc_source = "two" });
+  Journal.close j;
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string raw in
+  (* layout: magic(8) rec1[len(4) crc(4) payload(len1)] rec2[...] *)
+  let len1 =
+    (Char.code raw.[8] lsl 24) lor (Char.code raw.[9] lsl 16)
+    lor (Char.code raw.[10] lsl 8) lor Char.code raw.[11]
+  in
+  let rec2_payload = 8 + 8 + len1 + 8 + 2 in
+  Bytes.set b rec2_payload
+    (Char.chr (Char.code (Bytes.get b rec2_payload) lxor 0x01));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  (match Journal.replay ~path with
+  | None -> Alcotest.fail "journal vanished"
+  | Some rp ->
+    check Alcotest.bool "CRC flip detected" true rp.Journal.rp_torn;
+    check Alcotest.int "only the intact record replays" 1
+      rp.Journal.rp_records);
+  (* garbage where the magic should be: empty state, flagged torn *)
+  let oc = open_out_bin path in
+  output_string oc "NOTJOURN";
+  close_out oc;
+  (match Journal.replay ~path with
+  | None -> Alcotest.fail "journal vanished"
+  | Some rp ->
+    check Alcotest.bool "bad magic flagged" true rp.Journal.rp_torn;
+    check Alcotest.int "bad magic yields nothing" 0 rp.Journal.rp_records);
+  Unix.unlink path
+
+let test_journal_snapshot_rotation () =
+  let path = tmp_path "journal-rotate" in
+  let j = Journal.create ~snapshot_every:3 ~path () in
+  for i = 1 to 7 do
+    Journal.append j
+      (Journal.Compile { jc_mode = "m"; jc_source = Printf.sprintf "s%d" i })
+  done;
+  check Alcotest.bool "rotation fired" true
+    ((Journal.stats j).Journal.j_snapshots >= 2);
+  Journal.close j;
+  (match Journal.replay ~path with
+  | None -> Alcotest.fail "journal vanished"
+  | Some rp ->
+    check Alcotest.bool "rotated log replays clean" false rp.Journal.rp_torn;
+    check Alcotest.bool "rotation bounded the log" true
+      (rp.Journal.rp_records <= 3);
+    check Alcotest.int "nothing lost across rotations" 7
+      (List.length rp.Journal.rp_state.Journal.js_compiles));
+  Unix.unlink path
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery through the engine: journal, kill, replay, rebuild   *)
+
+let test_engine_recovery () =
+  let path = tmp_path "journal-recovery" in
+  let config =
+    { Engine.default_config with max_retries = 0; circuit_threshold = 3 }
+  in
+  let j1 = Journal.create ~path () in
+  let eng1 = Engine.create ~config ~journal:j1 () in
+  let src0 = Loadgen.source ~variant:0 and src1 = Loadgen.source ~variant:1 in
+  check_status "first ok" Wire.Ok
+    (Engine.process eng1 (request ~id:1 ~tenant:"t0" ~mode:"opt" src0));
+  check_status "second ok" Wire.Ok
+    (Engine.process eng1 (request ~id:2 ~tenant:"t1" ~mode:"ie" src1));
+  (* trip alice's breaker so a non-trivial tenant state is journaled *)
+  for id = 3 to 5 do
+    check_status "poisoned run fails" Wire.Error
+      (Engine.process eng1
+         (request ~id ~tenant:"alice" ~faults:"7:htod%1.0,launch%1.0" src0))
+  done;
+  check Alcotest.bool "breaker tripped pre-crash" true
+    (match Engine.breaker_of eng1 "alice" with
+    | Engine.Open _ -> true
+    | _ -> false);
+  (* the crash: no shutdown, no farewell — the fsynced journal is all
+     that survives *)
+  Journal.close j1;
+  match Journal.replay ~path with
+  | None -> Alcotest.fail "journal vanished"
+  | Some rp ->
+    check Alcotest.bool "clean log replays untorn" false rp.Journal.rp_torn;
+    let j2 = Journal.create ~initial:rp.Journal.rp_state ~path () in
+    let eng2 = Engine.create ~config ~journal:j2 () in
+    let r = Engine.recover eng2 rp in
+    check Alcotest.bool "both modules recompiled" true (r.Engine.rec_compiled >= 2);
+    check Alcotest.bool "warm manifest re-established" true
+      (r.Engine.rec_rewarmed >= 1);
+    check Alcotest.bool "tenant state restored" true (r.Engine.rec_tenants >= 1);
+    check Alcotest.int "no records skipped" 0 r.Engine.rec_skipped;
+    check Alcotest.bool "breaker still open after recovery" true
+      (match Engine.breaker_of eng2 "alice" with
+      | Engine.Open _ -> true
+      | _ -> false);
+    (* every pre-crash module answers from cache, bit-identical *)
+    let want_out0, want_exit0 = reference ~mode:"opt" src0 in
+    let r0 = Engine.process eng2 (request ~id:10 ~tenant:"t0" ~mode:"opt" src0) in
+    check_status "recovered opt request ok" Wire.Ok r0;
+    check Alcotest.string "recovered module is a cache hit" "hit"
+      r0.Wire.rp_cache;
+    check Alcotest.string "post-recovery output bit-identical" want_out0
+      r0.Wire.rp_output;
+    check Alcotest.int "post-recovery exit code" want_exit0 r0.Wire.rp_exit_code;
+    let want_out1, want_exit1 = reference ~mode:"ie" src1 in
+    let r1 = Engine.process eng2 (request ~id:11 ~tenant:"t1" ~mode:"ie" src1) in
+    check_status "recovered ie request ok" Wire.Ok r1;
+    check Alcotest.string "second recovered module hits" "hit" r1.Wire.rp_cache;
+    check Alcotest.string "second output bit-identical" want_out1
+      r1.Wire.rp_output;
+    check Alcotest.int "second exit code" want_exit1 r1.Wire.rp_exit_code;
+    check Alcotest.int "recovered engine tears down leak-free" 0
+      (Engine.shutdown eng2);
+    Unix.unlink path
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain: SIGTERM semantics without the signal                *)
+
+let test_shed_draining_reply () =
+  let eng = Engine.create () in
+  let reply = ref None in
+  Engine.shed_draining eng
+    (request ~id:9 (Loadgen.source ~variant:0))
+    (fun r -> reply := Some r);
+  (match !reply with
+  | None -> Alcotest.fail "draining shed delivered no reply"
+  | Some r ->
+    check_status "draining shed is typed" Wire.Overloaded r;
+    check Alcotest.int "draining shed exit code" Diagnostics.exit_overloaded
+      r.Wire.rp_exit_code;
+    check Alcotest.bool "shed reason names the drain" true
+      (contains ~affix:"draining" r.Wire.rp_error));
+  check Alcotest.int "clean shutdown" 0 (Engine.shutdown eng)
+
+let test_graceful_drain () =
+  let path = tmp_path "drain.sock" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Server.create ~log:(fun _ -> ()) ~socket_path:path () in
+  let result = ref None in
+  let daemon = Thread.create (fun () -> result := Some (Server.run srv)) () in
+  check Alcotest.bool "daemon came up" true
+    (Client.wait_ready ~socket_path:path ());
+  let src = Loadgen.source ~variant:0 in
+  let want_output, want_exit = reference ~mode:"opt" src in
+  (* queue two requests on one connection: a deadline-bombed spin and a
+     real one, then stop the daemon while they are in flight *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Wire.write_frame fd
+        (Wire.request_to_json
+           (request ~id:1 ~deadline:200_000 Loadgen.spin_source));
+      Wire.write_frame fd (Wire.request_to_json (request ~id:2 src));
+      (* wait until both frames are admitted, then trigger the drain *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (Engine.stats (Server.engine srv)).Engine.received < 2
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.yield ()
+      done;
+      check Alcotest.int "both requests admitted" 2
+        (Engine.stats (Server.engine srv)).Engine.received;
+      Server.stop srv;
+      (* in-flight work finishes and its replies reach us *)
+      let r1 = Wire.reply_of_json (Wire.read_frame fd) in
+      check_status "in-flight spin answered during drain" Wire.Deadline_exceeded
+        r1;
+      let r2 = Wire.reply_of_json (Wire.read_frame fd) in
+      check_status "in-flight request completed" Wire.Ok r2;
+      check Alcotest.string "drained reply bit-identical" want_output
+        r2.Wire.rp_output;
+      check Alcotest.int "drained exit code" want_exit r2.Wire.rp_exit_code);
+  Thread.join daemon;
+  check Alcotest.bool "daemon reports draining" true (Server.draining srv);
+  check Alcotest.bool "socket unlinked by the drain" false
+    (Sys.file_exists path);
+  (* new connects are refused outright *)
+  let fd2 = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd2 (Unix.ADDR_UNIX path) with
+  | () ->
+    Unix.close fd2;
+    Alcotest.fail "connected to a drained daemon"
+  | exception Unix.Unix_error _ -> Unix.close fd2);
+  match !result with
+  | Some (line, residual) ->
+    check Alcotest.int "drain tears down leak-free" 0 residual;
+    check Alcotest.bool "final line reports no leaks" true
+      (contains ~affix:"device_leaks=0" line)
+  | None -> Alcotest.fail "daemon thread returned nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Startup: stale sockets are reclaimed, live ones are refused         *)
+
+let test_stale_socket () =
+  let path = tmp_path "stale.sock" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* a crashed daemon's leftover: a bound socket file nobody answers *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.listen dead 1;
+  Unix.close dead;
+  check Alcotest.bool "stale file present" true (Sys.file_exists path);
+  let logged = Buffer.create 64 in
+  let srv =
+    Server.create
+      ~log:(fun s -> Buffer.add_string logged (s ^ "\n"))
+      ~socket_path:path ()
+  in
+  check Alcotest.bool "reclamation logged" true
+    (contains ~affix:"reclaiming stale socket" (Buffer.contents logged));
+  let daemon = Thread.create (fun () -> ignore (Server.run srv : string * int)) () in
+  check Alcotest.bool "daemon up on the reclaimed socket" true
+    (Client.wait_ready ~socket_path:path ());
+  (* a second daemon must refuse the live socket with the typed error *)
+  (match Server.create ~log:ignore ~socket_path:path () with
+  | (_ : Server.t) -> Alcotest.fail "second daemon bound a busy socket"
+  | exception Errors.Serve_socket_busy { sb_path } ->
+    check Alcotest.string "busy error names the path" path sb_path);
+  check Alcotest.bool "first daemon acknowledged shutdown" true
+    (Client.shutdown ~socket_path:path);
+  Thread.join daemon
+
+(* ------------------------------------------------------------------ *)
+(* Client timeouts: a wedged daemon costs the timeout, not forever     *)
+
+let test_client_timeout () =
+  let path = tmp_path "wedged.sock" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* a listener that banks connections and never answers *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      (match
+         Client.request ~timeout_ms:300 ~socket_path:path
+           (request ~id:1 (Loadgen.source ~variant:0))
+       with
+      | (_ : Wire.reply) -> Alcotest.fail "a wedged daemon replied"
+      | exception Errors.Serve_request_timeout { rt_socket; rt_timeout_ms } ->
+        check Alcotest.string "timeout names the socket" path rt_socket;
+        check Alcotest.int "timeout names the budget" 300 rt_timeout_ms);
+      check Alcotest.bool "timeout honored promptly" true
+        (Unix.gettimeofday () -. t0 < 5.0))
+
 let tests =
   [
     Alcotest.test_case "wire messages round-trip" `Quick test_wire_round_trip;
@@ -601,4 +977,22 @@ let tests =
       test_soak;
     Alcotest.test_case "live daemon round-trip on the socket" `Quick
       test_socket_round_trip;
+    Alcotest.test_case "hostile frame headers are rejected before buffering"
+      `Quick test_wire_hostile_headers;
+    Alcotest.test_case "journal appends replay to the same state" `Quick
+      test_journal_round_trip;
+    Alcotest.test_case "journal tolerates torn tails and CRC flips" `Quick
+      test_journal_torn_tail;
+    Alcotest.test_case "journal snapshot rotation bounds the log" `Quick
+      test_journal_snapshot_rotation;
+    Alcotest.test_case "engine recovers caches, warmth and breakers" `Quick
+      test_engine_recovery;
+    Alcotest.test_case "draining shed is a typed reply" `Quick
+      test_shed_draining_reply;
+    Alcotest.test_case "graceful drain finishes in-flight work" `Quick
+      test_graceful_drain;
+    Alcotest.test_case "stale sockets reclaimed, live ones refused" `Quick
+      test_stale_socket;
+    Alcotest.test_case "client timeout on a wedged daemon" `Quick
+      test_client_timeout;
   ]
