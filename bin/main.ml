@@ -777,10 +777,21 @@ let serve_cmd =
              warm residency, circuit breakers). If the file already holds \
              records from a previous run — crashed or clean — the daemon \
              replays them on startup and rebuilds its warm state before \
-             accepting connections.")
+             accepting connections. With --shards N > 1 each shard keeps \
+             its own segment at PATH.shardI.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Worker shards: each owns a full engine (compiled-module \
+             cache, warm residency, breakers, journal segment) on its own \
+             domain, with tenants hashed to shards deterministically. 1 \
+             (the default) keeps the original single-threaded loop.")
   in
   let f socket max_queue device_mem deadline max_retries backoff threshold
-      cache_entries faults journal_path =
+      cache_entries faults journal_path shards =
     guarded @@ fun () ->
     let config =
       {
@@ -795,28 +806,13 @@ let serve_cmd =
         faults = parse_faults faults;
       }
     in
-    let replayed =
-      Option.bind journal_path (fun path -> Cgcm_serve.Journal.replay ~path)
-    in
-    let journal =
-      Option.map
-        (fun path ->
-          Cgcm_serve.Journal.create ~path
-            ?initial:
-              (Option.map (fun r -> r.Cgcm_serve.Journal.rp_state) replayed)
-            ())
-        journal_path
-    in
     let server =
-      Cgcm_serve.Server.create ~engine_config:config ?journal
+      Cgcm_serve.Server.create ~engine_config:config ?journal_path ~shards
         ~log:(fun s -> Fmt.epr "%s@." s)
         ~socket_path:socket ()
     in
     Option.iter
-      (fun rp ->
-        let r =
-          Cgcm_serve.Engine.recover (Cgcm_serve.Server.engine server) rp
-        in
+      (fun r ->
         Fmt.epr
           "cgcm serve: recovered %d journal records (%d modules recompiled, \
            %d rewarmed, %d tenants%s%s)@."
@@ -827,12 +823,13 @@ let serve_cmd =
              Printf.sprintf ", %d stale records skipped"
                r.Cgcm_serve.Engine.rec_skipped
            else ""))
-      replayed;
+      (Cgcm_serve.Server.recovered server);
     let stop _ = Cgcm_serve.Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    Fmt.epr "cgcm serve: listening on %s@." socket;
+    Fmt.epr "cgcm serve: listening on %s (%d shard%s)@." socket shards
+      (if shards = 1 then "" else "s");
     let line, residual = Cgcm_serve.Server.run server in
     Fmt.pr "%s@." line;
     if residual <> 0 then exit 1
@@ -841,7 +838,7 @@ let serve_cmd =
     Term.(
       const f $ socket_arg $ max_queue_arg $ device_mem_arg $ deadline_arg
       $ max_retries_arg $ backoff_arg $ threshold_arg $ cache_arg $ faults_arg
-      $ journal_arg)
+      $ journal_arg $ shards_arg)
 
 let request_cmd =
   let doc =
@@ -997,7 +994,16 @@ let chaos_cmd =
       & info [ "no-torn-tail" ]
           ~doc:"Skip the injected torn journal record before the restart")
   in
-  let f seeds requests dir no_torn =
+  let chaos_shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run the daemons under test with N shards: the kill lands while \
+             several shard journal segments are live, and recovery must \
+             reassemble all of them")
+  in
+  let f seeds requests dir no_torn shards =
     guarded @@ fun () ->
     let failed = ref false in
     List.iter
@@ -1007,6 +1013,7 @@ let chaos_cmd =
             (Cgcm_serve.Chaos.default_config ~seed ~dir) with
             Cgcm_serve.Chaos.ch_requests = requests;
             ch_torn_tail = not no_torn;
+            ch_shards = shards;
           }
         in
         let outcome = Cgcm_serve.Chaos.run cfg in
@@ -1034,7 +1041,9 @@ let chaos_cmd =
     if !failed then exit 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const f $ seeds_arg $ requests_arg $ dir_arg $ no_torn_arg)
+    Term.(
+      const f $ seeds_arg $ requests_arg $ dir_arg $ no_torn_arg
+      $ chaos_shards_arg)
 
 let main_cmd =
   let doc = "CGCM: automatic CPU-GPU communication management (PLDI 2011)" in

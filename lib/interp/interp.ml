@@ -640,50 +640,63 @@ let par_safe_builtin name =
    decoder cannot promote to a frame slot (a real alloca mutates the
    shared device memspace), nested launches, and calls to anything but
    par-safe builtins or transitively-shardable user CPU functions. *)
+let kernel_shardable ~funcs (f : Ir.func) : string list option =
+  let exception Not_par in
+  let visited = Hashtbl.create 8 in
+  let globals = Hashtbl.create 8 in
+  let rec scan (fn : Ir.func) =
+    if not (Hashtbl.mem visited fn.Ir.fname) then begin
+      Hashtbl.replace visited fn.Ir.fname ();
+      let a = analyze_func fn in
+      let value = function
+        | Ir.Global g -> Hashtbl.replace globals g ()
+        | _ -> ()
+      in
+      Array.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              (match i with
+              | Ir.Alloca (d, _, _) ->
+                if not (Hashtbl.mem a.fa_promo d) then raise Not_par
+              | Ir.Launch _ -> raise Not_par
+              | Ir.Call (_, name, _) ->
+                if par_safe_builtin name then ()
+                else if is_builtin name then raise Not_par
+                else (
+                  match Hashtbl.find_opt funcs name with
+                  | Some g when g.Ir.fkind = Ir.Cpu -> scan g
+                  | _ -> raise Not_par)
+              | _ -> ());
+              List.iter value (Ir.uses_of_instr i))
+            b.Ir.instrs;
+          List.iter value (Ir.uses_of_term b.Ir.term))
+        fn.Ir.blocks
+    end
+  in
+  match scan f with
+  | () -> Some (Hashtbl.fold (fun g () acc -> g :: acc) globals [])
+  | exception Not_par -> None
+
 let par_kernel_info mc (f : Ir.func) : string list option =
   match Hashtbl.find_opt mc.par_cache f.Ir.fname with
   | Some r -> r
   | None ->
-    let exception Not_par in
-    let visited = Hashtbl.create 8 in
-    let globals = Hashtbl.create 8 in
-    let rec scan (fn : Ir.func) =
-      if not (Hashtbl.mem visited fn.Ir.fname) then begin
-        Hashtbl.replace visited fn.Ir.fname ();
-        let a = analyze_func fn in
-        let value = function
-          | Ir.Global g -> Hashtbl.replace globals g ()
-          | _ -> ()
-        in
-        Array.iter
-          (fun (b : Ir.block) ->
-            List.iter
-              (fun i ->
-                (match i with
-                | Ir.Alloca (d, _, _) ->
-                  if not (Hashtbl.mem a.fa_promo d) then raise Not_par
-                | Ir.Launch _ -> raise Not_par
-                | Ir.Call (_, name, _) ->
-                  if par_safe_builtin name then ()
-                  else if is_builtin name then raise Not_par
-                  else (
-                    match Hashtbl.find_opt mc.funcs name with
-                    | Some g when g.Ir.fkind = Ir.Cpu -> scan g
-                    | _ -> raise Not_par)
-                | _ -> ());
-                List.iter value (Ir.uses_of_instr i))
-              b.Ir.instrs;
-            List.iter value (Ir.uses_of_term b.Ir.term))
-          fn.Ir.blocks
-      end
-    in
-    let r =
-      match scan f with
-      | () -> Some (Hashtbl.fold (fun g () acc -> g :: acc) globals [])
-      | exception Not_par -> None
-    in
+    let r = kernel_shardable ~funcs:mc.funcs f in
     Hashtbl.replace mc.par_cache f.Ir.fname r;
     r
+
+(* Standalone entry point for the serve batching layer: a module whose
+   every kernel passes the shardability scan has launches with
+   statically-known shapes (promoted allocas only, no nested launches,
+   par-safe callees), so cross-request episodes over it may be fused. *)
+let module_shardable (m : Ir.modul) : bool =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.fname f) m.Ir.funcs;
+  List.for_all
+    (fun (f : Ir.func) ->
+      f.Ir.fkind <> Ir.Kernel || kernel_shardable ~funcs f <> None)
+    m.Ir.funcs
 
 (* Inspector-executor access tracking, shared by both engines. *)
 let track_load mc sp tbl addr =

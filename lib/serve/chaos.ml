@@ -21,6 +21,7 @@ type config = {
   ch_dir : string;
   ch_torn_tail : bool;
   ch_timeout_ms : int;
+  ch_shards : int;
 }
 
 let default_config ~seed ~dir =
@@ -30,6 +31,7 @@ let default_config ~seed ~dir =
     ch_dir = dir;
     ch_torn_tail = true;
     ch_timeout_ms = 20_000;
+    ch_shards = 1;
   }
 
 type schedule = { sc_reqs : Wire.request list; sc_kill_at : int }
@@ -115,7 +117,10 @@ let reference ~mode source =
 (* ------------------------------------------------------------------ *)
 (* Daemon child                                                        *)
 
-let spawn_daemon ~socket_path ~journal_path ~log_path ~recover =
+(* Forking is still safe with --shards: the child is single-domain at
+   fork time and only spawns its shard domains inside [Server.run],
+   after the fork. *)
+let spawn_daemon ~socket_path ~journal_path ~log_path ~shards =
   flush stdout;
   flush stderr;
   match Unix.fork () with
@@ -128,18 +133,7 @@ let spawn_daemon ~socket_path ~journal_path ~log_path ~recover =
           output_char logc '\n';
           flush logc
         in
-        let replayed =
-          if recover then Journal.replay ~path:journal_path else None
-        in
-        let journal =
-          Journal.create ~path:journal_path
-            ?initial:(Option.map (fun r -> r.Journal.rp_state) replayed)
-            ()
-        in
-        let srv = Server.create ~journal ~log ~socket_path () in
-        Option.iter
-          (fun r -> ignore (Engine.recover (Server.engine srv) r : Engine.recovery))
-          replayed;
+        let srv = Server.create ~journal_path ~shards ~log ~socket_path () in
         Sys.set_signal Sys.sigterm
           (Sys.Signal_handle (fun _ -> Server.stop srv));
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -197,8 +191,14 @@ let run_schedule cfg (sched : schedule) : outcome =
   let name base = Filename.concat dir (Printf.sprintf "%s-%d" base cfg.ch_seed) in
   let socket_path = name "chaos.sock" in
   let journal_path = name "chaos.journal" in
+  let shards = max 1 cfg.ch_shards in
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
-  (try Unix.unlink journal_path with Unix.Unix_error _ -> ());
+  (* every shard segment must go: a leftover from a previous run would
+     make generation 1 recover instead of starting fresh *)
+  for i = 0 to shards - 1 do
+    try Unix.unlink (Journal.segment_path journal_path ~shards i)
+    with Unix.Unix_error _ -> ()
+  done;
   let violations = ref [] in
   let vio phase detail =
     violations := { vio_phase = phase; vio_detail = detail } :: !violations
@@ -209,8 +209,14 @@ let run_schedule cfg (sched : schedule) : outcome =
   let torn_replay = ref false in
   (* keys whose compiled module a pre-kill reply vouched for: the
      journal recorded (and fsynced) the compile before that reply was
-     sent, so after recovery these must be cache hits *)
-  let vouched : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+     sent, so after recovery these must be cache hits. Keyed by
+     (shard, cache key): each shard has its own cache, so a module
+     vouched on one shard says nothing about another's. *)
+  let vouched : (int * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let vouch_key (req : Wire.request) =
+    ( Shard.tenant_shard ~shards req.Wire.rq_tenant,
+      Engine.cache_key_of_mode ~mode:req.Wire.rq_mode req.Wire.rq_source )
+  in
   let check_reply phase (req : Wire.request) (rp : Wire.reply) =
     if rp.Wire.rp_id <> req.Wire.rq_id then
       vio phase
@@ -233,7 +239,7 @@ let run_schedule cfg (sched : schedule) : outcome =
   (* --- generation 1: serve until the kill ------------------------- *)
   let pid1 =
     spawn_daemon ~socket_path ~journal_path ~log_path:(name "daemon1.log")
-      ~recover:false
+      ~shards
   in
   if not (Client.wait_ready ~socket_path ()) then begin
     vio "startup" "first daemon never answered pings";
@@ -252,10 +258,7 @@ let run_schedule cfg (sched : schedule) : outcome =
          in
          incr pre_ok;
          check_reply "pre-kill" reqs.(i) rp;
-         Hashtbl.replace vouched
-           (Engine.cache_key_of_mode ~mode:reqs.(i).Wire.rq_mode
-              reqs.(i).Wire.rq_source)
-           ()
+         Hashtbl.replace vouched (vouch_key reqs.(i)) ()
        done
      with e ->
        vio "pre-kill" ("daemon died before the kill: " ^ Printexc.to_string e));
@@ -286,11 +289,12 @@ let run_schedule cfg (sched : schedule) : outcome =
     | _, st -> vio "kill" ("first daemon ended with " ^ wexit st)
     | exception Unix.Unix_error _ -> ());
     (* --- corruption: the torn tail -------------------------------- *)
-    if cfg.ch_torn_tail then append_torn_record journal_path;
+    if cfg.ch_torn_tail then
+      append_torn_record (Journal.segment_path journal_path ~shards 0);
     (* --- generation 2: recover and finish the schedule ------------ *)
     let pid2 =
       spawn_daemon ~socket_path ~journal_path ~log_path:(name "daemon2.log")
-        ~recover:true
+        ~shards
     in
     if not (Client.wait_ready ~socket_path ()) then begin
       vio "recovery" "restarted daemon never answered pings";
@@ -322,11 +326,7 @@ let run_schedule cfg (sched : schedule) : outcome =
            in
            incr post_ok;
            check_reply "post-recovery" reqs.(i) rp;
-           let key =
-             Engine.cache_key_of_mode ~mode:reqs.(i).Wire.rq_mode
-               reqs.(i).Wire.rq_source
-           in
-           if Hashtbl.mem vouched key then
+           if Hashtbl.mem vouched (vouch_key reqs.(i)) then
              if rp.Wire.rp_cache = "hit" then incr post_hits
              else if rp.Wire.rp_cache = "miss" then
                vio "post-recovery"
