@@ -796,6 +796,117 @@ let serve_shards_json () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* mem-backend A/B: explicit copies vs paged migration -> BENCH_10.json *)
+
+(* Runs the full suite's optimized configuration under both memory
+   backends and emits per-program cycle counts, the explicit backend's
+   transfer volumes, and the paged backend's page-fault volumes. Two
+   gates: every program must be bit-identical across backends with a
+   clean leak report (the backends may only move cost, never values),
+   and at least one program must show explicit-copy CGCM beating paged
+   migration by >= 2x — the measurable version of the paper's claim
+   that managed explicit transfers out-run on-demand paging. *)
+let membackend_json () =
+  section "memory backends: explicit copies vs paged migration";
+  let module J = Cgcm_serve.Json in
+  let module MB = Cgcm_runtime.Mem_backend in
+  let module Paged = Cgcm_runtime.Paged in
+  let progs = Cgcm_progs.Registry.all in
+  let rows =
+    List.map
+      (fun (p : Cgcm_progs.Registry.program) ->
+        Fmt.epr "  running %s under both backends...@."
+          p.Cgcm_progs.Registry.name;
+        let run backend =
+          snd
+            (Pipeline.run ~backend Pipeline.Cgcm_optimized
+               p.Cgcm_progs.Registry.source)
+        in
+        let ex = run MB.Explicit and pg = run MB.Paged in
+        (p.Cgcm_progs.Registry.name, ex, pg))
+      progs
+  in
+  let clean (r : Interp.result) =
+    r.Interp.leaks.Runtime.resident_nonglobal = 0
+    && r.Interp.leaks.Runtime.leaked_dev_blocks = 0
+  in
+  let identical =
+    List.for_all
+      (fun (_, ex, pg) ->
+        ex.Interp.output = pg.Interp.output
+        && ex.Interp.exit_code = pg.Interp.exit_code
+        && clean ex && clean pg)
+      rows
+  in
+  let ratio ex pg = pg.Interp.wall /. ex.Interp.wall in
+  let explicit_2x =
+    List.filter (fun (_, ex, pg) -> ratio ex pg >= 2.0) rows
+    |> List.map (fun (n, _, _) -> n)
+  in
+  let json =
+    J.Obj
+      [
+        ("schema", J.Str "cgcm-bench-10");
+        ("programs", J.Int (List.length rows));
+        ( "page_bytes",
+          J.Int Cgcm_gpusim.Cost_model.default.Cost_model.page_bytes );
+        ( "page_fault_cycles",
+          J.Float Cgcm_gpusim.Cost_model.default.Cost_model.page_fault_cycles
+        );
+        ( "per_program",
+          J.Obj
+            (List.map
+               (fun (name, ex, pg) ->
+                 let ps = Option.get pg.Interp.page_stats in
+                 ( name,
+                   J.Obj
+                     [
+                       ("explicit_cycles", J.Float ex.Interp.wall);
+                       ("paged_cycles", J.Float pg.Interp.wall);
+                       ("paged_over_explicit", J.Float (ratio ex pg));
+                       ( "explicit_transfer_bytes",
+                         J.Int
+                           (ex.Interp.dev_stats.Device.htod_bytes
+                           + ex.Interp.dev_stats.Device.dtoh_bytes) );
+                       ( "explicit_transfers",
+                         J.Int
+                           (ex.Interp.dev_stats.Device.htod_count
+                           + ex.Interp.dev_stats.Device.dtoh_count) );
+                       ( "page_faults",
+                         J.Int (ps.Paged.faults_to_dev + ps.Paged.faults_to_host)
+                       );
+                       ( "migrated_bytes",
+                         J.Int (ps.Paged.bytes_to_dev + ps.Paged.bytes_to_host)
+                       );
+                       ("touched_pages", J.Int ps.Paged.touched_pages);
+                     ] ))
+               rows) );
+        ("gate_bit_identical", J.Bool identical);
+        ( "explicit_wins_2x",
+          J.List (List.map (fun n -> J.Str n) explicit_2x) );
+        ("gate_explicit_wins_2x", J.Bool (explicit_2x <> []))
+      ]
+  in
+  let path = "BENCH_10.json" in
+  let oc = open_out path in
+  output_string oc (J.print json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "%s@." (J.print json);
+  Fmt.pr "wrote %s@." path;
+  if not identical then begin
+    Fmt.epr
+      "membackend bench: backends disagree on output or leak report@.";
+    exit 1
+  end;
+  if explicit_2x = [] then begin
+    Fmt.epr
+      "membackend bench: no program shows explicit-copy CGCM >= 2x over \
+       paged migration@.";
+    exit 1
+  end
+
 let all () =
   figure1 ();
   figure3 ();
@@ -835,6 +946,7 @@ let () =
         | a when String.length a > 8 && String.sub a 0 8 = "--seeds=" -> ()
         | a when String.length a > 9 && String.sub a 0 9 = "--shards=" -> ()
         | "micro" when json -> micro_json ()
+        | "membackend" -> membackend_json ()
         | "serve" ->
           serve_json ();
           serve_shards_json ()

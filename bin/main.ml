@@ -13,6 +13,9 @@ module Trace = Cgcm_gpusim.Trace
 module Faults = Cgcm_gpusim.Faults
 module Errors = Cgcm_support.Errors
 module Runtime = Cgcm_runtime.Runtime
+module Mem_backend = Cgcm_runtime.Mem_backend
+module Paged = Cgcm_runtime.Paged
+module Bytesize = Cgcm_support.Bytesize
 module Pass = Cgcm_transform.Pass
 module Manager = Pass.Manager
 
@@ -55,7 +58,14 @@ let mode_arg =
   Arg.(
     value
     & opt mode_conv Pipeline.Cgcm_optimized
-    & info [ "mode"; "m" ] ~doc:"Execution mode: seq, unopt, opt, ie, unified")
+    & info [ "mode"; "m" ]
+        ~doc:
+          "Execution mode: seq, unopt, opt, ie, unified. Note that \
+           $(b,unified) is the paper's unified address-space $(i,oracle) — \
+           one flat memory, zero-cost intrinsics, used for differential \
+           testing — not a managed-memory model; for on-demand paging with \
+           migration costs, use $(b,--mem-backend paged) with a split-memory \
+           mode (unopt, opt).")
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Render the execution schedule")
@@ -111,12 +121,44 @@ let faults_arg =
            P), op one of alloc|htod|dtoh|launch; without SPEC every \
            operation fails with probability 0.05.")
 
+(* Byte counts accept KiB/MiB/GiB suffixes; the parse error message is
+   pinned by a golden test (Bytesize.error_message). *)
+let bytes_conv =
+  let parse s =
+    match Bytesize.parse s with Ok n -> Ok n | Error e -> Error (`Msg e)
+  in
+  Arg.conv ~docv:"BYTES"
+    (parse, fun ppf n -> Format.pp_print_string ppf (Bytesize.to_string n))
+
 let device_mem_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some bytes_conv) None
     & info [ "device-mem" ] ~docv:"BYTES"
-        ~doc:"Cap the simulated device memory (default: unbounded)")
+        ~doc:
+          "Cap the simulated device memory (default: unbounded). Accepts \
+           KiB/MiB/GiB suffixes, e.g. 64KiB.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum Mem_backend.all) Mem_backend.Explicit
+    & info [ "mem-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Memory backend for the split-memory modes: $(b,explicit) (the \
+           CGCM-managed explicit-copy model, the default) or $(b,paged) (a \
+           single shared address space charging touch-driven page-granular \
+           migration; cgcm.* intrinsics become no-ops and all communication \
+           cost comes from page faults).")
+
+let page_bytes_arg =
+  Arg.(
+    value
+    & opt (some bytes_conv) None
+    & info [ "page-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Migration granularity for $(b,--mem-backend paged) (default: \
+           4KiB). Accepts KiB/MiB/GiB suffixes.")
 
 let sanitize_arg =
   Arg.(
@@ -321,6 +363,14 @@ let print_result (r : Interp.result) ~trace =
     r.Interp.dev_stats.Cgcm_gpusim.Device.htod_count
     r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_bytes
     r.Interp.dev_stats.Cgcm_gpusim.Device.dtoh_count;
+  (match r.Interp.page_stats with
+  | Some ps ->
+    Fmt.pr
+      "--- page faults : %d to-dev (%d B), %d to-host (%d B), %d pages \
+       touched@."
+      ps.Paged.faults_to_dev ps.Paged.bytes_to_dev ps.Paged.faults_to_host
+      ps.Paged.bytes_to_host ps.Paged.touched_pages
+  | None -> ());
   let rs = r.Interp.rt_stats in
   if
     rs.Runtime.evictions > 0 || rs.Runtime.retries > 0
@@ -342,8 +392,8 @@ let print_result (r : Interp.result) ~trace =
 
 let run_cmd =
   let doc = "Compile and run a CGC program under a given execution mode" in
-  let f file mode trace profile faults device_mem sanitize chaos engine jobs
-      passes dump_ir pass_stats analysis =
+  let f file mode trace profile faults device_mem backend page_bytes sanitize
+      chaos engine jobs passes dump_ir pass_stats analysis =
     guarded @@ fun () ->
     let src = read_file file in
     let faults = parse_faults faults in
@@ -381,6 +431,11 @@ let run_cmd =
             { Cgcm_gpusim.Cost_model.default with device_mem_bytes = bytes }
           | None -> Cgcm_gpusim.Cost_model.default
         in
+        let cost =
+          match page_bytes with
+          | Some bytes -> { cost with Cgcm_gpusim.Cost_model.page_bytes = bytes }
+          | None -> cost
+        in
         let c =
           Pipeline.compile ~parallel ~level ?plan ~analysis
             ~hooks:(dump_hooks dump) src
@@ -401,13 +456,13 @@ let run_cmd =
         Interp.run
           ~config:
             { Interp.default_config with Interp.mode = imode; cost; trace;
-              profile; faults; sanitize; engine; jobs }
+              profile; faults; sanitize; engine; jobs; backend }
           c.Pipeline.modul
       end
       else
         snd
-          (Pipeline.run ~trace ?faults ?device_mem ~sanitize ~engine ~jobs mode
-             src)
+          (Pipeline.run ~trace ?faults ?device_mem ?page_bytes ~backend
+             ~sanitize ~engine ~jobs mode src)
     in
     print_result r ~trace;
     (match (pass_stats, !stats_out) with
@@ -423,8 +478,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const f $ file_arg $ mode_arg $ trace_arg $ profile_arg $ faults_arg
-      $ device_mem_arg $ sanitize_arg $ chaos_arg $ engine_arg $ jobs_arg
-      $ passes_arg $ dump_ir_arg $ pass_stats_arg $ analysis_arg)
+      $ device_mem_arg $ backend_arg $ page_bytes_arg $ sanitize_arg
+      $ chaos_arg $ engine_arg $ jobs_arg $ passes_arg $ dump_ir_arg
+      $ pass_stats_arg $ analysis_arg)
 
 let level_conv =
   Arg.enum
@@ -488,13 +544,13 @@ let fmt_cmd =
 
 let report_cmd =
   let doc = "Run all execution modes and report speedups over sequential" in
-  let f file faults device_mem engine jobs =
+  let f file faults device_mem backend page_bytes engine jobs =
     guarded @@ fun () ->
     let src = read_file file in
     let faults = parse_faults faults in
     let engine, jobs = resolve_engine engine jobs in
-    (* The sequential baseline never touches the device, so faults and
-       the memory cap only shape the managed configurations. *)
+    (* The sequential baseline never touches the device, so faults, the
+       memory cap and the backend only shape the managed configurations. *)
     let _, seq = Pipeline.run Pipeline.Sequential src in
     Fmt.pr "%-22s %14s %9s@." "mode" "wall cycles" "speedup";
     let show name (r : Interp.result) =
@@ -505,7 +561,10 @@ let report_cmd =
     let mismatched = ref false in
     List.iter
       (fun (name, mode) ->
-        let _, r = Pipeline.run ?faults ?device_mem ~engine ~jobs mode src in
+        let _, r =
+          Pipeline.run ?faults ?device_mem ?page_bytes ~backend ~engine ~jobs
+            mode src
+        in
         if r.Interp.output <> seq.Interp.output then begin
           mismatched := true;
           Fmt.pr "!! %s: OUTPUT MISMATCH vs sequential@." name
@@ -519,8 +578,9 @@ let report_cmd =
     if !mismatched then exit 1
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const f $ file_arg $ faults_arg $ device_mem_arg $ engine_arg
-          $ jobs_arg)
+    Term.(
+      const f $ file_arg $ faults_arg $ device_mem_arg $ backend_arg
+      $ page_bytes_arg $ engine_arg $ jobs_arg)
 
 let suite_cmd =
   let doc = "Run the 24-program suite and print the paper's artifacts" in
@@ -536,7 +596,7 @@ let suite_cmd =
       & opt (some (enum [ ("source", `Source); ("ir", `Ir) ])) None
       & info [ "dump" ] ~doc:"With --only: dump the program source or optimized IR")
   in
-  let f only dump engine jobs =
+  let f only dump backend page_bytes engine jobs =
     guarded @@ fun () ->
     let module E = Cgcm_core.Experiments in
     let engine, jobs = resolve_engine engine jobs in
@@ -553,7 +613,7 @@ let suite_cmd =
         in
         print_string (Cgcm_ir.Printer.modul_to_string c.Pipeline.modul)
       | Some p ->
-        let r = E.run_program ~engine ~jobs p in
+        let r = E.run_program ~engine ~jobs ~backend ?page_bytes p in
         Fmt.pr "%s: seq=%.0f ie=%.2fx unopt=%.2fx opt=%.2fx kernels=%d %s@."
           name r.E.seq.Interp.wall
           (E.speedup ~seq:r.E.seq r.E.ie)
@@ -564,7 +624,7 @@ let suite_cmd =
     end
     | None ->
       let results =
-        E.run_suite ~engine ~jobs
+        E.run_suite ~engine ~jobs ~backend ?page_bytes
           ~progress:(fun name -> Fmt.epr "running %s...@." name)
           ()
       in
@@ -578,7 +638,9 @@ let suite_cmd =
         results
   in
   Cmd.v (Cmd.info "suite" ~doc)
-    Term.(const f $ what_arg $ dump_arg $ engine_arg $ jobs_arg)
+    Term.(
+      const f $ what_arg $ dump_arg $ backend_arg $ page_bytes_arg
+      $ engine_arg $ jobs_arg)
 
 let run_ir_cmd =
   let doc = "Execute a textual IR module (as produced by 'cgcm ir')" in
@@ -860,10 +922,19 @@ let request_cmd =
   let smode_arg =
     Arg.(
       value
-      & opt (enum (List.map (fun m -> (m, m)) [ "seq"; "unopt"; "opt"; "ie";
-                                                "unified" ]))
+      & opt
+          (enum
+             (List.map
+                (fun m -> (m, m))
+                [ "seq"; "unopt"; "opt"; "ie"; "unified"; "unopt+paged";
+                  "opt+paged"; "unopt+explicit"; "opt+explicit" ]))
           "opt"
-      & info [ "mode"; "m" ] ~doc:"Execution mode: seq, unopt, opt, ie, unified")
+      & info [ "mode"; "m" ]
+          ~doc:
+            "Execution mode: seq, unopt, opt, ie, unified; the split modes \
+             take an optional memory-backend suffix, e.g. $(b,opt+paged). \
+             As with $(b,cgcm run), $(b,unified) is the paper's unified \
+             address-space oracle, not a managed-memory model.")
   in
   let req_deadline_arg =
     Arg.(

@@ -24,10 +24,12 @@ let speedup ~(seq : Interp.result) (r : Interp.result) =
   seq.Interp.wall /. r.Interp.wall
 
 let run_program ?(cost = Cgcm_gpusim.Cost_model.default) ?engine ?dirty_spans
-    ?jobs
+    ?jobs ?backend ?page_bytes
     (prog : Registry.program) : prog_result =
   let src = prog.Registry.source in
-  let run exec = Pipeline.run ~cost ?engine ?dirty_spans ?jobs exec src in
+  let run exec =
+    Pipeline.run ~cost ?engine ?dirty_spans ?jobs ?backend ?page_bytes exec src
+  in
   let cseq, seq = run Pipeline.Sequential in
   let _, ie = run Pipeline.Inspector_executor_exec in
   let _, unopt = run Pipeline.Cgcm_unoptimized in
@@ -47,12 +49,12 @@ let run_program ?(cost = Cgcm_gpusim.Cost_model.default) ?engine ?dirty_spans
   in
   { prog; seq; ie; unopt; opt; kernels; baseline_applicable; outputs_match }
 
-let run_suite ?cost ?engine ?dirty_spans ?jobs ?(progress = fun _ -> ()) () :
-    prog_result list =
+let run_suite ?cost ?engine ?dirty_spans ?jobs ?backend ?page_bytes
+    ?(progress = fun _ -> ()) () : prog_result list =
   List.map
     (fun p ->
       progress p.Registry.name;
-      run_program ?cost ?engine ?dirty_spans ?jobs p)
+      run_program ?cost ?engine ?dirty_spans ?jobs ?backend ?page_bytes p)
     Registry.all
 
 (* ------------------------------------------------------------------ *)

@@ -24,17 +24,22 @@ val run_program :
   ?engine:Interp.engine ->
   ?dirty_spans:bool ->
   ?jobs:int ->
+  ?backend:Cgcm_runtime.Mem_backend.kind ->
+  ?page_bytes:int ->
   Registry.program ->
   prog_result
-(** Run one program under all four configurations. [engine] and
-    [dirty_spans] pass through to {!Pipeline.run} (the latter defaults
-    per configuration there). *)
+(** Run one program under all four configurations. [engine],
+    [dirty_spans], [backend] and [page_bytes] pass through to
+    {!Pipeline.run} ([dirty_spans] defaults per configuration there;
+    [backend] shapes only the split-memory configurations). *)
 
 val run_suite :
   ?cost:Cgcm_gpusim.Cost_model.t ->
   ?engine:Interp.engine ->
   ?dirty_spans:bool ->
   ?jobs:int ->
+  ?backend:Cgcm_runtime.Mem_backend.kind ->
+  ?page_bytes:int ->
   ?progress:(string -> unit) ->
   unit ->
   prog_result list

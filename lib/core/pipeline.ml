@@ -83,9 +83,10 @@ let execution_to_string = function
 
 let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
     ?(trace = false) ?(engine = Interp.default_config.Interp.engine)
-    ?dirty_spans ?faults ?device_mem ?(paranoid = false) ?(sanitize = false)
-    ?(jobs = 0) (execution : execution) (source : string) :
-    compiled * Interp.result =
+    ?dirty_spans ?faults ?device_mem ?page_bytes ?(paranoid = false)
+    ?(sanitize = false) ?(jobs = 0)
+    ?(backend = Cgcm_runtime.Mem_backend.Explicit) (execution : execution)
+    (source : string) : compiled * Interp.result =
   (* Dirty-span transfers are part of the optimized run-time; the
      unoptimized configuration keeps the paper's whole-unit protocol so
      the Figure 4 contrast measures what the paper measures. An explicit
@@ -100,6 +101,11 @@ let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
     | Some bytes -> { cost with Cgcm_gpusim.Cost_model.device_mem_bytes = bytes }
     | None -> cost
   in
+  let cost =
+    match page_bytes with
+    | Some bytes -> { cost with Cgcm_gpusim.Cost_model.page_bytes = bytes }
+    | None -> cost
+  in
   let config mode =
     {
       Interp.default_config with
@@ -112,6 +118,7 @@ let run ?(parallel = Doall.Auto) ?(cost = Cgcm_gpusim.Cost_model.default)
       paranoid;
       sanitize;
       jobs;
+      backend;
     }
   in
   match execution with

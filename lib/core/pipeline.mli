@@ -67,9 +67,11 @@ val run :
   ?dirty_spans:bool ->
   ?faults:Cgcm_gpusim.Faults.spec ->
   ?device_mem:int ->
+  ?page_bytes:int ->
   ?paranoid:bool ->
   ?sanitize:bool ->
   ?jobs:int ->
+  ?backend:Cgcm_runtime.Mem_backend.kind ->
   execution ->
   string ->
   compiled * Interp.result
@@ -90,4 +92,13 @@ val run :
     every run-time call. [sanitize] arms the shadow-memory coherence
     sanitizer on the Split configurations (raises
     [Cgcm_support.Errors.Coherence_violation] fail-fast on a coherence
-    bug; a no-op for the oracle modes). *)
+    bug; a no-op for the oracle modes and the paged backend, which have
+    one memory and nothing to keep coherent).
+
+    [backend] selects the memory backend for the Split configurations
+    ({!Cgcm_unoptimized}/{!Cgcm_optimized}): [Explicit] (default) is the
+    CGCM-managed explicit-copy model, [Paged] a single shared address
+    space charging touch-driven page-granular migration, under which the
+    cgcm.* intrinsics are no-ops. [page_bytes] overrides the migration
+    granularity ({!Cgcm_gpusim.Cost_model.t.page_bytes}). Program output
+    must be bit-identical across backends. *)

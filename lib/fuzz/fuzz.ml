@@ -16,6 +16,7 @@
 module Rng = Cgcm_support.Rng
 module Pipeline = Cgcm_core.Pipeline
 module Interp = Cgcm_interp.Interp
+module Mem_backend = Cgcm_runtime.Mem_backend
 
 (* ------------------------------------------------------------------ *)
 (* Program model. Phases reference arrays by an arbitrary int resolved
@@ -329,15 +330,31 @@ type failure = {
   f_detail : string;
 }
 
+(* The paged-backend rows run the same split-memory modules under
+   touch-driven page migration; the sanitizer is inert there (one memory,
+   nothing to keep coherent), so their oracle is pure bit-identity plus
+   the always-clean paged leak report. *)
 let configs =
   [
-    ("unopt/closures", Pipeline.Cgcm_unoptimized, Interp.Closures);
-    ("unopt/tree-walk", Pipeline.Cgcm_unoptimized, Interp.Tree_walk);
-    ("opt/closures", Pipeline.Cgcm_optimized, Interp.Closures);
-    ("opt/tree-walk", Pipeline.Cgcm_optimized, Interp.Tree_walk);
-    ("opt/parallel", Pipeline.Cgcm_optimized, Interp.Parallel);
-    ("unified-oracle", Pipeline.Unified_oracle Pipeline.Optimized, Interp.Closures);
-    ("inspector-executor", Pipeline.Inspector_executor_exec, Interp.Closures);
+    ("unopt/closures", Pipeline.Cgcm_unoptimized, Interp.Closures,
+     Mem_backend.Explicit);
+    ("unopt/tree-walk", Pipeline.Cgcm_unoptimized, Interp.Tree_walk,
+     Mem_backend.Explicit);
+    ("opt/closures", Pipeline.Cgcm_optimized, Interp.Closures,
+     Mem_backend.Explicit);
+    ("opt/tree-walk", Pipeline.Cgcm_optimized, Interp.Tree_walk,
+     Mem_backend.Explicit);
+    ("opt/parallel", Pipeline.Cgcm_optimized, Interp.Parallel,
+     Mem_backend.Explicit);
+    ("unified-oracle", Pipeline.Unified_oracle Pipeline.Optimized,
+     Interp.Closures, Mem_backend.Explicit);
+    ("inspector-executor", Pipeline.Inspector_executor_exec, Interp.Closures,
+     Mem_backend.Explicit);
+    ("unopt/paged", Pipeline.Cgcm_unoptimized, Interp.Closures,
+     Mem_backend.Paged);
+    ("opt/paged", Pipeline.Cgcm_optimized, Interp.Closures, Mem_backend.Paged);
+    ("opt/paged/tree-walk", Pipeline.Cgcm_optimized, Interp.Tree_walk,
+     Mem_backend.Paged);
   ]
 
 let check_source ?(jobs = 4) (src : string) : failure option =
@@ -354,7 +371,7 @@ let check_source ?(jobs = 4) (src : string) : failure option =
   match run_one "sequential" (fun () -> snd (Pipeline.run Pipeline.Sequential src)) with
   | Error f -> Some f
   | Ok reference ->
-    let check_one (name, exec, engine) =
+    let check_one (name, exec, engine, backend) =
       (* The parallel engine runs with a forced job count (auto would be 1
          on a single-core host, never sharding) and a floor-level trip
          threshold, so the fuzzer exercises real cross-domain kernel
@@ -369,7 +386,7 @@ let check_source ?(jobs = 4) (src : string) : failure option =
       in
       match
         run_one name (fun () ->
-            snd (Pipeline.run ~engine ~cost ~jobs ~sanitize:true exec src))
+            snd (Pipeline.run ~engine ~cost ~jobs ~sanitize:true ~backend exec src))
       with
       | Error f -> Some f
       | Ok r ->

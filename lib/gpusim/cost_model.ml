@@ -22,6 +22,11 @@ type t = {
   par_min_trip : int;
       (* host-side parallel engine: launches with fewer iterations than
          this run sequentially rather than paying domain-pool overhead *)
+  page_bytes : int;  (* paged backend: migration granularity *)
+  page_fault_cycles : float;
+      (* paged backend: fixed cost per page fault — fault delivery, the
+         driver's handler, and the page-table update; the migrated
+         page's bytes are charged at transfer_bytes_per_cycle on top *)
 }
 
 let default =
@@ -42,6 +47,14 @@ let default =
     (* Waking the pool costs a few microseconds; below this many
        iterations a launch is cheaper to run in place. *)
     par_min_trip = 16;
+    page_bytes = 4096;
+    (* A demand fault is priced close to one DMA latency: real GPU
+       page-fault handling (fault delivery + driver round trip) sits in
+       the tens of microseconds, the same order as a small cuMemcpy.
+       Bulk data therefore pays one fault *per page* where an explicit
+       transfer pays one latency per region — which is exactly the shape
+       the explicit-vs-paged A/B is meant to expose. *)
+    page_fault_cycles = 40_000.0;
   }
 
 let transfer_cycles t bytes =

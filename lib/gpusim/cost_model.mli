@@ -27,6 +27,12 @@ type t = {
       (** host-side parallel engine: launches with fewer iterations than
           this run sequentially rather than paying domain-pool
           overhead *)
+  page_bytes : int;
+      (** paged backend: migration granularity (default 4 KiB) *)
+  page_fault_cycles : float;
+      (** paged backend: fixed cost per page fault (fault delivery + the
+          driver's handler); the page's bytes are charged at
+          [transfer_bytes_per_cycle] on top *)
 }
 
 val default : t

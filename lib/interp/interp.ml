@@ -43,6 +43,8 @@ module Errors = Cgcm_support.Errors
 module Sanitizer = Cgcm_sanitizer.Sanitizer
 module Modref = Cgcm_analysis.Modref
 module Pool = Cgcm_support.Pool
+module Mem_backend = Cgcm_runtime.Mem_backend
+module Paged = Cgcm_runtime.Paged
 
 exception Exec_error of string
 
@@ -82,6 +84,11 @@ type config = {
      (0 = CGCM_JOBS / Domain.recommended_domain_count). With jobs = 1
      the Parallel engine is exactly the sequential closure engine. *)
   jobs : int;
+  (* memory backend (Split mode only): [Explicit] is the CGCM-managed
+     split-memory model; [Paged] is a single shared address space with
+     touch-driven page-granular migration, under which the cgcm.*
+     intrinsics are no-ops and all cost comes from page faults. *)
+  backend : Mem_backend.kind;
 }
 
 let default_config =
@@ -98,6 +105,7 @@ let default_config =
     paranoid = false;
     sanitize = false;
     jobs = 0;
+    backend = Mem_backend.Explicit;
   }
 
 type rtval = VI of int64 | VF of float
@@ -142,6 +150,8 @@ type result = {
          config.profile *)
   san_report : Cgcm_sanitizer.Sanitizer.report option;
       (* coherence-sanitizer statistics; present iff config.sanitize ran *)
+  page_stats : Paged.stats option;
+      (* page-migration accounting; present iff the paged backend ran *)
 }
 
 (* Per-call state threaded through compiled closures. *)
@@ -204,8 +214,14 @@ type machine = {
   profile_on : bool;
   profile_counts : (string, int ref) Hashtbl.t;
   mutable cur_fn : string;
-  (* coherence sanitizer (Split + config.sanitize); the same instance
-     the device and run-time hooks drive *)
+  (* memory backend: the cold management surface (intrinsics, heap
+     tracking, leak reporting) behind one closure record *)
+  bk : Mem_backend.ops;
+  (* Some iff Split mode runs under the paged backend; the hot access
+     hooks key off this directly *)
+  paged : Paged.t option;
+  (* coherence sanitizer (Split + explicit backend + config.sanitize);
+     the same instance the device and run-time hooks drive *)
   san : Sanitizer.t option;
   (* per-kernel static read/write sets for the sanitizer's launch hook *)
   rw_cache : (string, Modref.rw) Hashtbl.t;
@@ -266,12 +282,16 @@ let seg_tick mc n =
     mc.pending_insts <- mc.pending_insts + n
   end
 
-(* Memory space for the executing context. *)
+(* Memory space for the executing context. Under the paged backend there
+   is one shared address space: kernels read and write host memory, and
+   the cost of getting the bytes across shows up as page faults. *)
 let space mc =
-  if mc.in_kernel && mc.mode = Split then mc.dev.Device.mem else mc.host
+  if mc.in_kernel && mc.mode = Split && mc.paged == None then
+    mc.dev.Device.mem
+  else mc.host
 
 let global_addr mc g =
-  if mc.in_kernel && mc.mode = Split then begin
+  if mc.in_kernel && mc.mode = Split && mc.paged == None then begin
     match mc.shard_log with
     | Some _ -> (
       (* Parallel shard: the pre-launch check guarantees every global the
@@ -334,7 +354,36 @@ let load_globals mc =
       let base = Hashtbl.find mc.globals_host g.gname in
       Runtime.declare_global mc.rt ~name:g.gname ~base ~size:g.gsize
         ~read_only:g.gread_only)
-    mc.m.Ir.globals
+    mc.m.Ir.globals;
+  (* Paged backend: globals carry load-time initial values, so their
+     backing pages start host-resident (free, like the host arrays
+     cudaMallocManaged zero-fills). *)
+  match mc.paged with
+  | Some pg ->
+    List.iter
+      (fun (g : Ir.global) ->
+        let base = Hashtbl.find mc.globals_host g.gname in
+        Paged.place_host pg ~addr:base ~len:g.gsize)
+      mc.m.Ir.globals
+  | None -> ()
+
+(* Paged backend: note an access to [addr, addr+len) and charge any
+   host-side migration synchronously. Kernel-side fault time pools
+   inside [pg] until the launch ends (Paged.flush_launch). *)
+let paged_touch mc pg ~addr ~len =
+  if mc.in_kernel then ignore (Paged.touch pg ~kernel:true ~addr ~len)
+  else begin
+    let cyc = Paged.touch pg ~kernel:false ~addr ~len in
+    if cyc > 0.0 then begin
+      (* the migrated pages may hold kernel output: stall for the
+         device, then pay the migration before the access completes *)
+      flush_time mc;
+      mc.now <- Device.sync mc.dev ~now:mc.now;
+      Paged.note_host_migration pg ~start:mc.now ~cycles:cyc
+        ~pages:(Paged.last_host_fault_pages pg);
+      mc.now <- mc.now +. cyc
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Instruction evaluation (tree-walking engine)                         *)
@@ -743,7 +792,7 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
        frame's allocation units. *)
     List.iter
       (fun base ->
-        if mc.mode = Split then Runtime.expire_alloca mc.rt ~base)
+        if mc.mode = Split then mc.bk.Mem_backend.bk_expire_alloca ~base)
       !registered;
     List.iter (fun base -> Memspace.free_local sp base) !frame_allocas
   in
@@ -776,6 +825,10 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
           ~len:(match ty with Ir.I8 -> 1 | _ -> 8)
           ~fn:mc.cur_fn ~kernel:mc.in_kernel
       | None -> ());
+      (match mc.paged with
+      | Some pg ->
+        paged_touch mc pg ~addr ~len:(match ty with Ir.I8 -> 1 | _ -> 8)
+      | None -> ());
       frame.(d) <-
         (match ty with
         | Ir.I8 -> VI (Int64.of_int (Memspace.load_u8 sp addr))
@@ -793,6 +846,10 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
           ~len:(match ty with Ir.I8 -> 1 | _ -> 8)
           ~fn:mc.cur_fn ~kernel:mc.in_kernel
       | None -> ());
+      (match mc.paged with
+      | Some pg ->
+        paged_touch mc pg ~addr ~len:(match ty with Ir.I8 -> 1 | _ -> 8)
+      | None -> ());
       match ty with
       | Ir.I8 -> Memspace.store_u8 sp addr (Int64.to_int (as_int (eval v)) land 0xff)
       | Ir.I64 -> Memspace.store_i64 sp addr (as_int (eval v))
@@ -805,9 +862,7 @@ let rec exec_func mc (f : Ir.func) (args : rtval array) : rtval option =
       frame.(d) <- VI (Int64.of_int base);
       if info.Ir.aregistered && (not mc.in_kernel) && mc.mode = Split then begin
         flush_time mc;
-        mc.rt.Runtime.now <- mc.now;
-        Runtime.declare_alloca mc.rt ~base ~size;
-        mc.now <- mc.rt.Runtime.now;
+        mc.now <- mc.bk.Mem_backend.bk_declare_alloca ~now:mc.now ~base ~size;
         registered := base :: !registered
       end
     end
@@ -842,7 +897,7 @@ and dispatch_call mc name argv : rtval option =
     let base = Memspace.alloc ~tag:"heap" mc.host size in
     flush_time mc;
     mc.now <- mc.now +. 100.0;
-    if mc.mode = Split then Runtime.register_heap mc.rt ~base ~size;
+    if mc.mode = Split then mc.bk.Mem_backend.bk_register_heap ~base ~size;
     Some (VI (Int64.of_int base))
   | "realloc", [ p; size ] ->
     (* the run-time wrapper: the old unit leaves the allocation map, the
@@ -857,31 +912,31 @@ and dispatch_call mc name argv : rtval option =
       let _, old_size = Memspace.unit_bounds mc.host old_base in
       Memspace.blit ~src:mc.host ~src_addr:old_base ~dst:mc.host
         ~dst_addr:base ~len:(min old_size size);
-      if mc.mode = Split then begin
-        mc.rt.Runtime.now <- mc.now;
-        Runtime.unregister_heap mc.rt ~base:old_base;
-        mc.now <- mc.rt.Runtime.now
-      end;
+      if mc.mode = Split then
+        mc.now <- mc.bk.Mem_backend.bk_unregister_heap ~now:mc.now ~base:old_base;
       Memspace.free mc.host old_base
     end;
-    if mc.mode = Split then Runtime.register_heap mc.rt ~base ~size;
+    if mc.mode = Split then mc.bk.Mem_backend.bk_register_heap ~base ~size;
     Some (VI (Int64.of_int base))
   | "free", [ p ] ->
     let base = Int64.to_int (as_int p) in
     if mc.mode = Split then begin
       flush_time mc;
-      mc.rt.Runtime.now <- mc.now;
-      Runtime.unregister_heap mc.rt ~base;
-      mc.now <- mc.rt.Runtime.now
+      mc.now <- mc.bk.Mem_backend.bk_unregister_heap ~now:mc.now ~base
     end;
     Memspace.free mc.host base;
     None
-  (* ---- explicit driver API (manual management, Listing 1 style) ---- *)
+  (* ---- explicit driver API (manual management, Listing 1 style) ----
+     Under the paged backend (like Unified mode) there is no separate
+     device memory: gpu_malloc hands out host storage, the copies are
+     host-side blits, and the data pays page faults when kernels touch
+     it — manual staging buys nothing, which is the point of managed
+     memory. *)
   | "gpu_malloc", [ size ] ->
     let size = Int64.to_int (as_int size) in
     if mc.in_kernel then error "gpu_malloc on the device";
     flush_time mc;
-    if mc.mode = Split then begin
+    if mc.mode = Split && mc.paged == None then begin
       let d, now = Device.mem_alloc mc.dev ~now:mc.now size in
       mc.now <- now;
       Some (VI (Int64.of_int d))
@@ -892,7 +947,8 @@ and dispatch_call mc name argv : rtval option =
   | "gpu_free", [ p ] ->
     let d = Int64.to_int (as_int p) in
     flush_time mc;
-    if mc.mode = Split then mc.now <- Device.mem_free mc.dev ~now:mc.now d
+    if mc.mode = Split && mc.paged == None then
+      mc.now <- Device.mem_free mc.dev ~now:mc.now d
     else Memspace.free mc.host d;
     None
   | "gpu_memcpy_h2d", [ dst; src; len ] ->
@@ -900,26 +956,43 @@ and dispatch_call mc name argv : rtval option =
     and src = Int64.to_int (as_int src)
     and len = Int64.to_int (as_int len) in
     flush_time mc;
-    if mc.mode = Split then
+    if mc.mode = Split && mc.paged == None then
       mc.now <-
         Device.memcpy_h_to_d mc.dev ~now:mc.now ~host:mc.host ~host_addr:src
           ~dev_addr:dst ~len
-    else Memspace.blit ~src:mc.host ~src_addr:src ~dst:mc.host ~dst_addr:dst ~len;
+    else begin
+      (match mc.paged with
+      | Some pg ->
+        paged_touch mc pg ~addr:src ~len;
+        paged_touch mc pg ~addr:dst ~len
+      | None -> ());
+      Memspace.blit ~src:mc.host ~src_addr:src ~dst:mc.host ~dst_addr:dst ~len
+    end;
     None
   | "gpu_memcpy_d2h", [ dst; src; len ] ->
     let dst = Int64.to_int (as_int dst)
     and src = Int64.to_int (as_int src)
     and len = Int64.to_int (as_int len) in
     flush_time mc;
-    if mc.mode = Split then
+    if mc.mode = Split && mc.paged == None then
       mc.now <-
         Device.memcpy_d_to_h mc.dev ~now:mc.now ~host:mc.host ~host_addr:dst
           ~dev_addr:src ~len
-    else Memspace.blit ~src:mc.host ~src_addr:src ~dst:mc.host ~dst_addr:dst ~len;
+    else begin
+      (match mc.paged with
+      | Some pg ->
+        paged_touch mc pg ~addr:src ~len;
+        paged_touch mc pg ~addr:dst ~len
+      | None -> ());
+      Memspace.blit ~src:mc.host ~src_addr:src ~dst:mc.host ~dst_addr:dst ~len
+    end;
     None
   | "strlen", [ p ] ->
     let addr = Int64.to_int (as_int p) in
     let s = Memspace.load_string (space mc) addr in
+    (match mc.paged with
+    | Some pg -> paged_touch mc pg ~addr ~len:(String.length s + 1)
+    | None -> ());
     (* charge proportional work *)
     for _ = 1 to String.length s do tick mc done;
     Some (VI (Int64.of_int (String.length s)))
@@ -933,7 +1006,11 @@ and dispatch_call mc name argv : rtval option =
     None
   | "prints", [ p ] ->
     let addr = Int64.to_int (as_int p) in
-    Buffer.add_string mc.out (Memspace.load_string (space mc) addr);
+    let s = Memspace.load_string (space mc) addr in
+    (match mc.paged with
+    | Some pg -> paged_touch mc pg ~addr ~len:(String.length s + 1)
+    | None -> ());
+    Buffer.add_string mc.out s;
     Buffer.add_char mc.out '\n';
     None
   | "pow", [ a; b ] -> Some (VF (Float.pow (as_float a) (as_float b)))
@@ -960,41 +1037,36 @@ and dispatch_cgcm mc name argv : rtval option =
   | (Unified | Inspector_executor), ("cgcm.map" | "cgcm.map_array"), [ p ] ->
     Some p
   | (Unified | Inspector_executor), _, _ -> None
+  (* Split mode routes through the selected memory backend: the explicit
+     instance is the CGCM run-time (copies, refcounts, epochs); the
+     paged instance is an identity/no-op surface — the hardware manages
+     communication, so the same compiled module runs under both and the
+     A/B isolates the management cost. *)
   | Split, "cgcm.map", [ p ] ->
     flush_time mc;
-    mc.rt.Runtime.now <- mc.now;
-    let d = Runtime.map mc.rt (ptr_of p) in
-    mc.now <- mc.rt.Runtime.now;
+    let d, now = mc.bk.Mem_backend.bk_map ~now:mc.now (ptr_of p) in
+    mc.now <- now;
     Some (VI (Int64.of_int d))
   | Split, "cgcm.unmap", [ p ] ->
     flush_time mc;
-    mc.rt.Runtime.now <- mc.now;
-    Runtime.unmap mc.rt (ptr_of p);
-    mc.now <- mc.rt.Runtime.now;
+    mc.now <- mc.bk.Mem_backend.bk_unmap ~now:mc.now (ptr_of p);
     None
   | Split, "cgcm.release", [ p ] ->
     flush_time mc;
-    mc.rt.Runtime.now <- mc.now;
-    Runtime.release mc.rt (ptr_of p);
-    mc.now <- mc.rt.Runtime.now;
+    mc.now <- mc.bk.Mem_backend.bk_release ~now:mc.now (ptr_of p);
     None
   | Split, "cgcm.map_array", [ p ] ->
     flush_time mc;
-    mc.rt.Runtime.now <- mc.now;
-    let d = Runtime.map_array mc.rt (ptr_of p) in
-    mc.now <- mc.rt.Runtime.now;
+    let d, now = mc.bk.Mem_backend.bk_map_array ~now:mc.now (ptr_of p) in
+    mc.now <- now;
     Some (VI (Int64.of_int d))
   | Split, "cgcm.unmap_array", [ p ] ->
     flush_time mc;
-    mc.rt.Runtime.now <- mc.now;
-    Runtime.unmap_array mc.rt (ptr_of p);
-    mc.now <- mc.rt.Runtime.now;
+    mc.now <- mc.bk.Mem_backend.bk_unmap_array ~now:mc.now (ptr_of p);
     None
   | Split, "cgcm.release_array", [ p ] ->
     flush_time mc;
-    mc.rt.Runtime.now <- mc.now;
-    Runtime.release_array mc.rt (ptr_of p);
-    mc.now <- mc.rt.Runtime.now;
+    mc.now <- mc.bk.Mem_backend.bk_release_array ~now:mc.now (ptr_of p);
     None
   | Split, _, _ -> error "unknown cgcm intrinsic '%s'" name
 
@@ -1006,7 +1078,7 @@ and exec_launch mc ~kernel ~trip ~args =
   in
   if trip > 0 then begin
     flush_time mc;
-    if mc.mode = Split then Runtime.bump_epoch mc.rt;
+    if mc.mode = Split then mc.bk.Mem_backend.bk_bump_epoch ();
     (match mc.san with
     | Some s ->
       let rw =
@@ -1049,6 +1121,7 @@ and exec_launch mc ~kernel ~trip ~args =
        why jobs = 1 is exactly the closure engine. *)
     let par =
       mc.engine = Parallel && mc.jobs > 1 && mc.mode = Split
+      && mc.paged == None
       && (not saved_in_kernel)
       && Option.is_none mc.shard_log
       && trip >= mc.cost.Cost_model.par_min_trip
@@ -1087,11 +1160,17 @@ and exec_launch mc ~kernel ~trip ~args =
         ~label:(kernel ^ "+cpu-fallback") ~bytes:0
     in
     match mc.mode with
-    | Split -> (
-      match Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip with
+    | Split ->
+      (match Device.launch mc.dev ~now:mc.now ~name:kernel ~insts ~trip with
       | now -> mc.now <- now
       | exception Errors.Device_error (Errors.Launch_failed _) ->
-        cpu_fallback ())
+        cpu_fallback ());
+      (* Paged backend: the kernel's demand faults extend the device's
+         busy window once the driver work is accounted — even on CPU
+         fallback the pages migrated and the cost was paid. *)
+      (match mc.paged with
+      | Some pg -> Paged.flush_launch pg
+      | None -> ())
     | Unified -> ()
     | Inspector_executor ->
       (* 1. sequential inspection on the CPU: replay the loop's address
@@ -1342,7 +1421,7 @@ and decode_block mc ~uses ~fold_ok ~promo (b : Ir.block) : cblock =
 and gaddr mc g : ctx -> int =
   let haddr = ref (-1) and daddr = ref (-1) and dgen = ref (-1) in
   fun _ ->
-    if mc.in_kernel && mc.mode = Split then begin
+    if mc.in_kernel && mc.mode = Split && mc.paged == None then begin
       let a = !daddr in
       if a >= 0 && !dgen = mc.dev.Device.globals_gen then a
       else begin
@@ -1823,15 +1902,18 @@ and decode_binop mc avail d op a b : cinstr =
   end
 
 and decode_load mc avail d ty a : cinstr =
-  (* Access tracking only exists in inspector-executor mode, and the
-     sanitizer only in Split mode — both known at decode time; every
-     other configuration skips the checks entirely. *)
+  (* Access tracking only exists in inspector-executor mode, the
+     sanitizer only in Split mode, and the paged touch hook only under
+     the paged backend — all known at decode time; every other
+     configuration skips the checks entirely. *)
   let track = mc.mode = Inspector_executor in
   let sanit = mc.san <> None in
+  let pgd = mc.paged in
   let cache = ref Memspace.null_handle in
   match (ty, a) with
   | Ir.I64, Ir.Reg r
-    when (not track) && (not sanit) && not (Hashtbl.mem avail r) ->
+    when (not track) && (not sanit) && pgd == None
+         && not (Hashtbl.mem avail r) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
       let h = !cache in
@@ -1845,7 +1927,8 @@ and decode_load mc avail d ty a : cinstr =
       in
       c.fr.(d) <- VI (Memspace.h_load_i64 h addr)
   | Ir.F64, Ir.Reg r
-    when (not track) && (not sanit) && not (Hashtbl.mem avail r) ->
+    when (not track) && (not sanit) && pgd == None
+         && not (Hashtbl.mem avail r) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
       let h = !cache in
@@ -1859,7 +1942,8 @@ and decode_load mc avail d ty a : cinstr =
       in
       c.fr.(d) <- VF (Memspace.h_load_f64 h addr)
   | Ir.I8, Ir.Reg r
-    when (not track) && (not sanit) && not (Hashtbl.mem avail r) ->
+    when (not track) && (not sanit) && pgd == None
+         && not (Hashtbl.mem avail r) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr r)) in
       let h = !cache in
@@ -1919,19 +2003,37 @@ and decode_load mc avail d ty a : cinstr =
             end
           in
           finish c h addr
-      | None ->
-        fun c ->
-          let addr = fa c in
-          let h = !cache in
-          let h =
-            if Memspace.handle_valid h c.sp addr len then h
-            else begin
-              let h = Memspace.acquire_handle c.sp addr len "load" in
-              cache := h;
-              h
-            end
-          in
-          finish c h addr
+      | None -> (
+        match pgd with
+        | Some pg ->
+          (* Paged path: the touch (and any host-side migration stall)
+             happens before the access, where the hardware would fault. *)
+          fun c ->
+            let addr = fa c in
+            paged_touch mc pg ~addr ~len;
+            let h = !cache in
+            let h =
+              if Memspace.handle_valid h c.sp addr len then h
+              else begin
+                let h = Memspace.acquire_handle c.sp addr len "load" in
+                cache := h;
+                h
+              end
+            in
+            finish c h addr
+        | None ->
+          fun c ->
+            let addr = fa c in
+            let h = !cache in
+            let h =
+              if Memspace.handle_valid h c.sp addr len then h
+              else begin
+                let h = Memspace.acquire_handle c.sp addr len "load" in
+                cache := h;
+                h
+              end
+            in
+            finish c h addr)
 
 and decode_store mc avail ty a v : cinstr =
   match mc.shard_log with
@@ -2028,10 +2130,11 @@ and decode_store_log mc l avail ty a v : cinstr =
 and decode_store_seq mc avail ty a v : cinstr =
   let track = mc.mode = Inspector_executor in
   let sanit = mc.san <> None in
+  let pgd = mc.paged in
   let cache = ref Memspace.null_handle in
   match (ty, a, v) with
   | Ir.F64, Ir.Reg ra, Ir.Reg rv
-    when (not track) && (not sanit)
+    when (not track) && (not sanit) && pgd == None
          && (not (Hashtbl.mem avail ra))
          && not (Hashtbl.mem avail rv) ->
     fun c ->
@@ -2048,7 +2151,7 @@ and decode_store_seq mc avail ty a v : cinstr =
       in
       Memspace.h_store_f64 h addr x
   | Ir.I64, Ir.Reg ra, Ir.Reg rv
-    when (not track) && (not sanit)
+    when (not track) && (not sanit) && pgd == None
          && (not (Hashtbl.mem avail ra))
          && not (Hashtbl.mem avail rv) ->
     fun c ->
@@ -2065,7 +2168,8 @@ and decode_store_seq mc avail ty a v : cinstr =
       in
       Memspace.h_store_i64 h addr x
   | Ir.I64, Ir.Reg ra, Ir.Imm_int iv
-    when (not track) && (not sanit) && not (Hashtbl.mem avail ra) ->
+    when (not track) && (not sanit) && pgd == None
+         && not (Hashtbl.mem avail ra) ->
     fun c ->
       let addr = Int64.to_int (as_int (Array.unsafe_get c.fr ra)) in
       let h = !cache in
@@ -2123,6 +2227,16 @@ and decode_store_seq mc avail ty a v : cinstr =
         Sanitizer.on_store s ~addr ~len ~fn:mc.cur_fn ~kernel:mc.in_kernel;
         h_store c (acquire c addr len) addr
     in
+    (* Paged path: the touch (and any host-side migration stall) runs
+       where the hardware would fault — after the address, before the
+       bytes move. *)
+    let paged_store (h_store : ctx -> Memspace.handle -> int -> unit) len pg :
+        cinstr =
+      fun c ->
+        let addr = fa c in
+        paged_touch mc pg ~addr ~len;
+        h_store c (acquire c addr len) addr
+    in
     (* tree-engine order: address, track, value (with its unboxing
        fault), then the store itself *)
     match ty with
@@ -2140,11 +2254,18 @@ and decode_store_seq mc avail ty a v : cinstr =
             (fun c h addr ->
               Memspace.h_store_u8 h addr (Int64.to_int (fv c) land 0xff))
             1 s
-        | None ->
-          fun c ->
-            let addr = fa c in
-            let x = Int64.to_int (fv c) land 0xff in
-            Memspace.h_store_u8 (acquire c addr 1) addr x)
+        | None -> (
+          match pgd with
+          | Some pg ->
+            paged_store
+              (fun c h addr ->
+                Memspace.h_store_u8 h addr (Int64.to_int (fv c) land 0xff))
+              1 pg
+          | None ->
+            fun c ->
+              let addr = fa c in
+              let x = Int64.to_int (fv c) land 0xff in
+              Memspace.h_store_u8 (acquire c addr 1) addr x))
     | Ir.I64 ->
       let fv = fold_i mc avail v in
       if track then
@@ -2156,11 +2277,15 @@ and decode_store_seq mc avail ty a v : cinstr =
         match mc.san with
         | Some s ->
           sanit_store (fun c h addr -> Memspace.h_store_i64 h addr (fv c)) 8 s
-        | None ->
-          fun c ->
-            let addr = fa c in
-            let x = fv c in
-            Memspace.h_store_i64 (acquire c addr 8) addr x)
+        | None -> (
+          match pgd with
+          | Some pg ->
+            paged_store (fun c h addr -> Memspace.h_store_i64 h addr (fv c)) 8 pg
+          | None ->
+            fun c ->
+              let addr = fa c in
+              let x = fv c in
+              Memspace.h_store_i64 (acquire c addr 8) addr x))
     | Ir.F64 ->
       let fv = fold_f mc avail v in
       if track then
@@ -2172,11 +2297,15 @@ and decode_store_seq mc avail ty a v : cinstr =
         match mc.san with
         | Some s ->
           sanit_store (fun c h addr -> Memspace.h_store_f64 h addr (fv c)) 8 s
-        | None ->
-          fun c ->
-            let addr = fa c in
-            let x = fv c in
-            Memspace.h_store_f64 (acquire c addr 8) addr x))
+        | None -> (
+          match pgd with
+          | Some pg ->
+            paged_store (fun c h addr -> Memspace.h_store_f64 h addr (fv c)) 8 pg
+          | None ->
+            fun c ->
+              let addr = fa c in
+              let x = fv c in
+              Memspace.h_store_f64 (acquire c addr 8) addr x)))
 
 and decode_term mc avail (t : Ir.terminator) : ctx -> int =
   match t with
@@ -2294,8 +2423,12 @@ let run ?(config = default_config) (m : Ir.modul) : result =
      interpreter hooks. Only the Split mode has two memories to keep
      coherent; the oracle modes have nothing to check. *)
   let sanitizer =
-    if config.sanitize && config.mode = Split then
-      Some (Sanitizer.create ~dev_lo:0x4000_0000_00 ())
+    (* the sanitizer checks explicit-copy coherence; under the paged
+       backend there is one memory and nothing to keep coherent *)
+    if
+      config.sanitize && config.mode = Split
+      && config.backend = Mem_backend.Explicit
+    then Some (Sanitizer.create ~dev_lo:0x4000_0000_00 ())
     else None
   in
   let dev =
@@ -2306,6 +2439,16 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   let rt =
     Runtime.create ~dirty_spans:config.dirty_spans ~paranoid:config.paranoid
       ~host ~dev ()
+  in
+  let paged =
+    match (config.mode, config.backend) with
+    | Split, Mem_backend.Paged -> Some (Paged.create ~dev config.cost)
+    | _ -> None
+  in
+  let bk =
+    match paged with
+    | Some pg -> Mem_backend.paged pg
+    | None -> Mem_backend.explicit rt
   in
   let funcs = Hashtbl.create 32 in
   List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.fname f) m.Ir.funcs;
@@ -2334,6 +2477,8 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       profile_on = config.profile;
       profile_counts = Hashtbl.create 16;
       cur_fn = "<toplevel>";
+      bk;
+      paged;
       san = sanitizer;
       rw_cache = Hashtbl.create 8;
       jobs =
@@ -2370,11 +2515,12 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     kernel_insts = mc.kernel_insts;
     dev_stats = st;
     rt_stats = rt.Runtime.stats;
-    leaks = Runtime.leak_report rt;
+    leaks = bk.Mem_backend.bk_leak_report ();
     dev_peak_bytes = Memspace.peak_bytes dev.Device.mem;
     trace;
     profile =
       Hashtbl.fold (fun k r acc -> (k, !r) :: acc) mc.profile_counts []
       |> List.sort (fun (_, a) (_, b) -> compare b a);
     san_report = Option.map Sanitizer.report sanitizer;
+    page_stats = Option.map Paged.stats paged;
   }

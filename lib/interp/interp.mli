@@ -24,6 +24,8 @@ module Trace = Cgcm_gpusim.Trace
 module Cost_model = Cgcm_gpusim.Cost_model
 module Faults = Cgcm_gpusim.Faults
 module Runtime = Cgcm_runtime.Runtime
+module Mem_backend = Cgcm_runtime.Mem_backend
+module Paged = Cgcm_runtime.Paged
 
 exception Exec_error of string
 (** Raised on dynamic errors the memory model does not already catch:
@@ -78,6 +80,18 @@ type config = {
           0 (the default) resolves via [CGCM_JOBS] then
           [Domain.recommended_domain_count]. [jobs = 1] selects the
           exact sequential closure path. *)
+  backend : Mem_backend.kind;
+      (** Memory backend, {!Split} mode only. [Explicit] (the default)
+          is the CGCM-managed split-memory explicit-copy model.
+          [Paged] is a single shared address space with touch-driven
+          page-granular migration (managed memory): the [cgcm.*]
+          intrinsics become no-ops and all communication cost comes
+          from page faults priced by
+          {!Cost_model.t.page_bytes}/[page_fault_cycles]. Outputs must
+          be bit-identical across backends; only the timeline and
+          transfer accounting differ. Not to be confused with the
+          {!Unified} {e mode}, the zero-cost address-space oracle used
+          for differential testing. *)
 }
 
 val default_config : config
@@ -105,6 +119,9 @@ type result = {
   san_report : Cgcm_sanitizer.Sanitizer.report option;
       (** coherence-sanitizer statistics (redundant transfers, live
           units); present iff [config.sanitize] ran *)
+  page_stats : Paged.stats option;
+      (** page-migration accounting (touches, faults and migrated bytes
+          per direction); present iff the paged backend ran *)
 }
 
 val run : ?config:config -> Ir.modul -> result

@@ -14,6 +14,7 @@
 module Pipeline = Cgcm_core.Pipeline
 module Interp = Cgcm_interp.Interp
 module Rng = Cgcm_support.Rng
+module Mem_backend = Cgcm_runtime.Mem_backend
 
 type config = {
   ch_seed : int;
@@ -55,7 +56,12 @@ type outcome = {
 (* ------------------------------------------------------------------ *)
 (* Seeded schedules                                                    *)
 
-let modes = [ "opt"; "unopt"; "unified"; "seq"; "ie" ]
+(* The backend-suffixed modes keep the journal's compile recipes honest:
+   a kill-restart must rebuild "+paged" requests under the paged backend
+   or the post-recovery bit-identity check would be comparing against
+   the wrong reference. *)
+let modes =
+  [ "opt"; "unopt"; "unified"; "seq"; "ie"; "opt+paged"; "unopt+paged" ]
 
 let plan ~seed ~requests =
   let rng = Rng.stream ~seed 0 in
@@ -100,8 +106,18 @@ let reference ~mode source =
   match Hashtbl.find_opt reference_tbl key with
   | Some v -> v
   | None ->
+    let base, backend =
+      match String.index_opt mode '+' with
+      | None -> (mode, Mem_backend.Explicit)
+      | Some i -> (
+        let b = String.sub mode 0 i in
+        let s = String.sub mode (i + 1) (String.length mode - i - 1) in
+        match Mem_backend.of_string s with
+        | Ok bk -> (b, bk)
+        | Error e -> invalid_arg ("Chaos.reference: " ^ e))
+    in
     let exec =
-      match mode with
+      match base with
       | "seq" -> Pipeline.Sequential
       | "unopt" -> Pipeline.Cgcm_unoptimized
       | "opt" -> Pipeline.Cgcm_optimized
@@ -109,7 +125,7 @@ let reference ~mode source =
       | "unified" -> Pipeline.Unified_oracle Pipeline.Optimized
       | m -> invalid_arg ("Chaos.reference: unknown mode " ^ m)
     in
-    let _, r = Pipeline.run exec source in
+    let _, r = Pipeline.run ~backend exec source in
     let v = (r.Interp.output, Int64.to_int r.Interp.exit_code) in
     Hashtbl.replace reference_tbl key v;
     v

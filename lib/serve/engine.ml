@@ -37,6 +37,7 @@ module Ir = Cgcm_ir.Ir
 module Errors = Cgcm_support.Errors
 module Rng = Cgcm_support.Rng
 module Device = Cgcm_gpusim.Device
+module Mem_backend = Cgcm_runtime.Mem_backend
 
 type config = {
   max_queue : int;  (* admission bound: shed beyond this queue depth *)
@@ -237,17 +238,40 @@ let trips_of t name = (tenant_state t name).t_trips
 
 (* Requests name the paper's execution configurations; "opt" and
    "unified" share a compiled module, so the cache keys by the compile
-   plan, not the request mode. *)
-let plan_of_mode = function
-  | "seq" -> (Doall.Off, Pipeline.Unmanaged, Interp.Unified, false)
-  | "unopt" -> (Doall.Auto, Pipeline.Managed, Interp.Split, false)
-  | "opt" -> (Doall.Auto, Pipeline.Optimized, Interp.Split, true)
-  | "ie" -> (Doall.Auto, Pipeline.Unmanaged, Interp.Inspector_executor, false)
-  | "unified" -> (Doall.Auto, Pipeline.Optimized, Interp.Unified, false)
-  | m ->
+   plan, not the request mode.
+
+   A mode may carry a memory-backend suffix ("opt+paged"): the backend
+   shapes execution, not compilation, so it rides in the mode string —
+   which lands it in journal compile recipes for free, and recovery
+   rebuilds the identical configuration because this parse is
+   deterministic. The suffix is inert outside the split-memory modes,
+   matching [Pipeline.run]'s [backend] parameter. *)
+let split_mode m =
+  match String.index_opt m '+' with
+  | None -> (m, Mem_backend.Explicit)
+  | Some i -> (
+    let base = String.sub m 0 i in
+    let suffix = String.sub m (i + 1) (String.length m - i - 1) in
+    match Mem_backend.of_string suffix with
+    | Ok bk -> (base, bk)
+    | Error e -> raise (Wire.Protocol_error e))
+
+let plan_of_mode m =
+  let base, backend = split_mode m in
+  match base with
+  | "seq" -> (Doall.Off, Pipeline.Unmanaged, Interp.Unified, false, backend)
+  | "unopt" -> (Doall.Auto, Pipeline.Managed, Interp.Split, false, backend)
+  | "opt" -> (Doall.Auto, Pipeline.Optimized, Interp.Split, true, backend)
+  | "ie" ->
+    (Doall.Auto, Pipeline.Unmanaged, Interp.Inspector_executor, false, backend)
+  | "unified" -> (Doall.Auto, Pipeline.Optimized, Interp.Unified, false, backend)
+  | _ ->
     raise
       (Wire.Protocol_error
-         (Printf.sprintf "unknown mode %S (want seq|unopt|opt|ie|unified)" m))
+         (Printf.sprintf
+            "unknown mode %S (want seq|unopt|opt|ie|unified, optionally \
+             suffixed +explicit or +paged)"
+            m))
 
 let compile_tag parallel level =
   Printf.sprintf "%s/%s"
@@ -261,7 +285,7 @@ let cache_key parallel level source =
   Digest.to_hex (Digest.string (compile_tag parallel level ^ "\x00" ^ source))
 
 let cache_key_of_mode ~mode source =
-  let parallel, level, _, _ = plan_of_mode mode in
+  let parallel, level, _, _, _ = plan_of_mode mode in
   cache_key parallel level source
 
 let compiled_of t ~mode ~parallel ~level source =
@@ -394,7 +418,7 @@ let shed_draining t (req : Wire.request) deliver =
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 
-let run_config t ~imode ~dirty_spans ~fuel ~faults =
+let run_config t ~imode ~dirty_spans ~fuel ~faults ~backend =
   let avail =
     if t.cfg.device_mem = max_int then max_int
     else max 4096 (t.cfg.device_mem - Residency.warm_bytes t.res)
@@ -407,6 +431,7 @@ let run_config t ~imode ~dirty_spans ~fuel ~faults =
     fuel;
     dirty_spans;
     faults;
+    backend;
   }
 
 (* Warm this tenant's writable globals after a successful device-side
@@ -435,7 +460,7 @@ type outcome =
   | O_failed of exn * int
 
 let execute t (req : Wire.request) ~mode =
-  let parallel, level, imode, dirty_spans = plan_of_mode mode in
+  let parallel, level, imode, dirty_spans, backend = plan_of_mode mode in
   let key = cache_key parallel level req.rq_source in
   let compiled, hitmiss = compiled_of t ~mode ~parallel ~level req.rq_source in
   let fuel =
@@ -459,7 +484,7 @@ let execute t (req : Wire.request) ~mode =
             { sp with Faults.seed = derive_seed sp.seed t.attempt_counter })
           base_faults
     in
-    let config = run_config t ~imode ~dirty_spans ~fuel ~faults in
+    let config = run_config t ~imode ~dirty_spans ~fuel ~faults ~backend in
     match Interp.run ~config compiled.Pipeline.modul with
     | r -> O_ok (r, retries)
     | exception exn when is_fuel_exhausted exn -> O_deadline
@@ -482,7 +507,11 @@ let execute t (req : Wire.request) ~mode =
       attempt (n + 1) (retries + 1)
     | exception exn -> O_failed (exn, retries)
   in
-  (attempt 1 0, key, compiled, hitmiss, fuel, device_used)
+  (* Residency warming is an explicit-copy concept — under the paged
+     backend device residency is page state, not warm units — so the
+     caller skips the warm for paged requests. *)
+  let warmable = device_used && backend = Mem_backend.Explicit in
+  (attempt 1 0, key, compiled, hitmiss, fuel, warmable)
 
 let finish_breaker st ~threshold ~probation ~trips exn_opt =
   match exn_opt with
@@ -523,7 +552,7 @@ let process_raw ?(warm = true) t (req : Wire.request) : Wire.reply =
   | _ -> (
     let trips = ref 0 in
     match execute t req ~mode with
-    | outcome, key, compiled, hitmiss, fuel, device_used ->
+    | outcome, key, compiled, hitmiss, fuel, warmable ->
       let cache = match hitmiss with `Hit -> "hit" | `Miss -> "miss" in
       (* An open breaker heals through degraded runs: each one consumes
          probation; at zero the next request probes the device path. *)
@@ -552,7 +581,7 @@ let process_raw ?(warm = true) t (req : Wire.request) : Wire.reply =
           end
           else begin
             t.stats.ok <- t.stats.ok + 1;
-            if warm && device_used && not degraded then
+            if warm && warmable && not degraded then
               warm_after t ~tenant:req.rq_tenant ~key ~mode
                 ~source:req.rq_source compiled;
             reply ~id:req.rq_id ~wall_ms:(wall_ms ()) ~cache ~degraded
@@ -659,7 +688,7 @@ let batchable t (req : Wire.request) =
   &&
   match plan_of_mode req.rq_mode with
   | exception _ -> false
-  | parallel, level, _, _ -> (
+  | parallel, level, _, _, _ -> (
     let key = cache_key parallel level req.rq_source in
     match Hashtbl.find_opt t.par_ok key with
     | Some b -> b
@@ -723,11 +752,12 @@ let step_batch t =
          successful per-request warm would have established. *)
       (match plan_of_mode req0.Wire.rq_mode with
       | exception _ -> ()
-      | parallel, level, imode, _ ->
-        let device_used =
-          match imode with Interp.Unified -> false | _ -> true
+      | parallel, level, imode, _, backend ->
+        let warmable =
+          (match imode with Interp.Unified -> false | _ -> true)
+          && backend = Mem_backend.Explicit
         in
-        if !ok_runs > 0 && device_used then begin
+        if !ok_runs > 0 && warmable then begin
           let key = cache_key parallel level req0.Wire.rq_source in
           match Cache.peek t.cache key with
           | Some compiled ->
@@ -775,7 +805,7 @@ let recover t (rp : Journal.replay) : recovery =
   List.iter
     (fun (c : Journal.compile_rec) ->
       match plan_of_mode c.jc_mode with
-      | parallel, level, _, _ -> (
+      | parallel, level, _, _, _ -> (
         match compiled_of t ~mode:c.jc_mode ~parallel ~level c.jc_source with
         | _ -> incr compiled
         | exception _ -> incr skipped)
@@ -784,7 +814,7 @@ let recover t (rp : Journal.replay) : recovery =
   List.iter
     (fun (w : Journal.warm_rec) ->
       match plan_of_mode w.jw_mode with
-      | parallel, level, _, _ -> (
+      | parallel, level, _, _, _ -> (
         match compiled_of t ~mode:w.jw_mode ~parallel ~level w.jw_source with
         | cm, _ ->
           let key = cache_key parallel level w.jw_source in

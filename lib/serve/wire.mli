@@ -42,7 +42,14 @@ type request = {
   rq_id : int;
   rq_tenant : string;
   rq_source : string;
-  rq_mode : string;  (** [seq | unopt | opt | ie | unified] *)
+  rq_mode : string;
+      (** [seq | unopt | opt | ie | unified], optionally suffixed with a
+          memory backend, e.g. [opt+paged]. [unified] is the paper's
+          unified address-space {e oracle} — one flat memory with
+          zero-cost intrinsics, for differential testing — not a
+          managed-memory model; for on-demand paging with migration
+          costs, suffix a split-memory mode with [+paged]. The suffix is
+          inert outside the split modes. *)
   rq_deadline : int option;  (** fuel budget for the run *)
   rq_strict : bool;
       (** reject with [Circuit_open] instead of degrading to CPU-only

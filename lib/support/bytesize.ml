@@ -1,0 +1,40 @@
+(* Byte counts with binary-unit suffixes, for CLI arguments like
+   --device-mem 64KiB. Raw integers stay valid so existing scripts and
+   golden outputs keep working. *)
+
+let units = [ ("KiB", 1024); ("MiB", 1024 * 1024); ("GiB", 1024 * 1024 * 1024) ]
+
+let error_message s =
+  Printf.sprintf
+    "invalid byte count %S (expected an integer with an optional KiB, MiB or \
+     GiB suffix, e.g. 65536, 64KiB, 1MiB)"
+    s
+
+let parse s =
+  let fail () = Error (error_message s) in
+  let number_part, scale =
+    match
+      List.find_opt
+        (fun (u, _) ->
+          let n = String.length s and k = String.length u in
+          n > k && String.sub s (n - k) k = u)
+        units
+    with
+    | Some (u, scale) ->
+      (String.sub s 0 (String.length s - String.length u), scale)
+    | None -> (s, 1)
+  in
+  match int_of_string_opt (String.trim number_part) with
+  | Some n when n >= 0 ->
+    if scale > 1 && n > max_int / scale then fail () else Ok (n * scale)
+  | _ -> fail ()
+
+let to_string bytes =
+  let rec pick = function
+    | (u, scale) :: rest ->
+      if bytes >= scale && bytes mod scale = 0 then
+        Printf.sprintf "%d%s" (bytes / scale) u
+      else pick rest
+    | [] -> string_of_int bytes
+  in
+  pick (List.rev units)

@@ -1,0 +1,16 @@
+(** Byte counts with binary-unit suffixes, shared by the CLI's
+    [--device-mem]/[--page-bytes] converters and their golden tests. *)
+
+val parse : string -> (int, string) result
+(** [parse "65536"], [parse "64KiB"], [parse "1MiB"], [parse "2GiB"].
+    Plain integers are raw bytes. Rejects negatives, non-integers,
+    unknown suffixes and values that overflow [int] with
+    [Error (error_message s)]. *)
+
+val error_message : string -> string
+(** The exact message [parse] returns for a malformed input — exposed so
+    the golden test pins the CLI's wording. *)
+
+val to_string : int -> string
+(** Render with the largest exact binary suffix: [to_string 65536 =
+    "64KiB"], [to_string 1000 = "1000"]. *)

@@ -27,4 +27,5 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("diagnostics", Test_diagnostics.tests);
       ("serve", Test_serve.tests);
+      ("membackend", Test_membackend.tests);
     ]
